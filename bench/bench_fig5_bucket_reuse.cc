@@ -1,0 +1,80 @@
+// Reproduces Figure 5: reuse of the top-ten buckets across the query trace.
+//
+//   Paper shapes to verify:
+//   * the ten most-reused buckets are touched by ~61% of all queries;
+//   * reuse is temporally clustered (queries touching the same bucket are
+//     close in the trace), which is what makes caching effective.
+//
+// The paper plots a scatter of (query number, top-ten-bucket index); we
+// print the same data as per-window touch counts for each of the top ten
+// buckets, plus the aggregate statistics.
+
+#include <map>
+
+#include "bench/bench_common.h"
+#include "query/preprocessor.h"
+
+namespace liferaft::bench {
+namespace {
+
+void Run() {
+  Banner("Figure 5: top ten buckets by reuse");
+  Standard s = BuildStandard();
+
+  auto touches =
+      workload::CharacterizeTrace(s.trace, s.catalog->bucket_map());
+  // Rank by queries touching.
+  std::sort(touches.begin(), touches.end(),
+            [](const workload::BucketTouch& a,
+               const workload::BucketTouch& b) {
+              return a.queries_touching > b.queries_touching;
+            });
+  std::vector<storage::BucketIndex> top;
+  for (size_t i = 0; i < 10 && i < touches.size(); ++i) {
+    top.push_back(touches[i].bucket);
+  }
+
+  // Windowed touch matrix: rows = trace windows, cols = top-ten buckets.
+  const size_t kWindow = 200;
+  std::vector<std::string> headers = {"queries"};
+  for (size_t i = 0; i < top.size(); ++i) {
+    headers.push_back("B" + std::to_string(i));
+  }
+  Table table(headers);
+  std::map<storage::BucketIndex, size_t> rank;
+  for (size_t i = 0; i < top.size(); ++i) rank[top[i]] = i;
+
+  std::vector<size_t> window_counts(top.size(), 0);
+  size_t window_start = 0;
+  for (size_t qi = 0; qi < s.trace.size(); ++qi) {
+    auto workloads =
+        query::SplitQueryByBucket(s.trace[qi], s.catalog->bucket_map());
+    for (const auto& w : workloads) {
+      auto it = rank.find(w.bucket);
+      if (it != rank.end()) ++window_counts[it->second];
+    }
+    if ((qi + 1) % kWindow == 0 || qi + 1 == s.trace.size()) {
+      std::vector<std::string> row = {std::to_string(window_start + 1) + "-" +
+                                      std::to_string(qi + 1)};
+      for (size_t c : window_counts) row.push_back(std::to_string(c));
+      table.AddRow(row);
+      window_counts.assign(top.size(), 0);
+      window_start = qi + 1;
+    }
+  }
+  std::printf("%s\n", table.ToText().c_str());
+  (void)table.WriteCsv("fig5_bucket_reuse.csv");
+
+  double frac = workload::TopKTouchFraction(s.trace,
+                                            s.catalog->bucket_map(), 10);
+  std::printf("queries touching a top-10 bucket: %.1f%% (paper: 61%%)\n",
+              frac * 100.0);
+}
+
+}  // namespace
+}  // namespace liferaft::bench
+
+int main() {
+  liferaft::bench::Run();
+  return 0;
+}

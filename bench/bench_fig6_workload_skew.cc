@@ -1,0 +1,64 @@
+// Reproduces Figure 6: cumulative workload (cross-match objects) by bucket.
+//
+//   Paper shapes to verify:
+//   * a small head of buckets carries half the workload (the paper's 6 TB /
+//     20,000-bucket archive: ~2%; on our 500-bucket scaled catalog a single
+//     hotspot footprint spans ~5% of the buckets, so the achievable analog
+//     is mid-single-digit percent — see EXPERIMENTS.md);
+//   * a long tail of barely-touched buckets that is susceptible to
+//     starvation under greedy scheduling.
+
+#include "bench/bench_common.h"
+
+namespace liferaft::bench {
+namespace {
+
+void Run() {
+  Banner("Figure 6: cumulative workload by bucket");
+  Standard s = BuildStandard();
+
+  auto touches =
+      workload::CharacterizeTrace(s.trace, s.catalog->bucket_map());
+  uint64_t total = 0;
+  for (const auto& t : touches) total += t.workload_objects;
+
+  Table table({"bucket_rank_pct", "cumulative_workload_pct"});
+  uint64_t acc = 0;
+  size_t next_report = 0;
+  const double checkpoints[] = {0.01, 0.02, 0.05, 0.1, 0.2,
+                                0.3,  0.5,  0.7,  0.9, 1.0};
+  size_t ci = 0;
+  for (size_t i = 0; i < touches.size() && ci < std::size(checkpoints);
+       ++i) {
+    acc += touches[i].workload_objects;
+    double rank_frac =
+        static_cast<double>(i + 1) / s.catalog->num_buckets();
+    while (ci < std::size(checkpoints) && rank_frac >= checkpoints[ci]) {
+      table.AddRow({Table::Num(checkpoints[ci] * 100, 0),
+                    Table::Num(100.0 * acc / total, 1)});
+      ++ci;
+    }
+  }
+  (void)next_report;
+  std::printf("%s\n", table.ToText().c_str());
+  (void)table.WriteCsv("fig6_workload_skew.csv");
+
+  for (double mass : {0.5, 0.8}) {
+    double frac = workload::BucketFractionForMass(
+        touches, s.catalog->num_buckets(), mass);
+    std::printf("buckets holding %.0f%% of workload: %.1f%%%s\n",
+                mass * 100, frac * 100,
+                mass == 0.5 ? "  (paper: ~2% at 20k-bucket scale)" : "");
+  }
+  size_t untouched = s.catalog->num_buckets() - touches.size();
+  std::printf("buckets never touched: %zu of %zu\n", untouched,
+              s.catalog->num_buckets());
+}
+
+}  // namespace
+}  // namespace liferaft::bench
+
+int main() {
+  liferaft::bench::Run();
+  return 0;
+}

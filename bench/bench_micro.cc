@@ -1,0 +1,149 @@
+// Microbenchmarks (google-benchmark) for the hot substrate operations:
+// HTM point location and cone covers, B+tree range scans, the merge and
+// zones cross-match kernels, and the LRU cache. These are the real-CPU
+// costs under the simulator's virtual-time experiments; regressions here
+// inflate wall-clock for every figure bench.
+
+#include <benchmark/benchmark.h>
+
+#include "htm/cover.h"
+#include "htm/htm.h"
+#include "join/merge_join.h"
+#include "join/zones.h"
+#include "query/query.h"
+#include "storage/btree.h"
+#include "storage/bucket_cache.h"
+#include "storage/catalog.h"
+#include "storage/mem_store.h"
+#include "storage/partitioner.h"
+#include "util/random.h"
+#include "workload/catalog_gen.h"
+
+namespace liferaft {
+namespace {
+
+void BM_HtmPointToId(benchmark::State& state) {
+  const int level = static_cast<int>(state.range(0));
+  Rng rng(11);
+  std::vector<Vec3> points;
+  for (int i = 0; i < 1024; ++i) {
+    points.push_back(
+        Vec3{rng.Normal(), rng.Normal(), rng.Normal()}.Normalized());
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(htm::PointToId(points[i++ & 1023], level));
+  }
+}
+BENCHMARK(BM_HtmPointToId)->Arg(6)->Arg(14)->Arg(20);
+
+void BM_HtmCoverCircle(benchmark::State& state) {
+  const double radius_arcsec = static_cast<double>(state.range(0));
+  Rng rng(13);
+  std::vector<SkyPoint> centers;
+  for (int i = 0; i < 256; ++i) {
+    centers.push_back(workload::RandomSkyPoint(&rng));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(htm::CoverCircle(
+        centers[i++ & 255], radius_arcsec / kArcsecPerDeg, 14, 8));
+  }
+}
+BENCHMARK(BM_HtmCoverCircle)->Arg(3)->Arg(60)->Arg(3600);
+
+std::vector<storage::CatalogObject> BenchObjects(size_t n) {
+  workload::CatalogGenConfig gen;
+  gen.num_objects = n;
+  gen.seed = 29;
+  auto objects = workload::GenerateCatalog(gen);
+  std::sort(objects->begin(), objects->end(), storage::ObjectHtmLess);
+  return std::move(*objects);
+}
+
+void BM_BTreeRangeScan(benchmark::State& state) {
+  auto objects = BenchObjects(100'000);
+  auto tree = storage::BTreeIndex::BulkLoad(objects);
+  Rng rng(31);
+  const uint64_t span = (htm::LevelMax(14) - htm::LevelMin(14)) / 1000;
+  for (auto _ : state) {
+    htm::HtmId lo = htm::LevelMin(14) +
+                    rng.UniformU64(htm::LevelMax(14) - htm::LevelMin(14) -
+                                   span);
+    uint64_t n = 0;
+    tree->RangeScan(lo, lo + span,
+                    [&](const storage::CatalogObject&) { ++n; });
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_BTreeRangeScan);
+
+struct JoinFixture {
+  storage::Bucket bucket;
+  std::vector<query::WorkloadEntry> batch;
+
+  static JoinFixture Make(size_t bucket_objects, size_t queue_objects) {
+    Rng rng(37);
+    SkyPoint center{120.0, 10.0};
+    std::vector<storage::CatalogObject> objects;
+    for (size_t i = 0; i < bucket_objects; ++i) {
+      objects.push_back(storage::MakeObject(
+          i, workload::RandomPointInCap(&rng, center, 3.0)));
+    }
+    std::sort(objects.begin(), objects.end(), storage::ObjectHtmLess);
+    query::WorkloadEntry entry;
+    entry.query_id = 1;
+    for (size_t i = 0; i < queue_objects; ++i) {
+      entry.objects.push_back(query::MakeQueryObject(
+          i, workload::RandomPointInCap(&rng, center, 3.0), 10.0));
+    }
+    return JoinFixture{
+        storage::Bucket(0,
+                        htm::IdRange{htm::LevelMin(htm::kObjectLevel),
+                                     htm::LevelMax(htm::kObjectLevel)},
+                        std::move(objects)),
+        {std::move(entry)}};
+  }
+};
+
+void BM_MergeCrossMatch(benchmark::State& state) {
+  auto fixture = JoinFixture::Make(10'000,
+                                   static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto counters = join::MergeCrossMatch(fixture.bucket, fixture.batch,
+                                          nullptr);
+    benchmark::DoNotOptimize(counters);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MergeCrossMatch)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ZonesCrossMatch(benchmark::State& state) {
+  auto fixture = JoinFixture::Make(10'000,
+                                   static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto counters = join::ZonesCrossMatch(fixture.bucket, fixture.batch,
+                                          10.0 / kArcsecPerDeg, nullptr);
+    benchmark::DoNotOptimize(counters);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ZonesCrossMatch)->Arg(100)->Arg(1000);
+
+void BM_BucketCacheGet(benchmark::State& state) {
+  auto partition = storage::PartitionCatalog(BenchObjects(50'000), 1000);
+  storage::MemStore store(std::move(*partition));
+  storage::BucketCache cache(&store, 20);
+  Rng rng(41);
+  ZipfDistribution zipf(store.num_buckets(), 1.1);
+  for (auto _ : state) {
+    auto b = cache.Get(static_cast<storage::BucketIndex>(zipf.Sample(&rng)));
+    benchmark::DoNotOptimize(b);
+  }
+}
+BENCHMARK(BM_BucketCacheGet);
+
+}  // namespace
+}  // namespace liferaft
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Federated cross-match: three archives ("twomass", "sdss", "usnob") each
+// running their own LifeRaft instance, executing a SkyQuery-style serial
+// left-deep plan in which each site's matches ship to the next site as its
+// query objects.
+//
+//   $ ./federation_demo
+
+#include <cstdio>
+
+#include "federation/federation.h"
+#include "util/random.h"
+#include "workload/catalog_gen.h"
+
+using namespace liferaft;
+
+namespace {
+
+// All surveys observe the same sky: shared true star positions plus
+// per-site ~1 arcsec astrometric jitter. Cross-matching recovers the
+// common objects.
+std::vector<SkyPoint> TrueStars(size_t n) {
+  Rng rng(515);
+  std::vector<SkyPoint> stars;
+  stars.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    stars.push_back(workload::RandomPointInCap(&rng, {180.0, 30.0}, 12.0));
+  }
+  return stars;
+}
+
+std::unique_ptr<core::LifeRaft> MakeSite(const std::vector<SkyPoint>& stars,
+                                         uint64_t seed,
+                                         double detection_rate) {
+  Rng rng(seed);
+  std::vector<storage::CatalogObject> objects;
+  const double jitter = 1.0 / kArcsecPerDeg;
+  for (size_t i = 0; i < stars.size(); ++i) {
+    if (!rng.Bernoulli(detection_rate)) continue;  // not every survey sees
+    SkyPoint p = stars[i];                         // every star
+    p.ra_deg += rng.Normal(0, jitter);
+    p.dec_deg += rng.Normal(0, jitter);
+    objects.push_back(storage::MakeObject(
+        objects.size(), p, static_cast<float>(rng.UniformDouble(14, 22)),
+        static_cast<float>(rng.Normal(0.6, 0.4))));
+  }
+  core::LifeRaftOptions options;
+  options.objects_per_bucket = 500;
+  auto system = core::LifeRaft::Create(std::move(objects), options);
+  if (!system.ok()) {
+    std::fprintf(stderr, "site build failed: %s\n",
+                 system.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(*system);
+}
+
+}  // namespace
+
+int main() {
+  auto stars = TrueStars(30'000);
+
+  federation::Federation fed;
+  if (!fed.AddSite("twomass", MakeSite(stars, 101, 0.95)).ok()) return 1;
+  if (!fed.AddSite("sdss", MakeSite(stars, 102, 0.90)).ok()) return 1;
+  if (!fed.AddSite("usnob", MakeSite(stars, 103, 0.85)).ok()) return 1;
+  std::printf("federation ready: %zu sites over %zu shared stars\n\n",
+              fed.num_sites(), stars.size());
+
+  // Cross-match 500 target positions through all three archives.
+  federation::CrossMatchPlan plan;
+  plan.query_id = 1;
+  plan.archives = {"twomass", "sdss", "usnob"};
+  plan.radius_arcsec = 5.0;
+  for (int i = 0; i < 500; ++i) {
+    plan.seed_objects.push_back(
+        query::MakeQueryObject(i, stars[static_cast<size_t>(i) * 7], 5.0));
+  }
+
+  auto result = fed.ExecutePlan(plan);
+  if (!result.ok()) {
+    std::fprintf(stderr, "plan failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("serial left-deep cross-match %s:\n", "twomass x sdss x usnob");
+  for (size_t hop = 0; hop < result->objects_per_hop.size(); ++hop) {
+    std::printf("  hop %zu (%s): %zu objects shipped in\n", hop + 1,
+                plan.archives[hop].c_str(), result->objects_per_hop[hop]);
+  }
+  std::printf("  survivors of all three archives: %zu of %zu seeds\n",
+              result->survivors.size(), plan.seed_objects.size());
+  std::printf("  total modeled latency: %.2f s (processing + shipping)\n",
+              result->total_latency_ms / 1000.0);
+  std::printf(
+      "\neach site batches the sub-queries it receives independently\n"
+      "(paper §6: federation sites schedule autonomously).\n");
+  return 0;
+}

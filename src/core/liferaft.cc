@@ -1,0 +1,104 @@
+#include "core/liferaft.h"
+
+#include "query/preprocessor.h"
+
+namespace liferaft::core {
+
+Result<std::unique_ptr<LifeRaft>> LifeRaft::Create(
+    std::vector<storage::CatalogObject> catalog_objects,
+    const LifeRaftOptions& options) {
+  LIFERAFT_RETURN_IF_ERROR(options.Validate());
+
+  auto system = std::unique_ptr<LifeRaft>(new LifeRaft());
+  system->options_ = options;
+
+  storage::CatalogOptions catalog_options;
+  catalog_options.objects_per_bucket = options.objects_per_bucket;
+  catalog_options.build_index = options.build_index;
+  LIFERAFT_ASSIGN_OR_RETURN(
+      system->catalog_,
+      storage::Catalog::Build(std::move(catalog_objects), catalog_options));
+
+  system->cache_ = std::make_unique<storage::BucketCache>(
+      system->catalog_->store(), options.cache_capacity);
+  system->evaluator_ = std::make_unique<join::JoinEvaluator>(
+      system->cache_.get(), system->catalog_->index(),
+      storage::DiskModel(options.disk), options.hybrid);
+  system->manager_ = std::make_unique<query::WorkloadManager>(
+      system->catalog_->num_buckets());
+
+  sched::LifeRaftConfig sched_config;
+  sched_config.alpha = options.alpha;
+  sched_config.normalization = options.normalization;
+  sched_config.qos = options.qos;
+  system->scheduler_ = std::make_unique<sched::LifeRaftScheduler>(
+      system->catalog_->store(), storage::DiskModel(options.disk),
+      sched_config);
+  return system;
+}
+
+Status LifeRaft::Submit(const query::CrossMatchQuery& query) {
+  if (query.objects.empty()) {
+    return Status::InvalidArgument("query " + std::to_string(query.id) +
+                                   " has no objects");
+  }
+  query::CrossMatchQuery stamped;
+  stamped.id = query.id;
+  stamped.arrival_ms = std::max(query.arrival_ms, clock_.NowMs());
+  stamped.predicate = query.predicate;
+  stamped.label = query.label;
+
+  auto workloads = query::SplitQueryByBucket(query, catalog_->bucket_map());
+  LIFERAFT_ASSIGN_OR_RETURN(size_t parts,
+                            manager_->Admit(stamped, workloads));
+  (void)parts;
+  arrivals_[query.id] = stamped.arrival_ms;
+  return Status::OK();
+}
+
+Result<std::optional<BatchOutcome>> LifeRaft::ProcessNextBatch(
+    bool collect_matches) {
+  auto cached = [this](storage::BucketIndex b) {
+    return cache_->Contains(b);
+  };
+  std::optional<storage::BucketIndex> pick =
+      scheduler_->PickBucket(*manager_, clock_.NowMs(), cached);
+  if (!pick.has_value()) return std::optional<BatchOutcome>{};
+
+  BatchOutcome outcome;
+  outcome.bucket = *pick;
+  std::vector<query::WorkloadEntry> entries =
+      manager_->TakeBucket(*pick, &outcome.completed);
+  LIFERAFT_ASSIGN_OR_RETURN(
+      join::BatchResult result,
+      evaluator_->EvaluateBucket(*pick, entries, collect_matches));
+  clock_.Advance(result.cost_ms);
+
+  outcome.strategy = result.strategy;
+  outcome.cache_hit = result.cache_hit;
+  outcome.cost_ms = result.cost_ms;
+  outcome.matches = std::move(result.matches);
+
+  for (query::QueryId id : outcome.completed) {
+    auto it = arrivals_.find(id);
+    TimeMs arrival = it == arrivals_.end() ? 0.0 : it->second;
+    completions_.push_back(QueryCompletion{id, arrival, clock_.NowMs()});
+    if (it != arrivals_.end()) arrivals_.erase(it);
+  }
+  return std::optional<BatchOutcome>(std::move(outcome));
+}
+
+Result<std::vector<QueryCompletion>> LifeRaft::Drain(
+    const std::function<void(const BatchOutcome&)>& on_batch) {
+  size_t first_new = completions_.size();
+  for (;;) {
+    LIFERAFT_ASSIGN_OR_RETURN(std::optional<BatchOutcome> outcome,
+                              ProcessNextBatch(on_batch != nullptr));
+    if (!outcome.has_value()) break;
+    if (on_batch != nullptr) on_batch(*outcome);
+  }
+  return std::vector<QueryCompletion>(completions_.begin() + first_new,
+                                      completions_.end());
+}
+
+}  // namespace liferaft::core

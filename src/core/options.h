@@ -1,0 +1,44 @@
+// Top-level configuration of a LifeRaft instance, aggregating every layer's
+// knobs with paper defaults.
+
+#ifndef LIFERAFT_CORE_OPTIONS_H_
+#define LIFERAFT_CORE_OPTIONS_H_
+
+#include <cstddef>
+
+#include "join/hybrid.h"
+#include "sched/metric.h"
+#include "sched/qos.h"
+#include "storage/disk_model.h"
+#include "util/status.h"
+
+namespace liferaft::core {
+
+/// Options for LifeRaft::Create. Defaults follow the paper's experimental
+/// configuration (scaled: see DESIGN.md §5).
+struct LifeRaftOptions {
+  /// Equal-count partitioning target (paper: 10,000 objects = 40 MB).
+  size_t objects_per_bucket = 1000;
+  /// Bucket cache capacity in buckets (paper: 20).
+  size_t cache_capacity = 20;
+  /// Age bias alpha in [0, 1]: 0 = greedy most-contentious-first,
+  /// 1 = arrival order.
+  double alpha = 0.25;
+  /// U_a blending mode (see sched/metric.h).
+  sched::MetricNormalization normalization =
+      sched::MetricNormalization::kNormalized;
+  /// Hybrid join configuration (index threshold ~3%).
+  join::HybridConfig hybrid;
+  /// Disk cost model (defaults calibrated to T_b = 1.2 s, T_m = 0.13 ms).
+  storage::DiskModelParams disk;
+  /// Optional QoS age depreciation (paper §6 future work).
+  sched::QosConfig qos;
+  /// Build the B+tree spatial index (required for the hybrid indexed path).
+  bool build_index = true;
+
+  Status Validate() const;
+};
+
+}  // namespace liferaft::core
+
+#endif  // LIFERAFT_CORE_OPTIONS_H_

@@ -1,0 +1,223 @@
+#include "federation/federation.h"
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace liferaft::federation {
+
+Status Federation::AddSite(const std::string& name,
+                           std::unique_ptr<core::LifeRaft> system) {
+  if (system == nullptr) {
+    return Status::InvalidArgument("null site system");
+  }
+  auto [it, inserted] = sites_.emplace(name, std::move(system));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("site '" + name + "' already registered");
+  }
+  return Status::OK();
+}
+
+core::LifeRaft* Federation::site(const std::string& name) {
+  auto it = sites_.find(name);
+  return it == sites_.end() ? nullptr : it->second.get();
+}
+
+Result<FederatedResult> Federation::ExecutePlan(const CrossMatchPlan& plan) {
+  if (plan.archives.empty()) {
+    return Status::InvalidArgument("plan has no archives");
+  }
+  if (plan.seed_objects.empty()) {
+    return Status::InvalidArgument("plan has no seed objects");
+  }
+  for (const std::string& name : plan.archives) {
+    if (sites_.count(name) == 0) {
+      return Status::NotFound("unknown archive '" + name + "'");
+    }
+  }
+
+  FederatedResult result;
+  result.query_id = plan.query_id;
+  std::vector<query::QueryObject> current = plan.seed_objects;
+
+  for (const std::string& name : plan.archives) {
+    if (current.empty()) break;  // nothing survived the previous hop
+    result.objects_per_hop.push_back(current.size());
+
+    // Ship intermediates to the site.
+    result.total_latency_ms += network_.ShipCostMs(current.size());
+
+    core::LifeRaft* site_system = sites_.at(name).get();
+    query::CrossMatchQuery hop_query;
+    hop_query.id = next_internal_id_++;
+    hop_query.predicate = plan.predicate;
+    hop_query.label = "federated:" + std::to_string(plan.query_id);
+    hop_query.objects = std::move(current);
+
+    TimeMs before = site_system->now_ms();
+    LIFERAFT_RETURN_IF_ERROR(site_system->Submit(hop_query));
+
+    // Drain this site and collect the hop's matches.
+    std::vector<query::Match> hop_matches;
+    auto drained = site_system->Drain([&](const core::BatchOutcome& batch) {
+      for (const query::Match& m : batch.matches) {
+        if (m.query_id == hop_query.id) hop_matches.push_back(m);
+      }
+    });
+    if (!drained.ok()) return drained.status();
+    result.total_latency_ms += site_system->now_ms() - before;
+
+    // Matched archive objects become the next hop's query objects (their
+    // positions travel in the Match records). A catalog object matched by
+    // several query objects ships once.
+    std::unordered_set<uint64_t> seen;
+    std::vector<query::QueryObject> next;
+    next.reserve(hop_matches.size());
+    for (const query::Match& m : hop_matches) {
+      if (!seen.insert(m.catalog_object_id).second) continue;
+      next.push_back(query::MakeQueryObject(m.catalog_object_id, m.sky(),
+                                            plan.radius_arcsec));
+    }
+    current = std::move(next);
+  }
+  // Survivors of the final hop.
+  result.survivors = std::move(current);
+  return result;
+}
+
+Result<std::vector<FederatedResult>> Federation::ExecutePlansCoordinated(
+    const std::vector<CrossMatchPlan>& plans) {
+  if (plans.empty()) {
+    return Status::InvalidArgument("no plans to execute");
+  }
+  for (const CrossMatchPlan& plan : plans) {
+    if (plan.archives.empty()) {
+      return Status::InvalidArgument("plan has no archives");
+    }
+    if (plan.seed_objects.empty()) {
+      return Status::InvalidArgument("plan has no seed objects");
+    }
+    for (const std::string& name : plan.archives) {
+      if (sites_.count(name) == 0) {
+        return Status::NotFound("unknown archive '" + name + "'");
+      }
+    }
+  }
+
+  struct PlanState {
+    const CrossMatchPlan* plan;
+    FederatedResult result;
+    std::vector<query::QueryObject> current;
+    size_t hop = 0;
+    query::QueryId hop_query_id = 0;
+  };
+  std::vector<PlanState> states;
+  states.reserve(plans.size());
+  for (const CrossMatchPlan& plan : plans) {
+    PlanState state;
+    state.plan = &plan;
+    state.result.query_id = plan.query_id;
+    state.current = plan.seed_objects;
+    states.push_back(std::move(state));
+  }
+
+  size_t max_hops = 0;
+  for (const CrossMatchPlan& plan : plans) {
+    max_hops = std::max(max_hops, plan.archives.size());
+  }
+
+  for (size_t round = 0; round < max_hops; ++round) {
+    // Phase 1: every live plan submits its current hop to its site, so
+    // co-located hops interleave in the same workload queues.
+    std::set<std::string> touched_sites;
+    std::map<std::string, TimeMs> site_start;
+    for (PlanState& state : states) {
+      if (state.hop >= state.plan->archives.size() ||
+          state.current.empty()) {
+        continue;
+      }
+      const std::string& site_name = state.plan->archives[state.hop];
+      core::LifeRaft* site = sites_.at(site_name).get();
+      state.result.objects_per_hop.push_back(state.current.size());
+      state.result.total_latency_ms +=
+          network_.ShipCostMs(state.current.size());
+
+      query::CrossMatchQuery hop_query;
+      hop_query.id = state.hop_query_id = next_internal_id_++;
+      hop_query.predicate = state.plan->predicate;
+      hop_query.label = "coordinated:" +
+                        std::to_string(state.plan->query_id);
+      hop_query.objects = std::move(state.current);
+      if (touched_sites.insert(site_name).second) {
+        site_start[site_name] = site->now_ms();
+      }
+      LIFERAFT_RETURN_IF_ERROR(site->Submit(hop_query));
+    }
+    if (touched_sites.empty()) break;
+
+    // Phase 2: drain each touched site once; the shared batches serve all
+    // co-round plans together. Route matches back by hop query id.
+    std::map<query::QueryId, std::vector<query::QueryObject>> next_objects;
+    std::map<query::QueryId, std::unordered_set<uint64_t>> seen;
+    for (const std::string& site_name : touched_sites) {
+      core::LifeRaft* site = sites_.at(site_name).get();
+      std::map<query::QueryId, const PlanState*> by_hop_id;
+      for (PlanState& state : states) {
+        if (state.hop_query_id != 0) by_hop_id[state.hop_query_id] = &state;
+      }
+      auto drained = site->Drain([&](const core::BatchOutcome& batch) {
+        for (const query::Match& m : batch.matches) {
+          auto it = by_hop_id.find(m.query_id);
+          if (it == by_hop_id.end()) continue;
+          if (!seen[m.query_id].insert(m.catalog_object_id).second) {
+            continue;
+          }
+          next_objects[m.query_id].push_back(query::MakeQueryObject(
+              m.catalog_object_id, m.sky(), it->second->plan->radius_arcsec));
+        }
+      });
+      if (!drained.ok()) return drained.status();
+      TimeMs site_time = site->now_ms() - site_start[site_name];
+      // Every plan that visited this site this round waits for the shared
+      // drain (batch processing trades latency for shared I/O).
+      for (PlanState& state : states) {
+        if (state.hop < state.plan->archives.size() &&
+            state.hop_query_id != 0 &&
+            state.plan->archives[state.hop] == site_name) {
+          state.result.total_latency_ms += site_time;
+        }
+      }
+    }
+
+    // Phase 3: advance plans.
+    for (PlanState& state : states) {
+      if (state.hop_query_id == 0) continue;
+      auto it = next_objects.find(state.hop_query_id);
+      state.current = it == next_objects.end()
+                          ? std::vector<query::QueryObject>{}
+                          : std::move(it->second);
+      state.hop_query_id = 0;
+      ++state.hop;
+    }
+  }
+
+  std::vector<FederatedResult> results;
+  results.reserve(states.size());
+  for (PlanState& state : states) {
+    state.result.survivors = std::move(state.current);
+    results.push_back(std::move(state.result));
+  }
+  return results;
+}
+
+uint64_t Federation::TotalBucketReads() const {
+  uint64_t total = 0;
+  for (const auto& [_, site] : sites_) {
+    total += site->catalog().store()->stats().bucket_reads;
+  }
+  return total;
+}
+
+}  // namespace liferaft::federation

@@ -1,0 +1,40 @@
+#include "geom/spherical.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace liferaft {
+
+Vec3 SkyToUnitVector(const SkyPoint& p) {
+  double ra = p.ra_deg * kDegToRad;
+  double dec = p.dec_deg * kDegToRad;
+  double cd = std::cos(dec);
+  return {cd * std::cos(ra), cd * std::sin(ra), std::sin(dec)};
+}
+
+SkyPoint UnitVectorToSky(const Vec3& v) {
+  SkyPoint p;
+  p.dec_deg = std::asin(std::clamp(v.z, -1.0, 1.0)) * kRadToDeg;
+  p.ra_deg = std::atan2(v.y, v.x) * kRadToDeg;
+  if (p.ra_deg < 0.0) p.ra_deg += 360.0;
+  return p;
+}
+
+double AngularSeparationDeg(const SkyPoint& a, const SkyPoint& b) {
+  return AngleBetween(SkyToUnitVector(a), SkyToUnitVector(b)) * kRadToDeg;
+}
+
+double AngularSeparationArcsec(const SkyPoint& a, const SkyPoint& b) {
+  return AngularSeparationDeg(a, b) * kArcsecPerDeg;
+}
+
+bool Cap::Contains(const Vec3& v) const {
+  double cos_r = std::cos(radius_deg * kDegToRad);
+  return center.Dot(v) >= cos_r - 1e-15;
+}
+
+Cap MakeCap(const SkyPoint& center, double radius_deg) {
+  return Cap{SkyToUnitVector(center), radius_deg};
+}
+
+}  // namespace liferaft

@@ -1,0 +1,51 @@
+// Spherical coordinates (right ascension / declination in degrees, as used
+// by astronomy archives) and conversions to unit cartesian vectors.
+
+#ifndef LIFERAFT_GEOM_SPHERICAL_H_
+#define LIFERAFT_GEOM_SPHERICAL_H_
+
+#include "geom/vec3.h"
+
+namespace liferaft {
+
+/// Degrees <-> radians.
+constexpr double kDegToRad = 0.017453292519943295;
+constexpr double kRadToDeg = 57.29577951308232;
+/// Arcseconds per degree.
+constexpr double kArcsecPerDeg = 3600.0;
+
+/// Sky position: right ascension in [0, 360) degrees, declination in
+/// [-90, 90] degrees.
+struct SkyPoint {
+  double ra_deg = 0.0;
+  double dec_deg = 0.0;
+};
+
+/// Converts RA/Dec (degrees) to a unit cartesian vector.
+Vec3 SkyToUnitVector(const SkyPoint& p);
+
+/// Converts a unit cartesian vector to RA/Dec (degrees). RA is normalized
+/// to [0, 360).
+SkyPoint UnitVectorToSky(const Vec3& v);
+
+/// Angular separation between two sky points in degrees.
+double AngularSeparationDeg(const SkyPoint& a, const SkyPoint& b);
+
+/// Angular separation between two sky points in arcseconds.
+double AngularSeparationArcsec(const SkyPoint& a, const SkyPoint& b);
+
+/// Spherical cap: all points within `radius_deg` of `center`.
+struct Cap {
+  Vec3 center;        // unit vector
+  double radius_deg = 0.0;
+
+  /// True if unit vector `v` lies inside (or on) the cap.
+  bool Contains(const Vec3& v) const;
+};
+
+/// Builds a cap from a sky-coordinate center and radius in degrees.
+Cap MakeCap(const SkyPoint& center, double radius_deg);
+
+}  // namespace liferaft
+
+#endif  // LIFERAFT_GEOM_SPHERICAL_H_

@@ -1,0 +1,14 @@
+#include "geom/vec3.h"
+
+#include <algorithm>
+
+namespace liferaft {
+
+double AngleBetween(const Vec3& a, const Vec3& b) {
+  // atan2 of (|cross|, dot) is accurate for both tiny and near-pi angles,
+  // unlike acos(dot) which loses precision near the endpoints.
+  Vec3 c = a.Cross(b);
+  return std::atan2(c.Norm(), a.Dot(b));
+}
+
+}  // namespace liferaft

@@ -1,0 +1,57 @@
+// 3-vector math on the unit sphere. Celestial object positions are stored as
+// unit cartesian vectors; angular separations are computed from dot products,
+// which is numerically better-behaved than haversine at the sub-arcsecond
+// scales cross-match error radii use.
+
+#ifndef LIFERAFT_GEOM_VEC3_H_
+#define LIFERAFT_GEOM_VEC3_H_
+
+#include <cmath>
+
+namespace liferaft {
+
+/// Double-precision 3-vector.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double xx, double yy, double zz) : x(xx), y(yy), z(zz) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+
+  constexpr double Dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+  constexpr Vec3 Cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+
+  double Norm() const { return std::sqrt(Dot(*this)); }
+
+  /// Returns this vector scaled to unit length. Returns the input unchanged
+  /// if its norm is zero.
+  Vec3 Normalized() const {
+    double n = Norm();
+    if (n == 0.0) return *this;
+    return {x / n, y / n, z / n};
+  }
+
+  bool operator==(const Vec3& o) const {
+    return x == o.x && y == o.y && z == o.z;
+  }
+};
+
+/// Angle between two unit vectors in radians, robust near 0 and pi.
+double AngleBetween(const Vec3& a, const Vec3& b);
+
+}  // namespace liferaft
+
+#endif  // LIFERAFT_GEOM_VEC3_H_

@@ -1,0 +1,89 @@
+#include "htm/cover.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace liferaft::htm {
+namespace {
+
+// True if the great-circle arc from `a` to `b` intersects the boundary or
+// interior of `cap`.
+bool EdgeIntersectsCap(const Vec3& a, const Vec3& b, const Cap& cap) {
+  const double r_rad = cap.radius_deg * kDegToRad;
+  Vec3 n = a.Cross(b);
+  double n_norm = n.Norm();
+  if (n_norm == 0.0) return false;  // degenerate edge
+  n = n * (1.0 / n_norm);
+  // Angular distance from the cap center to the edge's great circle.
+  double sin_d = std::abs(n.Dot(cap.center));
+  double d = std::asin(std::clamp(sin_d, 0.0, 1.0));
+  if (d > r_rad) return false;  // circle never gets close enough
+  // Closest point on the great circle to the cap center.
+  Vec3 p = (cap.center - n * n.Dot(cap.center)).Normalized();
+  // The circle's points inside the cap form an arc of half-length lambda
+  // around p: cos(r) = cos(d) * cos(lambda).
+  double cos_d = std::cos(d);
+  if (cos_d <= 0.0) return false;
+  double cos_lambda = std::clamp(std::cos(r_rad) / cos_d, -1.0, 1.0);
+  double lambda = std::acos(cos_lambda);
+  Vec3 axis = n.Cross(p);  // tangent direction along the circle at p
+  auto on_arc = [&](const Vec3& q) {
+    // q lies on the a->b arc iff it is on the inner side of both arc
+    // endpoints' half-planes.
+    return a.Cross(q).Dot(n) >= -1e-15 && q.Cross(b).Dot(n) >= -1e-15;
+  };
+  Vec3 q_plus = (p * std::cos(lambda) + axis * std::sin(lambda)).Normalized();
+  Vec3 q_minus = (p * std::cos(lambda) - axis * std::sin(lambda)).Normalized();
+  return on_arc(p) || on_arc(q_plus) || on_arc(q_minus);
+}
+
+void CoverRecurse(const Trixel& t, const Cap& cap, int level,
+                  size_t max_ranges, RangeSet* out) {
+  Coverage c = ClassifyTrixel(t, cap);
+  if (c == Coverage::kDisjoint) return;
+  int t_level = LevelOf(t.id());
+  if (c == Coverage::kFull || t_level == level ||
+      (max_ranges != 0 && out->size() >= max_ranges)) {
+    out->Add(RangeLo(t.id(), level), RangeHi(t.id(), level));
+    return;
+  }
+  for (int i = 0; i < 4; ++i) {
+    CoverRecurse(t.Child(i), cap, level, max_ranges, out);
+  }
+}
+
+}  // namespace
+
+Coverage ClassifyTrixel(const Trixel& t, const Cap& cap) {
+  int inside = 0;
+  for (int i = 0; i < 3; ++i) {
+    if (cap.Contains(t.v(i))) ++inside;
+  }
+  if (inside == 3) return Coverage::kFull;  // caps < 90 deg are convex
+  if (inside > 0) return Coverage::kPartial;
+  // No corner inside. The cap may still poke through an edge or sit
+  // entirely within the trixel.
+  if (t.Contains(cap.center)) return Coverage::kPartial;
+  for (int i = 0; i < 3; ++i) {
+    if (EdgeIntersectsCap(t.v(i), t.v((i + 1) % 3), cap)) {
+      return Coverage::kPartial;
+    }
+  }
+  return Coverage::kDisjoint;
+}
+
+RangeSet CoverCap(const Cap& cap, int level, size_t max_ranges) {
+  RangeSet out;
+  for (int i = 0; i < kNumRoots; ++i) {
+    CoverRecurse(Trixel::Root(i), cap, level, max_ranges, &out);
+  }
+  return out;
+}
+
+RangeSet CoverCircle(const SkyPoint& center, double radius_deg, int level,
+                     size_t max_ranges) {
+  return CoverCap(MakeCap(center, radius_deg), level, max_ranges);
+}
+
+}  // namespace liferaft::htm

@@ -1,0 +1,45 @@
+// Cone (spherical-cap) covers: the coarse filter that maps a cross-match
+// error circle to the set of level-L HTM IDs it may touch.
+//
+// The cover is conservative — it never omits a trixel that intersects the
+// cap — so the exact angular-distance test in the join's refinement step is
+// the only place correctness is decided. Over-coverage only costs a little
+// extra candidate filtering.
+
+#ifndef LIFERAFT_HTM_COVER_H_
+#define LIFERAFT_HTM_COVER_H_
+
+#include "geom/spherical.h"
+#include "htm/range_set.h"
+#include "htm/trixel.h"
+
+namespace liferaft::htm {
+
+/// Relationship between a trixel and a cap.
+enum class Coverage {
+  kDisjoint,  ///< provably no intersection
+  kPartial,   ///< boundary crosses (or undecided conservatively)
+  kFull,      ///< trixel entirely inside the cap
+};
+
+/// Classifies trixel-vs-cap coverage. Exact for kFull (convexity of caps
+/// with radius < 90 degrees); kDisjoint is only reported when provable, so
+/// kPartial may include rare false positives but never false negatives.
+Coverage ClassifyTrixel(const Trixel& t, const Cap& cap);
+
+/// Computes the set of level-`level` trixel IDs intersecting `cap`, as a
+/// normalized range set over level-`level` IDs.
+///
+/// Recursion descends only into partial trixels; full trixels contribute
+/// their whole descendant range in O(1). `max_ranges` bounds output size by
+/// stopping subdivision early (keeping the cover conservative); 0 means
+/// unlimited.
+RangeSet CoverCap(const Cap& cap, int level, size_t max_ranges = 0);
+
+/// Convenience: cover of the error circle around a sky position.
+RangeSet CoverCircle(const SkyPoint& center, double radius_deg, int level,
+                     size_t max_ranges = 0);
+
+}  // namespace liferaft::htm
+
+#endif  // LIFERAFT_HTM_COVER_H_

@@ -1,0 +1,45 @@
+#include "htm/htm.h"
+
+#include <cassert>
+
+namespace liferaft::htm {
+
+HtmId PointToId(const Vec3& p, int level) {
+  assert(level >= 0 && level <= kMaxLevel);
+  Vec3 u = p.Normalized();
+  // Locate the root trixel. The roots tile the sphere, so at least one
+  // must contain u; boundary points may match several and we take the
+  // first for determinism.
+  int root = -1;
+  for (int i = 0; i < kNumRoots; ++i) {
+    if (Trixel::Root(i).Contains(u)) {
+      root = i;
+      break;
+    }
+  }
+  assert(root >= 0);
+  Trixel t = Trixel::Root(root);
+  for (int l = 0; l < level; ++l) {
+    bool found = false;
+    for (int c = 0; c < 3; ++c) {
+      Trixel child = t.Child(c);
+      if (child.Contains(u)) {
+        t = child;
+        found = true;
+        break;
+      }
+    }
+    if (!found) t = t.Child(3);  // the middle child covers the remainder
+  }
+  return t.id();
+}
+
+HtmId PointToId(const SkyPoint& p, int level) {
+  return PointToId(SkyToUnitVector(p), level);
+}
+
+SkyPoint IdToCenter(HtmId id) {
+  return UnitVectorToSky(Trixel::FromId(id).Centroid());
+}
+
+}  // namespace liferaft::htm

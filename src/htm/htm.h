@@ -1,0 +1,26 @@
+// Point location in the HTM: sky position -> trixel ID at a given level.
+
+#ifndef LIFERAFT_HTM_HTM_H_
+#define LIFERAFT_HTM_HTM_H_
+
+#include "geom/spherical.h"
+#include "geom/vec3.h"
+#include "htm/htm_id.h"
+#include "htm/trixel.h"
+
+namespace liferaft::htm {
+
+/// Returns the ID of the level-`level` trixel containing unit vector `p`.
+/// Points exactly on trixel boundaries resolve deterministically (first
+/// matching child in child order).
+HtmId PointToId(const Vec3& p, int level = kObjectLevel);
+
+/// Convenience overload for sky coordinates.
+HtmId PointToId(const SkyPoint& p, int level = kObjectLevel);
+
+/// Geometric center of the trixel with the given ID, as a sky point.
+SkyPoint IdToCenter(HtmId id);
+
+}  // namespace liferaft::htm
+
+#endif  // LIFERAFT_HTM_HTM_H_

@@ -1,0 +1,106 @@
+#include "htm/htm_id.h"
+
+#include <bit>
+#include <cassert>
+
+namespace liferaft::htm {
+
+bool IsValidId(HtmId id) {
+  if (id < 8) return false;
+  int width = std::bit_width(id);
+  // A level-L ID uses 4 + 2L bits, so bit_width must be even and the top
+  // two bits must be "10" (i.e. 8 <= id >> 2L <= 15).
+  if (width % 2 != 0) return false;
+  int level = (width - 4) / 2;
+  if (level > kMaxLevel) return false;
+  HtmId root = id >> (2 * level);
+  return root >= 8 && root <= 15;
+}
+
+int LevelOf(HtmId id) {
+  assert(IsValidId(id));
+  return (std::bit_width(id) - 4) / 2;
+}
+
+HtmId ParentOf(HtmId id) {
+  assert(IsValidId(id) && LevelOf(id) >= 1);
+  return id >> 2;
+}
+
+HtmId ChildOf(HtmId id, int child) {
+  assert(IsValidId(id) && child >= 0 && child <= 3);
+  assert(LevelOf(id) < kMaxLevel);
+  return (id << 2) | static_cast<HtmId>(child);
+}
+
+HtmId RangeLo(HtmId id, int level) {
+  int l = LevelOf(id);
+  assert(level >= l && level <= kMaxLevel);
+  return id << (2 * (level - l));
+}
+
+HtmId RangeHi(HtmId id, int level) {
+  int l = LevelOf(id);
+  assert(level >= l && level <= kMaxLevel);
+  int shift = 2 * (level - l);
+  return (id << shift) | ((HtmId{1} << shift) - 1);
+}
+
+HtmId LevelMin(int level) { return HtmId{8} << (2 * level); }
+
+HtmId LevelMax(int level) { return (HtmId{16} << (2 * level)) - 1; }
+
+HtmId AncestorAt(HtmId id, int level) {
+  int l = LevelOf(id);
+  assert(level >= 0 && level <= l);
+  return id >> (2 * (l - level));
+}
+
+std::string IdToName(HtmId id) {
+  assert(IsValidId(id));
+  int level = LevelOf(id);
+  HtmId root = id >> (2 * level);
+  std::string name;
+  // Roots 8..11 are the southern trixels S0..S3; 12..15 are N0..N3.
+  if (root < 12) {
+    name += 'S';
+    name += static_cast<char>('0' + (root - 8));
+  } else {
+    name += 'N';
+    name += static_cast<char>('0' + (root - 12));
+  }
+  for (int l = level - 1; l >= 0; --l) {
+    name += static_cast<char>('0' + ((id >> (2 * l)) & 3));
+  }
+  return name;
+}
+
+Result<HtmId> NameToId(const std::string& name) {
+  if (name.size() < 2) {
+    return Status::InvalidArgument("HTM name too short: '" + name + "'");
+  }
+  HtmId root;
+  if (name[0] == 'S') {
+    root = 8;
+  } else if (name[0] == 'N') {
+    root = 12;
+  } else {
+    return Status::InvalidArgument("HTM name must start with N or S");
+  }
+  if (name[1] < '0' || name[1] > '3') {
+    return Status::InvalidArgument("bad root digit in HTM name");
+  }
+  HtmId id = root + static_cast<HtmId>(name[1] - '0');
+  if (name.size() - 2 > static_cast<size_t>(kMaxLevel)) {
+    return Status::InvalidArgument("HTM name deeper than kMaxLevel");
+  }
+  for (size_t i = 2; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '3') {
+      return Status::InvalidArgument("bad child digit in HTM name");
+    }
+    id = (id << 2) | static_cast<HtmId>(name[i] - '0');
+  }
+  return id;
+}
+
+}  // namespace liferaft::htm

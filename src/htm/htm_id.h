@@ -1,0 +1,74 @@
+// Hierarchical Triangular Mesh identifier arithmetic.
+//
+// The HTM (Kunszt, Szalay et al.) subdivides the sphere into 8 root
+// spherical triangles ("trixels") — the faces of an octahedron — and
+// recursively splits each into 4 children at the edge midpoints. A trixel at
+// level L is named by a 64-bit integer: binary `1 s nn nn ... nn` with one
+// 2-bit child selector per level, so root trixels are IDs 8..15 and a level-L
+// ID lies in [8·4^L, 16·4^L). Level 14 (the level SkyQuery assigns to
+// objects) fits in 32 bits.
+//
+// The numbering is a space-filling curve: trixels adjacent in ID order are
+// spatially close, which is the property LifeRaft's equal-sized bucket
+// partitioning relies on.
+
+#ifndef LIFERAFT_HTM_HTM_ID_H_
+#define LIFERAFT_HTM_HTM_ID_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace liferaft::htm {
+
+/// HTM trixel identifier. Valid IDs are >= 8.
+using HtmId = uint64_t;
+
+/// The level SkyQuery uses for per-object IDs (32-bit).
+inline constexpr int kObjectLevel = 14;
+
+/// Maximum supported subdivision level (IDs stay within 64 bits with room
+/// to spare; 2 + 2·(level+1) bits are used).
+inline constexpr int kMaxLevel = 30;
+
+/// Number of root trixels.
+inline constexpr int kNumRoots = 8;
+
+/// True if `id` encodes a well-formed trixel at some level <= kMaxLevel.
+bool IsValidId(HtmId id);
+
+/// Subdivision level of `id` (0 for roots 8..15). Precondition: IsValidId.
+int LevelOf(HtmId id);
+
+/// Parent trixel. Precondition: LevelOf(id) >= 1.
+HtmId ParentOf(HtmId id);
+
+/// `child` in [0,3]. Precondition: LevelOf(id) < kMaxLevel.
+HtmId ChildOf(HtmId id, int child);
+
+/// First level-`level` descendant of `id` (inclusive lower bound of the
+/// descendant range). Precondition: level >= LevelOf(id).
+HtmId RangeLo(HtmId id, int level);
+
+/// Last level-`level` descendant of `id` (inclusive upper bound).
+HtmId RangeHi(HtmId id, int level);
+
+/// Smallest level-`level` ID (8·4^level).
+HtmId LevelMin(int level);
+
+/// Largest level-`level` ID (16·4^level − 1).
+HtmId LevelMax(int level);
+
+/// Ancestor of `id` at `level`. Precondition: level <= LevelOf(id).
+HtmId AncestorAt(HtmId id, int level);
+
+/// Symbolic name, e.g. "N01" / "S322" (root letter + one digit per level).
+std::string IdToName(HtmId id);
+
+/// Parses a symbolic name back to an ID.
+Result<HtmId> NameToId(const std::string& name);
+
+}  // namespace liferaft::htm
+
+#endif  // LIFERAFT_HTM_HTM_ID_H_

@@ -1,0 +1,45 @@
+#include "join/merge_join.h"
+
+#include "geom/vec3.h"
+
+namespace liferaft::join {
+
+bool WithinRadius(const query::QueryObject& qo,
+                  const storage::CatalogObject& co, double* sep_arcsec) {
+  double sep = AngleBetween(qo.pos, co.pos) * kRadToDeg * kArcsecPerDeg;
+  if (sep_arcsec != nullptr) *sep_arcsec = sep;
+  return sep <= qo.radius_arcsec;
+}
+
+JoinCounters MergeCrossMatch(const storage::Bucket& bucket,
+                             const std::vector<query::WorkloadEntry>& batch,
+                             std::vector<query::Match>* out) {
+  JoinCounters counters;
+  const htm::IdRange bucket_range = bucket.range();
+  for (const query::WorkloadEntry& entry : batch) {
+    for (const query::QueryObject& qo : entry.objects) {
+      ++counters.workload_objects;
+      for (const htm::IdRange& r : qo.htm_ranges.ranges()) {
+        if (!r.Overlaps(bucket_range)) continue;
+        htm::HtmId lo = std::max(r.lo, bucket_range.lo);
+        htm::HtmId hi = std::min(r.hi, bucket_range.hi);
+        for (const storage::CatalogObject& co :
+             bucket.ObjectsInRange(lo, hi)) {
+          ++counters.candidates_tested;
+          double sep = 0.0;
+          if (!WithinRadius(qo, co, &sep)) continue;
+          ++counters.spatial_matches;
+          if (!entry.predicate.Matches(co)) continue;
+          ++counters.output_matches;
+          if (out != nullptr) {
+            out->push_back(query::Match{entry.query_id, qo.id, co.object_id,
+                                        sep, co.ra_deg, co.dec_deg});
+          }
+        }
+      }
+    }
+  }
+  return counters;
+}
+
+}  // namespace liferaft::join

@@ -1,0 +1,44 @@
+// Non-indexed cross-match of one bucket against its workload queue
+// (paper §3.1): objects on both sides are sorted by HTM ID; the join is a
+// simultaneous sweep that, for each workload object's bounding range, visits
+// the bucket objects inside the range and applies the exact angular-distance
+// test. Query-specific predicates are applied to the output tuples that
+// succeed in the spatial join.
+
+#ifndef LIFERAFT_JOIN_MERGE_JOIN_H_
+#define LIFERAFT_JOIN_MERGE_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/workload.h"
+#include "storage/bucket.h"
+
+namespace liferaft::join {
+
+/// Per-join instrumentation.
+struct JoinCounters {
+  /// Workload objects processed (the |W| the cost model charges T_m for).
+  uint64_t workload_objects = 0;
+  /// Candidate pairs that reached the exact distance test.
+  uint64_t candidates_tested = 0;
+  /// Pairs within the error radius (before predicates).
+  uint64_t spatial_matches = 0;
+  /// Pairs surviving predicates (reported matches).
+  uint64_t output_matches = 0;
+};
+
+/// Cross-matches every entry of a bucket's workload batch against the
+/// bucket via sorted-range sweep. Appends matches to `out`.
+JoinCounters MergeCrossMatch(const storage::Bucket& bucket,
+                             const std::vector<query::WorkloadEntry>& batch,
+                             std::vector<query::Match>* out);
+
+/// Exact refinement test shared by all join strategies: true iff the
+/// archive object lies within the query object's error radius.
+bool WithinRadius(const query::QueryObject& qo,
+                  const storage::CatalogObject& co, double* sep_arcsec);
+
+}  // namespace liferaft::join
+
+#endif  // LIFERAFT_JOIN_MERGE_JOIN_H_

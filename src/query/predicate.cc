@@ -1,0 +1,32 @@
+#include "query/predicate.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace liferaft::query {
+
+std::string Predicate::ToString() const {
+  if (IsTrivial()) return "true";
+  std::ostringstream out;
+  bool first = true;
+  auto emit = [&](const std::string& clause) {
+    if (!first) out << " AND ";
+    out << clause;
+    first = false;
+  };
+  if (std::isfinite(min_mag)) {
+    emit("mag >= " + std::to_string(min_mag));
+  }
+  if (std::isfinite(max_mag)) {
+    emit("mag <= " + std::to_string(max_mag));
+  }
+  if (std::isfinite(min_color)) {
+    emit("color >= " + std::to_string(min_color));
+  }
+  if (std::isfinite(max_color)) {
+    emit("color <= " + std::to_string(max_color));
+  }
+  return out.str();
+}
+
+}  // namespace liferaft::query

@@ -1,0 +1,29 @@
+#include "query/preprocessor.h"
+
+#include <map>
+
+namespace liferaft::query {
+
+std::vector<BucketWorkload> SplitQueryByBucket(
+    const CrossMatchQuery& query, const storage::BucketMap& map) {
+  std::map<storage::BucketIndex, std::vector<QueryObject>> by_bucket;
+  for (const QueryObject& o : query.objects) {
+    for (const htm::IdRange& r : o.htm_ranges.ranges()) {
+      auto [lo_bucket, hi_bucket] = map.BucketsOverlapping(r.lo, r.hi);
+      for (storage::BucketIndex b = lo_bucket; b <= hi_bucket; ++b) {
+        auto& vec = by_bucket[b];
+        // The same object may reach this bucket via several of its range
+        // fragments; add it once.
+        if (vec.empty() || vec.back().id != o.id) vec.push_back(o);
+      }
+    }
+  }
+  std::vector<BucketWorkload> out;
+  out.reserve(by_bucket.size());
+  for (auto& [bucket, objects] : by_bucket) {
+    out.push_back(BucketWorkload{bucket, std::move(objects)});
+  }
+  return out;
+}
+
+}  // namespace liferaft::query

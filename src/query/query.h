@@ -1,0 +1,82 @@
+// Cross-match query model (paper §3). A cross-match query arrives at an
+// archive as a list of objects (often intermediate results shipped from
+// another site of the federation); each object carries its mean position,
+// a match error radius, and a bounding range of HTM IDs — the coarse filter
+// that assigns it to buckets.
+
+#ifndef LIFERAFT_QUERY_QUERY_H_
+#define LIFERAFT_QUERY_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/spherical.h"
+#include "geom/vec3.h"
+#include "htm/range_set.h"
+#include "query/predicate.h"
+#include "util/clock.h"
+
+namespace liferaft::query {
+
+using QueryId = uint64_t;
+
+/// One object to be cross-matched against the local archive.
+struct QueryObject {
+  /// Identifier within the parent query (e.g. the row id of the
+  /// intermediate result that produced it).
+  uint64_t id = 0;
+  /// Mean cartesian position (unit vector).
+  Vec3 pos;
+  /// Sky coordinates in degrees.
+  double ra_deg = 0.0;
+  double dec_deg = 0.0;
+  /// Probabilistic match radius in arcseconds (instrument error).
+  double radius_arcsec = 3.0;
+  /// Conservative bounding ranges of level-14 HTM IDs: every archive object
+  /// that could match lies inside one of these ranges. Usually a single
+  /// range; an error circle straddling a mesh-root boundary produces a few
+  /// (bounded) fragments rather than one curve-spanning hull.
+  htm::RangeSet htm_ranges;
+
+  SkyPoint sky() const { return SkyPoint{ra_deg, dec_deg}; }
+};
+
+/// Builds a QueryObject, computing its conservative HTM bounding range from
+/// the error circle.
+QueryObject MakeQueryObject(uint64_t id, const SkyPoint& p,
+                            double radius_arcsec = 3.0);
+
+/// A cross-match query as seen by one archive: the batch of objects to
+/// match, plus post-join predicates. `arrival_ms` is stamped by the system
+/// when the query is admitted.
+struct CrossMatchQuery {
+  QueryId id = 0;
+  TimeMs arrival_ms = 0.0;
+  /// Objects to cross-match (the paper's "list of objects to be joined").
+  std::vector<QueryObject> objects;
+  /// Query-specific predicate applied to archive objects that succeed in
+  /// the spatial join.
+  Predicate predicate;
+  /// Human-readable provenance (e.g. "twomass x sdss x usnob").
+  std::string label;
+};
+
+/// A successful cross-match: a (query object, archive object) pair within
+/// the error radius that passed the query predicate.
+struct Match {
+  QueryId query_id = 0;
+  uint64_t query_object_id = 0;
+  uint64_t catalog_object_id = 0;
+  double separation_arcsec = 0.0;
+  /// Position of the matched archive object (so downstream consumers —
+  /// e.g. the next site of a federated cross-match — need no extra lookup).
+  double ra_deg = 0.0;
+  double dec_deg = 0.0;
+
+  SkyPoint sky() const { return SkyPoint{ra_deg, dec_deg}; }
+};
+
+}  // namespace liferaft::query
+
+#endif  // LIFERAFT_QUERY_QUERY_H_

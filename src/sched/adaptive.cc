@@ -1,0 +1,77 @@
+#include "sched/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace liferaft::sched {
+
+Result<double> SelectAlpha(const std::vector<TradeoffPoint>& curve,
+                           double tolerance) {
+  if (curve.empty()) {
+    return Status::InvalidArgument("empty trade-off curve");
+  }
+  if (tolerance < 0.0 || tolerance > 1.0) {
+    return Status::InvalidArgument("tolerance must be in [0, 1]");
+  }
+  double max_tp = 0.0;
+  for (const auto& p : curve) max_tp = std::max(max_tp, p.throughput_qps);
+  double floor_tp = (1.0 - tolerance) * max_tp;
+
+  const TradeoffPoint* best = nullptr;
+  for (const auto& p : curve) {
+    if (p.throughput_qps + 1e-12 < floor_tp) continue;
+    if (best == nullptr || p.avg_response_ms < best->avg_response_ms ||
+        (p.avg_response_ms == best->avg_response_ms &&
+         p.alpha > best->alpha)) {
+      best = &p;
+    }
+  }
+  // max_tp point always qualifies, so best is non-null.
+  return best->alpha;
+}
+
+Status AlphaSelector::AddCurve(double saturation_qps,
+                               std::vector<TradeoffPoint> curve) {
+  if (saturation_qps <= 0.0) {
+    return Status::InvalidArgument("saturation must be positive");
+  }
+  if (curve.empty()) {
+    return Status::InvalidArgument("empty trade-off curve");
+  }
+  curves_[saturation_qps] = std::move(curve);
+  return Status::OK();
+}
+
+Result<double> AlphaSelector::AlphaFor(double observed_qps) const {
+  if (curves_.empty()) {
+    return Status::FailedPrecondition("no trade-off curves registered");
+  }
+  // Nearest saturation by absolute difference.
+  const std::vector<TradeoffPoint>* nearest = nullptr;
+  double best_dist = 0.0;
+  for (const auto& [saturation, curve] : curves_) {
+    double dist = std::abs(saturation - observed_qps);
+    if (nearest == nullptr || dist < best_dist) {
+      nearest = &curve;
+      best_dist = dist;
+    }
+  }
+  return SelectAlpha(*nearest, tolerance_);
+}
+
+void ArrivalRateEstimator::OnArrival(TimeMs now) {
+  arrivals_.push_back(now);
+}
+
+double ArrivalRateEstimator::RateQps(TimeMs now) const {
+  TimeMs cutoff = now - window_ms_;
+  auto first = std::lower_bound(arrivals_.begin(), arrivals_.end(), cutoff);
+  arrivals_.erase(arrivals_.begin(), first);
+  if (arrivals_.empty()) return 0.0;
+  // Use the window width, clipped to the observed span for short warmups.
+  double span_ms = std::max(now - arrivals_.front(), 1.0);
+  double window = std::min(window_ms_, span_ms);
+  return static_cast<double>(arrivals_.size()) / (window / 1000.0);
+}
+
+}  // namespace liferaft::sched

@@ -1,0 +1,77 @@
+// Workload-adaptive alpha selection (paper §4): given throughput-vs-response
+// trade-off curves measured offline at several saturation levels, and a
+// user tolerance threshold ("how much throughput degradation is permitted"),
+// pick the alpha that minimizes average response time subject to throughput
+// staying within tolerance of the achievable maximum. An online controller
+// estimates the current arrival rate and interpolates between the stored
+// curves.
+
+#ifndef LIFERAFT_SCHED_ADAPTIVE_H_
+#define LIFERAFT_SCHED_ADAPTIVE_H_
+
+#include <map>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace liferaft::sched {
+
+/// One measured operating point of a trade-off curve.
+struct TradeoffPoint {
+  double alpha = 0.0;
+  double throughput_qps = 0.0;
+  double avg_response_ms = 0.0;
+};
+
+/// Picks the alpha whose response time is lowest among points with
+/// throughput >= (1 - tolerance) * max throughput on the curve (paper Fig 4:
+/// tolerance 0.2 selects alpha 1.0 at low saturation, 0.25 at high).
+/// Returns InvalidArgument for an empty curve or tolerance outside [0, 1].
+Result<double> SelectAlpha(const std::vector<TradeoffPoint>& curve,
+                           double tolerance);
+
+/// Holds trade-off curves keyed by saturation and answers "which alpha for
+/// the saturation we're seeing now?". Curves are measured offline with a
+/// representative workload, exactly as the paper does.
+class AlphaSelector {
+ public:
+  /// @param tolerance permitted fractional throughput degradation in [0,1]
+  explicit AlphaSelector(double tolerance) : tolerance_(tolerance) {}
+
+  /// Registers the trade-off curve measured at `saturation_qps`.
+  Status AddCurve(double saturation_qps, std::vector<TradeoffPoint> curve);
+
+  /// Alpha for an observed arrival rate: evaluated on the registered curve
+  /// with the nearest saturation. FailedPrecondition with no curves.
+  Result<double> AlphaFor(double observed_qps) const;
+
+  size_t num_curves() const { return curves_.size(); }
+  double tolerance() const { return tolerance_; }
+
+ private:
+  double tolerance_;
+  std::map<double, std::vector<TradeoffPoint>> curves_;
+};
+
+/// Sliding-window arrival-rate estimator driving AlphaSelector online.
+class ArrivalRateEstimator {
+ public:
+  /// @param window_ms width of the estimation window
+  explicit ArrivalRateEstimator(TimeMs window_ms = 60'000.0)
+      : window_ms_(window_ms) {}
+
+  /// Records a query arrival.
+  void OnArrival(TimeMs now);
+
+  /// Arrivals per second over the trailing window.
+  double RateQps(TimeMs now) const;
+
+ private:
+  TimeMs window_ms_;
+  mutable std::vector<TimeMs> arrivals_;  // pruned lazily
+};
+
+}  // namespace liferaft::sched
+
+#endif  // LIFERAFT_SCHED_ADAPTIVE_H_

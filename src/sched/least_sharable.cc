@@ -1,0 +1,22 @@
+#include "sched/least_sharable.h"
+
+namespace liferaft::sched {
+
+std::optional<storage::BucketIndex> LeastSharableScheduler::PickBucket(
+    const query::WorkloadManager& manager, TimeMs /*now*/,
+    const CacheProbe& /*cached*/) {
+  const auto& active = manager.active_buckets();
+  if (active.empty()) return std::nullopt;
+  storage::BucketIndex best = *active.begin();
+  uint64_t best_size = manager.queue(best).total_objects();
+  for (storage::BucketIndex b : active) {
+    uint64_t size = manager.queue(b).total_objects();
+    if (size < best_size) {
+      best_size = size;
+      best = b;
+    }
+  }
+  return best;
+}
+
+}  // namespace liferaft::sched

@@ -1,0 +1,32 @@
+// Least-sharable-data-first baseline: the scheduling policy of Agrawal,
+// Kifer & Olston's shared-scan Map-Reduce work, discussed (and argued
+// against for scientific workloads) in the paper's §6. It services the
+// bucket whose queue benefits *least* from co-scheduling with future
+// arrivals — i.e. the smallest workload queue — betting that contentious
+// buckets will accumulate even more sharing if deferred. LifeRaft argues
+// the opposite (most contentious first) because deferring hot buckets
+// inflates workload-queue buffering. bench_ablation_policy contrasts the
+// two.
+
+#ifndef LIFERAFT_SCHED_LEAST_SHARABLE_H_
+#define LIFERAFT_SCHED_LEAST_SHARABLE_H_
+
+#include <string>
+
+#include "sched/scheduler.h"
+
+namespace liferaft::sched {
+
+/// Smallest-workload-queue-first policy.
+class LeastSharableScheduler : public Scheduler {
+ public:
+  std::string name() const override { return "least-sharable"; }
+
+  std::optional<storage::BucketIndex> PickBucket(
+      const query::WorkloadManager& manager, TimeMs now,
+      const CacheProbe& cached) override;
+};
+
+}  // namespace liferaft::sched
+
+#endif  // LIFERAFT_SCHED_LEAST_SHARABLE_H_

@@ -1,0 +1,85 @@
+#include "sched/liferaft_scheduler.h"
+
+#include <cassert>
+#include <cstdio>
+#include <vector>
+
+#include "storage/bucket.h"
+
+namespace liferaft::sched {
+
+LifeRaftScheduler::LifeRaftScheduler(const storage::BucketStore* store,
+                                     storage::DiskModel model,
+                                     LifeRaftConfig config)
+    : store_(store), model_(model), config_(config) {
+  assert(store_ != nullptr);
+  assert(config_.alpha >= 0.0 && config_.alpha <= 1.0);
+}
+
+std::string LifeRaftScheduler::name() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "liferaft(a=%.2f)", config_.alpha);
+  return buf;
+}
+
+double LifeRaftScheduler::EffectiveAge(const query::WorkloadQueue& queue,
+                                       const query::WorkloadManager& manager,
+                                       TimeMs now) const {
+  if (!config_.qos.depreciate_long_queries) return queue.AgeMs(now);
+  double best = 0.0;
+  for (const query::WorkloadEntry& e : queue.entries()) {
+    double weight =
+        QosAgeWeight(config_.qos, manager.PendingParts(e.query_id));
+    double age = (now - e.arrival_ms) * weight;
+    if (age > best) best = age;
+  }
+  return best;
+}
+
+std::optional<storage::BucketIndex> LifeRaftScheduler::PickBucket(
+    const query::WorkloadManager& manager, TimeMs now,
+    const CacheProbe& cached) {
+  const auto& active = manager.active_buckets();
+  if (active.empty()) return std::nullopt;
+
+  // Pass 1: per-bucket U_t and age (and their maxima for normalization).
+  struct Candidate {
+    storage::BucketIndex bucket;
+    double ut;
+    double age;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(active.size());
+  double ut_max = 0.0;
+  double age_max = 0.0;
+  for (storage::BucketIndex b : active) {
+    const query::WorkloadQueue& queue = manager.queue(b);
+    uint64_t bytes = static_cast<uint64_t>(store_->BucketObjectCount(b)) *
+                     storage::Bucket::kBytesPerObject;
+    double ut =
+        WorkloadThroughput(model_, queue.total_objects(), bytes, cached(b));
+    double age = EffectiveAge(queue, manager, now);
+    ut_max = std::max(ut_max, ut);
+    age_max = std::max(age_max, age);
+    candidates.push_back(Candidate{b, ut, age});
+  }
+
+  // Pass 2: rank by U_a. Ties break toward the lower bucket index so runs
+  // are deterministic.
+  storage::BucketIndex best = candidates.front().bucket;
+  double best_score = -1.0;
+  for (const Candidate& c : candidates) {
+    double score =
+        config_.normalization == MetricNormalization::kRawPaper
+            ? AgedThroughputRaw(c.ut, c.age, config_.alpha)
+            : AgedThroughputNormalized(c.ut, ut_max, c.age, age_max,
+                                       config_.alpha);
+    if (score > best_score) {
+      best_score = score;
+      best = c.bucket;
+    }
+  }
+  return best;
+}
+
+}  // namespace liferaft::sched

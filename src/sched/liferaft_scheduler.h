@@ -1,0 +1,65 @@
+// The LifeRaft scheduler (paper §3.2–3.3): ranks the buckets with pending
+// work by the aged workload throughput metric and services the best one.
+// alpha = 0 is the greedy most-contentious-data-first policy; alpha = 1
+// serves buckets by oldest pending request (arrival order); intermediate
+// settings trade throughput for response time.
+
+#ifndef LIFERAFT_SCHED_LIFERAFT_SCHEDULER_H_
+#define LIFERAFT_SCHED_LIFERAFT_SCHEDULER_H_
+
+#include <optional>
+#include <string>
+
+#include "sched/metric.h"
+#include "sched/qos.h"
+#include "sched/scheduler.h"
+#include "storage/bucket_store.h"
+#include "storage/disk_model.h"
+
+namespace liferaft::sched {
+
+/// LifeRaft scheduler configuration.
+struct LifeRaftConfig {
+  /// Age bias in [0, 1] (paper's alpha).
+  double alpha = 0.0;
+  /// How U_t and A are blended (see metric.h).
+  MetricNormalization normalization = MetricNormalization::kNormalized;
+  /// Optional QoS age weighting (paper §6 future work); disabled by
+  /// default.
+  QosConfig qos;
+};
+
+/// Aged-workload-throughput scheduler.
+class LifeRaftScheduler : public Scheduler {
+ public:
+  /// @param store  supplies bucket sizes for the T_b term (not owned)
+  /// @param model  disk cost model
+  LifeRaftScheduler(const storage::BucketStore* store,
+                    storage::DiskModel model, LifeRaftConfig config);
+
+  std::string name() const override;
+
+  std::optional<storage::BucketIndex> PickBucket(
+      const query::WorkloadManager& manager, TimeMs now,
+      const CacheProbe& cached) override;
+
+  /// Adjusts alpha at runtime (used by the adaptive controller).
+  void set_alpha(double alpha) { config_.alpha = alpha; }
+  double alpha() const { return config_.alpha; }
+  const LifeRaftConfig& config() const { return config_; }
+
+ private:
+  /// Effective age of a queue under the QoS policy (plain oldest-request
+  /// age when QoS is disabled).
+  double EffectiveAge(const query::WorkloadQueue& queue,
+                      const query::WorkloadManager& manager,
+                      TimeMs now) const;
+
+  const storage::BucketStore* store_;
+  storage::DiskModel model_;
+  LifeRaftConfig config_;
+};
+
+}  // namespace liferaft::sched
+
+#endif  // LIFERAFT_SCHED_LIFERAFT_SCHEDULER_H_

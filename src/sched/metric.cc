@@ -1,0 +1,26 @@
+#include "sched/metric.h"
+
+namespace liferaft::sched {
+
+double WorkloadThroughput(const storage::DiskModel& model,
+                          uint64_t queue_objects, uint64_t bucket_bytes,
+                          bool cached) {
+  if (queue_objects == 0) return 0.0;
+  double w = static_cast<double>(queue_objects);
+  double tb = cached ? 0.0 : model.SequentialReadMs(bucket_bytes);
+  double tm = model.MatchMs(queue_objects);
+  return w / (tb + tm);
+}
+
+double AgedThroughputRaw(double ut, double age_ms, double alpha) {
+  return ut * (1.0 - alpha) + age_ms * alpha;
+}
+
+double AgedThroughputNormalized(double ut, double ut_max, double age_ms,
+                                double age_max, double alpha) {
+  double ut_term = ut_max > 0.0 ? ut / ut_max : 0.0;
+  double age_term = age_max > 0.0 ? age_ms / age_max : 0.0;
+  return ut_term * (1.0 - alpha) + age_term * alpha;
+}
+
+}  // namespace liferaft::sched

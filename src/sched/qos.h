@@ -1,0 +1,37 @@
+// Quality-of-service age weighting — the paper's §6 extension: "depreciating
+// the age bias for longer queries (regardless of the arrival order) to
+// better support both interactive and batch workloads in the same
+// environment."
+//
+// When enabled, a queue's age term is the maximum over its entries of
+//   age(entry) * weight(query), weight = 1 / (1 + parts(query)/half_life)
+// so a short interactive query (few bucket sub-queries) ages at nearly full
+// rate while a sky-spanning batch query's age is discounted and cannot crowd
+// interactive work out of the age term.
+
+#ifndef LIFERAFT_SCHED_QOS_H_
+#define LIFERAFT_SCHED_QOS_H_
+
+#include <cstddef>
+
+namespace liferaft::sched {
+
+/// QoS age-depreciation settings.
+struct QosConfig {
+  /// Master switch; off reproduces the paper's published scheduler.
+  bool depreciate_long_queries = false;
+  /// Query size (in outstanding bucket sub-queries) at which the age weight
+  /// falls to 1/2.
+  double half_life_parts = 16.0;
+};
+
+/// Age weight of a query with `pending_parts` outstanding sub-queries.
+inline double QosAgeWeight(const QosConfig& config, size_t pending_parts) {
+  if (!config.depreciate_long_queries) return 1.0;
+  return 1.0 /
+         (1.0 + static_cast<double>(pending_parts) / config.half_life_parts);
+}
+
+}  // namespace liferaft::sched
+
+#endif  // LIFERAFT_SCHED_QOS_H_

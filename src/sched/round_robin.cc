@@ -1,0 +1,16 @@
+#include "sched/round_robin.h"
+
+namespace liferaft::sched {
+
+std::optional<storage::BucketIndex> RoundRobinScheduler::PickBucket(
+    const query::WorkloadManager& manager, TimeMs /*now*/,
+    const CacheProbe& /*cached*/) {
+  const auto& active = manager.active_buckets();
+  if (active.empty()) return std::nullopt;
+  auto it = active.lower_bound(cursor_);
+  if (it == active.end()) it = active.begin();  // wrap the sweep
+  cursor_ = *it + 1;
+  return *it;
+}
+
+}  // namespace liferaft::sched

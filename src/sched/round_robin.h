@@ -1,0 +1,34 @@
+// Round-robin baseline (paper §5): services buckets with pending work in
+// increasing HTM ID (= bucket index) order, cyclically. Fair in that every
+// request gets the same scheduler attention, but oblivious to both queue
+// length (contention) and request age — queries just behind the cursor wait
+// nearly a full rotation.
+
+#ifndef LIFERAFT_SCHED_ROUND_ROBIN_H_
+#define LIFERAFT_SCHED_ROUND_ROBIN_H_
+
+#include <string>
+
+#include "sched/scheduler.h"
+
+namespace liferaft::sched {
+
+/// Cyclic sweep over non-empty workload queues in bucket order.
+class RoundRobinScheduler : public Scheduler {
+ public:
+  RoundRobinScheduler() = default;
+
+  std::string name() const override { return "rr"; }
+
+  std::optional<storage::BucketIndex> PickBucket(
+      const query::WorkloadManager& manager, TimeMs now,
+      const CacheProbe& cached) override;
+
+ private:
+  /// Next sweep position: the first active bucket >= cursor_ is served.
+  storage::BucketIndex cursor_ = 0;
+};
+
+}  // namespace liferaft::sched
+
+#endif  // LIFERAFT_SCHED_ROUND_ROBIN_H_

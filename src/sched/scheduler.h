@@ -1,0 +1,41 @@
+// Bucket-scheduler interface: given the current workload queues, pick the
+// next bucket whose whole queue the Join Evaluator should service. LifeRaft,
+// the round-robin baseline, and any future policy implement this; the
+// per-query baselines (NoShare, IndexOnly) bypass bucket scheduling and are
+// modes of the simulation engine instead.
+
+#ifndef LIFERAFT_SCHED_SCHEDULER_H_
+#define LIFERAFT_SCHED_SCHEDULER_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "query/workload.h"
+#include "storage/bucket.h"
+#include "util/clock.h"
+
+namespace liferaft::sched {
+
+/// Residency probe: phi(i) == 0 iff cached(i). Decouples schedulers from
+/// the concrete cache type.
+using CacheProbe = std::function<bool(storage::BucketIndex)>;
+
+/// Strategy interface for choosing the next bucket batch.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Display name for reports (e.g. "liferaft(a=0.25)", "rr").
+  virtual std::string name() const = 0;
+
+  /// Picks the bucket to service next, or nullopt when no queue is
+  /// non-empty. Must only return buckets in manager.active_buckets().
+  virtual std::optional<storage::BucketIndex> PickBucket(
+      const query::WorkloadManager& manager, TimeMs now,
+      const CacheProbe& cached) = 0;
+};
+
+}  // namespace liferaft::sched
+
+#endif  // LIFERAFT_SCHED_SCHEDULER_H_

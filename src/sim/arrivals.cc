@@ -1,0 +1,68 @@
+#include "sim/arrivals.h"
+
+#include <cassert>
+
+namespace liferaft::sim {
+
+std::vector<TimeMs> PoissonArrivals(size_t n, double rate_qps, Rng* rng) {
+  assert(rate_qps > 0.0);
+  std::vector<TimeMs> out;
+  out.reserve(n);
+  double rate_per_ms = rate_qps / 1000.0;
+  TimeMs t = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    t += rng->Exponential(rate_per_ms);
+    out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<TimeMs> UniformArrivals(size_t n, double rate_qps) {
+  assert(rate_qps > 0.0);
+  std::vector<TimeMs> out;
+  out.reserve(n);
+  double spacing_ms = 1000.0 / rate_qps;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(static_cast<double>(i) * spacing_ms);
+  }
+  return out;
+}
+
+std::vector<TimeMs> BurstyArrivals(size_t n, double rate_on_qps,
+                                   double rate_off_qps, TimeMs mean_phase_ms,
+                                   Rng* rng) {
+  assert(rate_on_qps > 0.0);
+  assert(rate_off_qps >= 0.0);
+  assert(mean_phase_ms > 0.0);
+  std::vector<TimeMs> out;
+  out.reserve(n);
+  TimeMs t = 0.0;
+  bool on = true;
+  TimeMs phase_end = rng->Exponential(1.0 / mean_phase_ms);
+  while (out.size() < n) {
+    double rate_per_ms = (on ? rate_on_qps : rate_off_qps) / 1000.0;
+    if (rate_per_ms <= 0.0) {
+      // Silent phase: jump to its end.
+      t = phase_end;
+      on = !on;
+      phase_end = t + rng->Exponential(1.0 / mean_phase_ms);
+      continue;
+    }
+    TimeMs next = t + rng->Exponential(rate_per_ms);
+    if (next > phase_end) {
+      t = phase_end;
+      on = !on;
+      phase_end = t + rng->Exponential(1.0 / mean_phase_ms);
+      continue;
+    }
+    t = next;
+    out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<TimeMs> ImmediateArrivals(size_t n) {
+  return std::vector<TimeMs>(n, 0.0);
+}
+
+}  // namespace liferaft::sim

@@ -1,0 +1,37 @@
+// Arrival processes for trace replay. "Saturation" in the paper is the
+// query arrival rate; the experiments sweep it from 0.1 to 0.5 queries per
+// second. Poisson arrivals model the open SkyQuery web workload; the bursty
+// (two-phase MMPP) generator exercises the non-stationary regime §6 argues
+// shared-scan batching must tolerate.
+
+#ifndef LIFERAFT_SIM_ARRIVALS_H_
+#define LIFERAFT_SIM_ARRIVALS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/random.h"
+
+namespace liferaft::sim {
+
+/// `n` arrival timestamps (ms, ascending from 0) with exponential
+/// inter-arrival times of rate `rate_qps` queries/second.
+std::vector<TimeMs> PoissonArrivals(size_t n, double rate_qps, Rng* rng);
+
+/// Deterministic arrivals with fixed spacing 1/rate_qps.
+std::vector<TimeMs> UniformArrivals(size_t n, double rate_qps);
+
+/// Two-phase Markov-modulated Poisson process: alternating exponentially-
+/// distributed ON (rate_on) and OFF (rate_off) phases with mean duration
+/// `mean_phase_ms` each. rate_off may be 0 for pure on/off bursts.
+std::vector<TimeMs> BurstyArrivals(size_t n, double rate_on_qps,
+                                   double rate_off_qps, TimeMs mean_phase_ms,
+                                   Rng* rng);
+
+/// All queries present at t = 0 (closed-system batch replay).
+std::vector<TimeMs> ImmediateArrivals(size_t n);
+
+}  // namespace liferaft::sim
+
+#endif  // LIFERAFT_SIM_ARRIVALS_H_

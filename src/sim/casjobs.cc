@@ -1,0 +1,62 @@
+#include "sim/casjobs.h"
+
+#include <algorithm>
+
+namespace liferaft::sim {
+
+Result<CasJobsMetrics> RunCasJobs(
+    storage::Catalog* catalog, const CasJobsConfig& config,
+    const std::vector<query::CrossMatchQuery>& queries,
+    const std::vector<TimeMs>& arrivals_ms) {
+  if (queries.size() != arrivals_ms.size()) {
+    return Status::InvalidArgument("queries and arrivals size mismatch");
+  }
+  if (queries.empty()) return Status::InvalidArgument("empty trace");
+
+  // Split the trace by the (arbitrary) length classifier, preserving
+  // arrival order within each class.
+  std::vector<query::CrossMatchQuery> short_queries, long_queries;
+  std::vector<TimeMs> short_arrivals, long_arrivals;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    bool is_short =
+        queries[i].objects.size() <= config.short_threshold_objects;
+    (is_short ? short_queries : long_queries).push_back(queries[i]);
+    (is_short ? short_arrivals : long_arrivals).push_back(arrivals_ms[i]);
+  }
+
+  CasJobsMetrics metrics;
+  metrics.short_queries = short_queries.size();
+  metrics.long_queries = long_queries.size();
+
+  auto run_server = [&](const std::vector<query::CrossMatchQuery>& qs,
+                        const std::vector<TimeMs>& arr,
+                        StreamingStats* response) -> Status {
+    if (qs.empty()) return Status::OK();
+    EngineConfig engine_config;
+    engine_config.mode = ExecutionMode::kNoShare;
+    engine_config.disk = config.disk;
+    SimEngine engine(catalog, nullptr, engine_config);
+    auto run = engine.Run(qs, arr);
+    if (!run.ok()) return run.status();
+    for (const QueryOutcome& o : engine.outcomes()) {
+      response->Add(o.ResponseMs());
+    }
+    metrics.makespan_ms = std::max(metrics.makespan_ms, run->makespan_ms);
+    metrics.bucket_reads += run->store.bucket_reads;
+    return Status::OK();
+  };
+
+  LIFERAFT_RETURN_IF_ERROR(
+      run_server(short_queries, short_arrivals, &metrics.short_response_ms));
+  LIFERAFT_RETURN_IF_ERROR(
+      run_server(long_queries, long_arrivals, &metrics.long_response_ms));
+
+  metrics.throughput_qps =
+      metrics.makespan_ms > 0.0
+          ? static_cast<double>(queries.size()) /
+                (metrics.makespan_ms / 1000.0)
+          : 0.0;
+  return metrics;
+}
+
+}  // namespace liferaft::sim

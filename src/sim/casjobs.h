@@ -1,0 +1,55 @@
+// The CasJobs-style multi-queue baseline (paper §2, O'Mullane et al.):
+// SkyQuery's production answer to starvation — classify queries as "short"
+// or "long" by an arbitrary size threshold and send each class to its own
+// server queue, evaluating them independently (no cross-query I/O sharing).
+//
+// The paper's criticism, which this model lets us quantify: "the
+// distinction between long and short queries is decided arbitrarily and
+// the longest short queries interfere with the short queue and the
+// shortest long queries experience starvation."
+
+#ifndef LIFERAFT_SIM_CASJOBS_H_
+#define LIFERAFT_SIM_CASJOBS_H_
+
+#include <vector>
+
+#include "sim/engine.h"
+#include "storage/catalog.h"
+#include "util/stats.h"
+
+namespace liferaft::sim {
+
+/// CasJobs configuration.
+struct CasJobsConfig {
+  /// Queries with at most this many cross-match objects go to the short
+  /// queue ("decided arbitrarily", per the paper).
+  size_t short_threshold_objects = 100;
+  /// Disk model for both servers.
+  storage::DiskModelParams disk;
+};
+
+/// Results of a CasJobs replay.
+struct CasJobsMetrics {
+  /// Combined throughput: all queries over the later server's makespan.
+  double throughput_qps = 0.0;
+  TimeMs makespan_ms = 0.0;
+  size_t short_queries = 0;
+  size_t long_queries = 0;
+  StreamingStats short_response_ms;
+  StreamingStats long_response_ms;
+  /// Sum of both servers' bucket reads (two servers, duplicated I/O).
+  uint64_t bucket_reads = 0;
+};
+
+/// Replays `queries[i]` arriving at `arrivals_ms[i]` through the two-queue
+/// CasJobs system. Each class runs FIFO and independently (NoShare
+/// semantics) on its own server against `catalog`; the two servers run in
+/// parallel.
+Result<CasJobsMetrics> RunCasJobs(
+    storage::Catalog* catalog, const CasJobsConfig& config,
+    const std::vector<query::CrossMatchQuery>& queries,
+    const std::vector<TimeMs>& arrivals_ms);
+
+}  // namespace liferaft::sim
+
+#endif  // LIFERAFT_SIM_CASJOBS_H_

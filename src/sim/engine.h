@@ -1,0 +1,131 @@
+// The discrete-event simulation engine: replays a query trace against one
+// archive under a chosen execution mode, advancing a virtual clock by the
+// disk model's costs. Joins execute for real (matches are exact); only I/O
+// latency is modeled — see DESIGN.md §2.
+//
+// Execution modes (paper §5):
+//  * kShared    — batch processing through the Workload Manager / LifeRaft
+//                 architecture: a Scheduler picks a bucket, its whole
+//                 workload queue is served in one pass through the shared
+//                 bucket cache (hybrid join applies).
+//  * kNoShare   — each query is evaluated independently and in arrival
+//                 order: scan-based, but no I/O sharing and no shared
+//                 cache.
+//  * kIndexOnly — SkyQuery's legacy execution: every query evaluated
+//                 exclusively through spatial-index probes, in arrival
+//                 order.
+
+#ifndef LIFERAFT_SIM_ENGINE_H_
+#define LIFERAFT_SIM_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "join/evaluator.h"
+#include "query/workload.h"
+#include "sched/adaptive.h"
+#include "sched/scheduler.h"
+#include "sim/run_metrics.h"
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace liferaft::sim {
+
+/// How queries are executed (see file comment).
+enum class ExecutionMode { kShared, kNoShare, kIndexOnly };
+
+const char* ExecutionModeName(ExecutionMode mode);
+
+/// Engine configuration.
+struct EngineConfig {
+  ExecutionMode mode = ExecutionMode::kShared;
+  /// Bucket cache capacity in buckets (paper: 20). Shared mode only.
+  size_t cache_capacity = 20;
+  join::HybridConfig hybrid;
+  storage::DiskModelParams disk;
+  /// Keep match tuples (disable for scheduling-scale experiments).
+  bool collect_matches = false;
+  /// Optional workload-adaptive alpha: when set and the scheduler is a
+  /// LifeRaftScheduler, the engine re-selects alpha from the observed
+  /// arrival rate after every admission.
+  const sched::AlphaSelector* alpha_selector = nullptr;
+  /// Window for the adaptive controller's arrival-rate estimate.
+  TimeMs rate_window_ms = 120'000.0;
+  /// Workload overflow (shared mode): when non-empty, workload queues
+  /// exceeding `workload_memory_budget` resident objects spill to this
+  /// scratch file; restores charge disk time through the cost model.
+  std::string spill_path;
+  uint64_t workload_memory_budget = 0;
+};
+
+/// Per-query outcome of a run.
+struct QueryOutcome {
+  query::QueryId id = 0;
+  TimeMs arrival_ms = 0.0;
+  TimeMs completion_ms = 0.0;
+  size_t parts = 0;
+  uint64_t matches = 0;
+
+  TimeMs ResponseMs() const { return completion_ms - arrival_ms; }
+};
+
+/// Single-archive simulation engine.
+class SimEngine {
+ public:
+  /// @param catalog   the archive (not owned; must outlive the engine)
+  /// @param scheduler bucket scheduler; required for kShared, ignored
+  ///                  otherwise
+  SimEngine(storage::Catalog* catalog,
+            std::unique_ptr<sched::Scheduler> scheduler, EngineConfig config);
+
+  /// Replays `queries[i]` arriving at `arrivals_ms[i]` (parallel arrays;
+  /// arrivals must be ascending) until every query completes. Returns the
+  /// run's metrics; per-query outcomes are available via outcomes().
+  Result<RunMetrics> Run(const std::vector<query::CrossMatchQuery>& queries,
+                         const std::vector<TimeMs>& arrivals_ms);
+
+  /// Outcomes of the last Run, in completion order.
+  const std::vector<QueryOutcome>& outcomes() const { return outcomes_; }
+
+  /// The scheduler (null in per-query modes); exposed for tests and for
+  /// inspecting the adaptive alpha trajectory.
+  sched::Scheduler* scheduler() { return scheduler_.get(); }
+
+ private:
+  struct AdmittedQuery {
+    const query::CrossMatchQuery* query;
+    std::vector<query::BucketWorkload> workloads;
+    TimeMs arrival_ms;
+  };
+
+  // One scheduling step in shared mode; advances the clock. Returns false
+  // if there was no pending work.
+  Result<bool> SharedStep();
+  // Serves the FIFO-front query in a per-query mode.
+  Result<bool> PerQueryStep();
+
+  void RecordCompletion(query::QueryId id, TimeMs completion);
+
+  storage::Catalog* catalog_;
+  std::unique_ptr<sched::Scheduler> scheduler_;
+  EngineConfig config_;
+
+  // Run state.
+  storage::DiskModel model_;
+  std::unique_ptr<storage::BucketCache> cache_;
+  std::unique_ptr<join::JoinEvaluator> evaluator_;
+  std::unique_ptr<query::WorkloadManager> manager_;
+  std::vector<AdmittedQuery> fifo_;  // per-query modes; front = next
+  size_t fifo_head_ = 0;
+  TimeMs clock_ = 0.0;
+
+  std::unordered_map<query::QueryId, QueryOutcome> pending_outcomes_;
+  std::vector<QueryOutcome> outcomes_;
+  uint64_t total_matches_ = 0;
+  uint64_t fifo_pending_objects_ = 0;
+  uint64_t peak_pending_objects_ = 0;
+};
+
+}  // namespace liferaft::sim
+
+#endif  // LIFERAFT_SIM_ENGINE_H_

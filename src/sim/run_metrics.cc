@@ -1,0 +1,19 @@
+#include "sim/run_metrics.h"
+
+#include <cstdio>
+
+namespace liferaft::sim {
+
+std::string RunMetrics::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-18s  queries=%zu  throughput=%.4f q/s  "
+                "avg_resp=%.1f s  cov=%.2f  cache_hit=%.1f%%  reads=%llu",
+                scheduler_name.c_str(), queries_completed, throughput_qps,
+                avg_response_ms / 1000.0, response_cov,
+                cache.HitRate() * 100.0,
+                static_cast<unsigned long long>(store.bucket_reads));
+  return buf;
+}
+
+}  // namespace liferaft::sim

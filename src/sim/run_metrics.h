@@ -1,0 +1,54 @@
+// Per-run results of a simulation: the quantities the paper's figures
+// report (query throughput, average response time and its coefficient of
+// variance) plus the underlying I/O and cache counters.
+
+#ifndef LIFERAFT_SIM_RUN_METRICS_H_
+#define LIFERAFT_SIM_RUN_METRICS_H_
+
+#include <string>
+
+#include "join/evaluator.h"
+#include "query/workload.h"
+#include "storage/bucket_cache.h"
+#include "storage/bucket_store.h"
+#include "util/clock.h"
+#include "util/stats.h"
+
+namespace liferaft::sim {
+
+/// Everything measured over one simulated run.
+struct RunMetrics {
+  std::string scheduler_name;
+  size_t queries_completed = 0;
+
+  /// Virtual time from t=0 to the last completion.
+  TimeMs makespan_ms = 0.0;
+  /// queries_completed / makespan (the paper's throughput axis).
+  double throughput_qps = 0.0;
+
+  /// Response time (completion - arrival) statistics in milliseconds.
+  StreamingStats response_stats;
+  double avg_response_ms = 0.0;
+  double p50_response_ms = 0.0;
+  double p95_response_ms = 0.0;
+  /// Coefficient of variance of response time (Fig 7b's second series).
+  double response_cov = 0.0;
+
+  storage::CacheStats cache;
+  storage::StoreStats store;
+  join::EvaluatorStats evaluator;
+  uint64_t total_matches = 0;
+  /// Peak buffered workload objects across the run — the memory-pressure
+  /// argument of §6 (most-contentious-first keeps this low; deferring hot
+  /// buckets inflates it).
+  uint64_t peak_pending_objects = 0;
+  /// Workload-overflow activity (zero unless spilling was enabled).
+  query::SpillStats spill;
+
+  /// One-line human-readable summary.
+  std::string Summary() const;
+};
+
+}  // namespace liferaft::sim
+
+#endif  // LIFERAFT_SIM_RUN_METRICS_H_

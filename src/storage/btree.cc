@@ -1,0 +1,76 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+
+namespace liferaft::storage {
+
+Result<BTreeIndex> BTreeIndex::BulkLoad(std::vector<CatalogObject> objects) {
+  if (!std::is_sorted(objects.begin(), objects.end(), ObjectHtmLess)) {
+    return Status::InvalidArgument("BulkLoad requires objects sorted by key");
+  }
+  BTreeIndex tree;
+  tree.records_ = std::move(objects);
+
+  size_t n = tree.records_.size();
+  size_t num_leaves = (n + kLeafCapacity - 1) / kLeafCapacity;
+  tree.leaf_first_key_.reserve(num_leaves);
+  for (size_t i = 0; i < num_leaves; ++i) {
+    tree.leaf_first_key_.push_back(tree.records_[i * kLeafCapacity].htm_id);
+  }
+
+  // Build internal levels until one root node suffices.
+  std::vector<htm::HtmId> level = tree.leaf_first_key_;
+  tree.height_ = 1;
+  while (level.size() > kInternalFanout) {
+    std::vector<htm::HtmId> parent;
+    parent.reserve((level.size() + kInternalFanout - 1) / kInternalFanout);
+    for (size_t i = 0; i < level.size(); i += kInternalFanout) {
+      parent.push_back(level[i]);
+    }
+    tree.internal_levels_.push_back(parent);
+    level = std::move(parent);
+    ++tree.height_;
+  }
+  if (!tree.leaf_first_key_.empty()) ++tree.height_;  // root level
+  return tree;
+}
+
+BTreeIndex::ScanStats BTreeIndex::RangeScan(
+    htm::HtmId lo, htm::HtmId hi,
+    const std::function<void(const CatalogObject&)>& fn) const {
+  ScanStats stats;
+  if (records_.empty() || lo > hi) return stats;
+
+  // Locate the first leaf whose first key could be in range: the last leaf
+  // with first_key <= lo (records before it are all < lo).
+  auto it = std::upper_bound(leaf_first_key_.begin(), leaf_first_key_.end(),
+                             lo);
+  size_t leaf = (it == leaf_first_key_.begin())
+                    ? 0
+                    : static_cast<size_t>(it - leaf_first_key_.begin()) - 1;
+
+  for (; leaf < leaf_first_key_.size(); ++leaf) {
+    if (leaf_first_key_[leaf] > hi) break;
+    ++stats.leaves_visited;
+    size_t begin = leaf * kLeafCapacity;
+    size_t end = std::min(begin + kLeafCapacity, records_.size());
+    for (size_t i = begin; i < end; ++i) {
+      const CatalogObject& o = records_[i];
+      ++stats.records_scanned;
+      if (o.htm_id < lo) continue;
+      if (o.htm_id > hi) return stats;
+      ++stats.matches;
+      fn(o);
+    }
+  }
+  return stats;
+}
+
+std::vector<CatalogObject> BTreeIndex::RangeLookup(htm::HtmId lo,
+                                                   htm::HtmId hi) const {
+  std::vector<CatalogObject> out;
+  RangeScan(lo, hi, [&](const CatalogObject& o) { out.push_back(o); });
+  return out;
+}
+
+}  // namespace liferaft::storage

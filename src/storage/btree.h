@@ -1,0 +1,70 @@
+// Bulk-loaded B+tree on HTM ID: the "spatial index" of the paper's indexed
+// join path. SkyQuery evaluates cross-matches through repeated index
+// accesses; LifeRaft's hybrid strategy falls back to this index only when a
+// bucket's workload queue is small.
+//
+// The tree is immutable after bulk load (the fact table is static in the
+// paper's setting). Range scans report how many leaves they touched so the
+// cost model can charge one random I/O per leaf.
+
+#ifndef LIFERAFT_STORAGE_BTREE_H_
+#define LIFERAFT_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "htm/htm_id.h"
+#include "storage/object.h"
+#include "util/status.h"
+
+namespace liferaft::storage {
+
+/// Immutable B+tree over catalog objects keyed by HTM ID (duplicates
+/// allowed).
+class BTreeIndex {
+ public:
+  /// Number of records per leaf / fanout of internal nodes. Sized so a leaf
+  /// is roughly one 4 KB page of (key, rowid) pairs.
+  static constexpr size_t kLeafCapacity = 256;
+  static constexpr size_t kInternalFanout = 256;
+
+  /// Bulk-loads from objects that must already be sorted by
+  /// (htm_id, object_id). Returns InvalidArgument if unsorted.
+  static Result<BTreeIndex> BulkLoad(std::vector<CatalogObject> objects);
+
+  /// Statistics of one range scan.
+  struct ScanStats {
+    uint64_t leaves_visited = 0;
+    uint64_t records_scanned = 0;
+    uint64_t matches = 0;
+  };
+
+  /// Visits every object with htm_id in [lo, hi] in key order. Returns the
+  /// scan's I/O statistics.
+  ScanStats RangeScan(htm::HtmId lo, htm::HtmId hi,
+                      const std::function<void(const CatalogObject&)>& fn)
+      const;
+
+  /// Convenience: collects the range into a vector.
+  std::vector<CatalogObject> RangeLookup(htm::HtmId lo, htm::HtmId hi) const;
+
+  size_t size() const { return records_.size(); }
+  size_t num_leaves() const { return leaf_first_key_.size(); }
+  int height() const { return height_; }
+
+ private:
+  BTreeIndex() = default;
+
+  // Leaf i holds records_[i*kLeafCapacity, min((i+1)*kLeafCapacity, n)).
+  std::vector<CatalogObject> records_;
+  std::vector<htm::HtmId> leaf_first_key_;
+  // Internal levels, bottom-up: level[l][j] = first key of child j at that
+  // level. Kept for realism of the descent path and height accounting.
+  std::vector<std::vector<htm::HtmId>> internal_levels_;
+  int height_ = 0;
+};
+
+}  // namespace liferaft::storage
+
+#endif  // LIFERAFT_STORAGE_BTREE_H_

@@ -1,0 +1,35 @@
+#include "storage/bucket.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace liferaft::storage {
+
+Bucket::Bucket(BucketIndex index, htm::IdRange range,
+               std::vector<CatalogObject> objects)
+    : index_(index), range_(range), objects_(std::move(objects)) {
+  assert(std::is_sorted(objects_.begin(), objects_.end(), ObjectHtmLess));
+#ifndef NDEBUG
+  for (const auto& o : objects_) {
+    assert(range_.Contains(o.htm_id) && "object outside bucket range");
+  }
+#endif
+}
+
+std::span<const CatalogObject> Bucket::ObjectsInRange(htm::HtmId lo,
+                                                      htm::HtmId hi) const {
+  auto first = std::lower_bound(
+      objects_.begin(), objects_.end(), lo,
+      [](const CatalogObject& o, htm::HtmId v) { return o.htm_id < v; });
+  auto last = std::upper_bound(
+      objects_.begin(), objects_.end(), hi,
+      [](htm::HtmId v, const CatalogObject& o) { return v < o.htm_id; });
+  return {objects_.data() + (first - objects_.begin()),
+          static_cast<size_t>(last - first)};
+}
+
+uint64_t Bucket::EstimatedBytes() const {
+  return static_cast<uint64_t>(objects_.size()) * kBytesPerObject;
+}
+
+}  // namespace liferaft::storage

@@ -1,0 +1,46 @@
+#include "storage/bucket_cache.h"
+
+#include <cassert>
+
+namespace liferaft::storage {
+
+BucketCache::BucketCache(BucketStore* store, size_t capacity)
+    : store_(store), capacity_(capacity) {
+  assert(store_ != nullptr);
+  assert(capacity_ > 0);
+}
+
+bool BucketCache::Contains(BucketIndex index) const {
+  return map_.find(index) != map_.end();
+}
+
+void BucketCache::Touch(std::list<Entry>::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+}
+
+Result<std::shared_ptr<const Bucket>> BucketCache::Get(BucketIndex index) {
+  auto it = map_.find(index);
+  if (it != map_.end()) {
+    ++stats_.hits;
+    Touch(it->second);
+    return it->second->bucket;
+  }
+  ++stats_.misses;
+  LIFERAFT_ASSIGN_OR_RETURN(std::shared_ptr<const Bucket> bucket,
+                            store_->ReadBucket(index));
+  lru_.push_front(Entry{index, bucket});
+  map_[index] = lru_.begin();
+  if (map_.size() > capacity_) {
+    ++stats_.evictions;
+    map_.erase(lru_.back().index);
+    lru_.pop_back();
+  }
+  return bucket;
+}
+
+void BucketCache::Clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace liferaft::storage

@@ -1,0 +1,79 @@
+// LRU bucket cache (paper §4): LifeRaft manages bucket caching itself,
+// independently of the database server's buffer pool. The cache's residency
+// predicate is the phi(i) term of the workload throughput metric — cached
+// buckets cost no T_b — so the greedy scheduler naturally gravitates toward
+// cached, contentious buckets.
+
+#ifndef LIFERAFT_STORAGE_BUCKET_CACHE_H_
+#define LIFERAFT_STORAGE_BUCKET_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "storage/bucket.h"
+#include "storage/bucket_store.h"
+#include "util/status.h"
+
+namespace liferaft::storage {
+
+/// Cache hit/miss counters.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// Fixed-capacity LRU cache of immutable buckets, layered over a
+/// BucketStore.
+class BucketCache {
+ public:
+  /// @param store    backing store (not owned; must outlive the cache)
+  /// @param capacity maximum number of resident buckets (paper: 20)
+  BucketCache(BucketStore* store, size_t capacity);
+
+  /// True if the bucket is resident (phi(i) == 0). Does not affect LRU
+  /// order — the metric may interrogate residency without touching
+  /// recency.
+  bool Contains(BucketIndex index) const;
+
+  /// Returns the bucket, reading it from the store on a miss; promotes to
+  /// most-recently-used either way.
+  Result<std::shared_ptr<const Bucket>> Get(BucketIndex index);
+
+  /// Drops everything (used between experiment phases).
+  void Clear();
+
+  /// The backing store (for metadata queries; reads should go through
+  /// Get so residency stays coherent).
+  const BucketStore& store() const { return *store_; }
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return map_.size(); }
+  const CacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = CacheStats{}; }
+
+ private:
+  struct Entry {
+    BucketIndex index;
+    std::shared_ptr<const Bucket> bucket;
+  };
+
+  void Touch(std::list<Entry>::iterator it);
+
+  BucketStore* store_;
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<BucketIndex, std::list<Entry>::iterator> map_;
+  CacheStats stats_;
+};
+
+}  // namespace liferaft::storage
+
+#endif  // LIFERAFT_STORAGE_BUCKET_CACHE_H_

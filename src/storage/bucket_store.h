@@ -1,0 +1,64 @@
+// BucketStore: the storage engine interface LifeRaft reads buckets through.
+// Two implementations: MemStore (catalog held in RAM; I/O latency comes from
+// the DiskModel in the simulator) and FileStore (real file-backed buckets
+// with checksummed binary pages).
+
+#ifndef LIFERAFT_STORAGE_BUCKET_STORE_H_
+#define LIFERAFT_STORAGE_BUCKET_STORE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "storage/bucket.h"
+#include "storage/partitioner.h"
+#include "util/status.h"
+
+namespace liferaft::storage {
+
+/// Read-side I/O counters, reset-able between experiment phases.
+struct StoreStats {
+  uint64_t bucket_reads = 0;
+  uint64_t bytes_read = 0;
+  uint64_t objects_read = 0;
+};
+
+/// Abstract bucket-granularity storage engine.
+///
+/// Not thread-safe; LifeRaft's scheduler loop is single-threaded by design
+/// (the paper's system schedules one bucket batch at a time).
+class BucketStore {
+ public:
+  virtual ~BucketStore() = default;
+
+  /// Number of buckets in the catalog.
+  virtual size_t num_buckets() const = 0;
+
+  /// The HTM-curve partitioning this store was built with.
+  virtual const BucketMap& bucket_map() const = 0;
+
+  /// Number of objects in bucket `index`, from catalog metadata — never
+  /// performs I/O. The hybrid join strategy sizes its scan-vs-probe
+  /// decision with this.
+  virtual size_t BucketObjectCount(BucketIndex index) const = 0;
+
+  /// Reads bucket `index` in full. Returned buckets are immutable and
+  /// shareable (the cache hands out the same pointer).
+  virtual Result<std::shared_ptr<const Bucket>> ReadBucket(
+      BucketIndex index) = 0;
+
+  const StoreStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = StoreStats{}; }
+
+ protected:
+  void RecordRead(const Bucket& b) {
+    ++stats_.bucket_reads;
+    stats_.bytes_read += b.EstimatedBytes();
+    stats_.objects_read += b.size();
+  }
+
+  StoreStats stats_;
+};
+
+}  // namespace liferaft::storage
+
+#endif  // LIFERAFT_STORAGE_BUCKET_STORE_H_

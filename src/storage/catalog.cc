@@ -1,0 +1,36 @@
+#include "storage/catalog.h"
+
+#include <algorithm>
+
+#include "storage/partitioner.h"
+
+namespace liferaft::storage {
+
+Result<std::unique_ptr<Catalog>> Catalog::Build(
+    std::vector<CatalogObject> objects, const CatalogOptions& options) {
+  if (options.objects_per_bucket == 0) {
+    return Status::InvalidArgument("objects_per_bucket must be > 0");
+  }
+  auto catalog = std::unique_ptr<Catalog>(new Catalog());
+  catalog->num_objects_ = objects.size();
+
+  std::optional<std::vector<CatalogObject>> index_copy;
+  if (options.build_index) {
+    index_copy = objects;  // keep a copy for the index before moving
+  }
+
+  LIFERAFT_ASSIGN_OR_RETURN(
+      PartitionResult partition,
+      PartitionCatalog(std::move(objects), options.objects_per_bucket));
+  catalog->store_ = std::make_unique<MemStore>(std::move(partition));
+
+  if (index_copy.has_value()) {
+    std::sort(index_copy->begin(), index_copy->end(), ObjectHtmLess);
+    LIFERAFT_ASSIGN_OR_RETURN(BTreeIndex index,
+                              BTreeIndex::BulkLoad(std::move(*index_copy)));
+    catalog->index_ = std::move(index);
+  }
+  return catalog;
+}
+
+}  // namespace liferaft::storage

@@ -1,0 +1,58 @@
+// Catalog: one archive's partitioned fact table plus its optional spatial
+// index. This is the "database" a LifeRaft instance schedules against.
+
+#ifndef LIFERAFT_STORAGE_CATALOG_H_
+#define LIFERAFT_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/btree.h"
+#include "storage/bucket_store.h"
+#include "storage/mem_store.h"
+#include "util/status.h"
+
+namespace liferaft::storage {
+
+/// Catalog construction options.
+struct CatalogOptions {
+  /// Objects per bucket (paper: 10,000). Must be > 0.
+  size_t objects_per_bucket = 1000;
+  /// Build the B+tree spatial index (required for the hybrid join's indexed
+  /// path; IndexOnly and hybrid scheduling need it).
+  bool build_index = true;
+};
+
+/// An immutable partitioned archive held in memory, with optional B+tree
+/// index. Use FileStore directly for the persistent path; Catalog is the
+/// common in-process setup for experiments and examples.
+class Catalog {
+ public:
+  /// Partitions `objects` and builds the store (and index if requested).
+  static Result<std::unique_ptr<Catalog>> Build(
+      std::vector<CatalogObject> objects, const CatalogOptions& options);
+
+  BucketStore* store() { return store_.get(); }
+  const BucketStore* store() const { return store_.get(); }
+  const BucketMap& bucket_map() const { return store_->bucket_map(); }
+  size_t num_buckets() const { return store_->num_buckets(); }
+  size_t num_objects() const { return num_objects_; }
+
+  /// Null if build_index was false.
+  const BTreeIndex* index() const {
+    return index_.has_value() ? &*index_ : nullptr;
+  }
+
+ private:
+  Catalog() = default;
+
+  std::unique_ptr<MemStore> store_;
+  std::optional<BTreeIndex> index_;
+  size_t num_objects_ = 0;
+};
+
+}  // namespace liferaft::storage
+
+#endif  // LIFERAFT_STORAGE_CATALOG_H_

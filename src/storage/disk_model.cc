@@ -1,0 +1,44 @@
+#include "storage/disk_model.h"
+
+namespace liferaft::storage {
+
+Status DiskModelParams::Validate() const {
+  if (seek_ms < 0) return Status::InvalidArgument("seek_ms must be >= 0");
+  if (transfer_mb_per_s <= 0) {
+    return Status::InvalidArgument("transfer_mb_per_s must be > 0");
+  }
+  if (match_ms_per_object <= 0) {
+    return Status::InvalidArgument("match_ms_per_object must be > 0");
+  }
+  if (index_probe_ms <= 0) {
+    return Status::InvalidArgument("index_probe_ms must be > 0");
+  }
+  return Status::OK();
+}
+
+DiskModel::DiskModel(DiskModelParams params) : params_(params) {}
+
+TimeMs DiskModel::SequentialReadMs(uint64_t bytes) const {
+  double mb = static_cast<double>(bytes) / (1024.0 * 1024.0);
+  return params_.seek_ms + mb / params_.transfer_mb_per_s * 1000.0;
+}
+
+TimeMs DiskModel::IndexedProbesMs(uint64_t n) const {
+  return static_cast<double>(n) * params_.index_probe_ms;
+}
+
+TimeMs DiskModel::MatchMs(uint64_t n) const {
+  return static_cast<double>(n) * params_.match_ms_per_object;
+}
+
+TimeMs DiskModel::ScanJoinMs(uint64_t bucket_bytes, uint64_t queue_objects,
+                             bool bucket_cached) const {
+  TimeMs io = bucket_cached ? 0.0 : SequentialReadMs(bucket_bytes);
+  return io + MatchMs(queue_objects);
+}
+
+TimeMs DiskModel::IndexedJoinMs(uint64_t queue_objects) const {
+  return IndexedProbesMs(queue_objects) + MatchMs(queue_objects);
+}
+
+}  // namespace liferaft::storage

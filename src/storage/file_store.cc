@@ -1,0 +1,215 @@
+#include "storage/file_store.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "geom/spherical.h"
+#include "util/coding.h"
+#include "util/crc32.h"
+
+namespace liferaft::storage {
+namespace {
+
+constexpr char kHeaderMagic[8] = {'L', 'F', 'R', 'B', 'K', 'T', '0', '1'};
+constexpr char kFooterMagic[8] = {'L', 'F', 'R', 'B', 'K', 'T', 'I', 'X'};
+constexpr uint32_t kFormatVersion = 1;
+constexpr size_t kRecordBytes = 8 + 8 + 8 + 8 + 4 + 4;
+constexpr size_t kBucketHeaderBytes = 8 + 8 + 4;
+constexpr size_t kFooterBytes = 8 + 4 + 8;
+
+void AppendRecord(std::string* out, const CatalogObject& o) {
+  PutFixed64(out, o.object_id);
+  PutFixed64(out, o.htm_id);
+  PutDouble(out, o.ra_deg);
+  PutDouble(out, o.dec_deg);
+  PutFloat(out, o.mag);
+  PutFloat(out, o.color);
+}
+
+CatalogObject ParseRecord(const char* p) {
+  CatalogObject o;
+  o.object_id = GetFixed64(p);
+  o.htm_id = GetFixed64(p + 8);
+  o.ra_deg = GetDouble(p + 16);
+  o.dec_deg = GetDouble(p + 24);
+  o.mag = GetFloat(p + 32);
+  o.color = GetFloat(p + 36);
+  o.pos = SkyToUnitVector(o.sky());
+  return o;
+}
+
+Status ReadExact(std::FILE* f, uint64_t offset, void* buf, size_t len) {
+  if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0) {
+    return Status::IOError("seek failed: " + std::string(strerror(errno)));
+  }
+  if (std::fread(buf, 1, len, f) != len) {
+    return Status::IOError("short read");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+FileStore::FileStore(std::FILE* file, std::vector<uint64_t> offsets,
+                     std::vector<uint32_t> counts,
+                     std::shared_ptr<const BucketMap> map)
+    : file_(file),
+      offsets_(std::move(offsets)),
+      counts_(std::move(counts)),
+      map_(std::move(map)) {}
+
+FileStore::~FileStore() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileStore::Create(const std::string& path,
+                         const std::vector<Bucket>& buckets) {
+  if (buckets.empty()) {
+    return Status::InvalidArgument("cannot create a store with no buckets");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot create " + path + ": " + strerror(errno));
+  }
+  std::string out;
+  out.append(kHeaderMagic, sizeof(kHeaderMagic));
+  PutFixed32(&out, kFormatVersion);
+  PutFixed64(&out, buckets.size());
+
+  std::vector<uint64_t> offsets;
+  offsets.reserve(buckets.size());
+  for (const Bucket& b : buckets) {
+    offsets.push_back(out.size());
+    std::string payload;
+    PutFixed64(&payload, b.range().lo);
+    PutFixed64(&payload, b.range().hi);
+    PutFixed32(&payload, static_cast<uint32_t>(b.size()));
+    for (const auto& o : b.objects()) AppendRecord(&payload, o);
+    uint32_t crc = Crc32(payload.data(), payload.size());
+    out += payload;
+    PutFixed32(&out, crc);
+  }
+
+  uint64_t index_offset = out.size();
+  std::string index;
+  for (uint64_t off : offsets) PutFixed64(&index, off);
+  uint32_t index_crc = Crc32(index.data(), index.size());
+  out += index;
+  PutFixed64(&out, index_offset);
+  PutFixed32(&out, index_crc);
+  out.append(kFooterMagic, sizeof(kFooterMagic));
+
+  size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  bool flush_ok = (std::fflush(f) == 0);
+  std::fclose(f);
+  if (written != out.size() || !flush_ok) {
+    return Status::IOError("write failed for " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<FileStore>> FileStore::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + ": " + strerror(errno));
+  }
+  auto fail = [&](Status s) -> Result<std::unique_ptr<FileStore>> {
+    std::fclose(f);
+    return s;
+  };
+
+  // Header.
+  char header[8 + 4 + 8];
+  Status st = ReadExact(f, 0, header, sizeof(header));
+  if (!st.ok()) return fail(st);
+  if (std::memcmp(header, kHeaderMagic, 8) != 0) {
+    return fail(Status::Corruption("bad header magic in " + path));
+  }
+  uint32_t version = GetFixed32(header + 8);
+  if (version != kFormatVersion) {
+    return fail(Status::Corruption("unsupported format version " +
+                                   std::to_string(version)));
+  }
+  uint64_t num_buckets = GetFixed64(header + 12);
+  if (num_buckets == 0) return fail(Status::Corruption("zero buckets"));
+
+  // Footer.
+  if (std::fseek(f, 0, SEEK_END) != 0) return fail(Status::IOError("seek"));
+  long file_size = std::ftell(f);
+  if (file_size < static_cast<long>(sizeof(header) + kFooterBytes)) {
+    return fail(Status::Corruption("file too small"));
+  }
+  char footer[kFooterBytes];
+  st = ReadExact(f, static_cast<uint64_t>(file_size) - kFooterBytes, footer,
+                 kFooterBytes);
+  if (!st.ok()) return fail(st);
+  if (std::memcmp(footer + 12, kFooterMagic, 8) != 0) {
+    return fail(Status::Corruption("bad footer magic in " + path));
+  }
+  uint64_t index_offset = GetFixed64(footer);
+  uint32_t index_crc = GetFixed32(footer + 8);
+
+  // Offset index.
+  std::string index(num_buckets * 8, '\0');
+  st = ReadExact(f, index_offset, index.data(), index.size());
+  if (!st.ok()) return fail(st);
+  if (Crc32(index.data(), index.size()) != index_crc) {
+    return fail(Status::Corruption("index checksum mismatch in " + path));
+  }
+  std::vector<uint64_t> offsets(num_buckets);
+  for (uint64_t i = 0; i < num_buckets; ++i) {
+    offsets[i] = GetFixed64(index.data() + i * 8);
+  }
+
+  // Reconstruct the bucket map and cardinality metadata from the page
+  // headers.
+  std::vector<htm::HtmId> bounds(num_buckets);
+  std::vector<uint32_t> counts(num_buckets);
+  for (uint64_t i = 0; i < num_buckets; ++i) {
+    char page_header[kBucketHeaderBytes];
+    st = ReadExact(f, offsets[i], page_header, sizeof(page_header));
+    if (!st.ok()) return fail(st);
+    bounds[i] = GetFixed64(page_header);
+    counts[i] = GetFixed32(page_header + 16);
+  }
+  auto map = std::make_shared<const BucketMap>(std::move(bounds));
+
+  return std::unique_ptr<FileStore>(new FileStore(
+      f, std::move(offsets), std::move(counts), std::move(map)));
+}
+
+Result<std::shared_ptr<const Bucket>> FileStore::ReadBucket(
+    BucketIndex index) {
+  if (index >= offsets_.size()) {
+    return Status::OutOfRange("bucket index out of range");
+  }
+  char page_header[kBucketHeaderBytes];
+  LIFERAFT_RETURN_IF_ERROR(
+      ReadExact(file_, offsets_[index], page_header, sizeof(page_header)));
+  htm::IdRange range{GetFixed64(page_header), GetFixed64(page_header + 8)};
+  uint32_t count = GetFixed32(page_header + 16);
+
+  std::string payload(kBucketHeaderBytes + count * kRecordBytes, '\0');
+  LIFERAFT_RETURN_IF_ERROR(
+      ReadExact(file_, offsets_[index], payload.data(), payload.size()));
+  char crc_buf[4];
+  LIFERAFT_RETURN_IF_ERROR(ReadExact(
+      file_, offsets_[index] + payload.size(), crc_buf, sizeof(crc_buf)));
+  if (Crc32(payload.data(), payload.size()) != GetFixed32(crc_buf)) {
+    return Status::Corruption("bucket " + std::to_string(index) +
+                              " checksum mismatch");
+  }
+
+  std::vector<CatalogObject> objects;
+  objects.reserve(count);
+  const char* p = payload.data() + kBucketHeaderBytes;
+  for (uint32_t i = 0; i < count; ++i, p += kRecordBytes) {
+    objects.push_back(ParseRecord(p));
+  }
+  auto bucket = std::make_shared<const Bucket>(index, range,
+                                               std::move(objects));
+  RecordRead(*bucket);
+  return std::shared_ptr<const Bucket>(bucket);
+}
+
+}  // namespace liferaft::storage

@@ -1,0 +1,70 @@
+// File-backed BucketStore: a single packed file of checksummed bucket pages
+// plus a trailing offset index.
+//
+// Layout (all integers little-endian):
+//
+//   [header]   magic "LFRBKT01" (8) | format version u32 | num_buckets u64
+//   [bucket]*  per bucket: range_lo u64 | range_hi u64 | count u32 |
+//              count * record | payload_crc u32
+//   [record]   object_id u64 | htm_id u64 | ra f64 | dec f64 |
+//              mag f32 | color f32        (40 bytes)
+//   [index]    num_buckets * offset u64 (byte offset of each bucket page)
+//   [footer]   index_offset u64 | index_crc u32 | magic "LFRBKTIX" (8)
+//
+// The unit-vector position is recomputed from ra/dec at load time rather
+// than stored, keeping records compact and making the file byte-stable
+// across platforms.
+
+#ifndef LIFERAFT_STORAGE_FILE_STORE_H_
+#define LIFERAFT_STORAGE_FILE_STORE_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/bucket_store.h"
+
+namespace liferaft::storage {
+
+/// Bucket store reading from the packed-file format above. Bucket pages are
+/// read (and checksum-verified) on every ReadBucket call; caching is the
+/// BucketCache's job, exactly as in the paper where bucket caching is
+/// "managed independently of the database server".
+class FileStore : public BucketStore {
+ public:
+  ~FileStore() override;
+
+  FileStore(const FileStore&) = delete;
+  FileStore& operator=(const FileStore&) = delete;
+
+  /// Serializes a partitioned catalog to `path`, overwriting any existing
+  /// file.
+  static Status Create(const std::string& path,
+                       const std::vector<Bucket>& buckets);
+
+  /// Opens an existing store, validating magic, version, and index
+  /// checksum.
+  static Result<std::unique_ptr<FileStore>> Open(const std::string& path);
+
+  size_t num_buckets() const override { return offsets_.size(); }
+  const BucketMap& bucket_map() const override { return *map_; }
+  size_t BucketObjectCount(BucketIndex index) const override {
+    return index < counts_.size() ? counts_[index] : 0;
+  }
+  Result<std::shared_ptr<const Bucket>> ReadBucket(BucketIndex index) override;
+
+ private:
+  FileStore(std::FILE* file, std::vector<uint64_t> offsets,
+            std::vector<uint32_t> counts,
+            std::shared_ptr<const BucketMap> map);
+
+  std::FILE* file_;
+  std::vector<uint64_t> offsets_;
+  std::vector<uint32_t> counts_;
+  std::shared_ptr<const BucketMap> map_;
+};
+
+}  // namespace liferaft::storage
+
+#endif  // LIFERAFT_STORAGE_FILE_STORE_H_

@@ -1,0 +1,21 @@
+#include "storage/mem_store.h"
+
+namespace liferaft::storage {
+
+MemStore::MemStore(PartitionResult partition) : map_(partition.map) {
+  buckets_.reserve(partition.buckets.size());
+  for (auto& b : partition.buckets) {
+    buckets_.push_back(std::make_shared<const Bucket>(std::move(b)));
+  }
+}
+
+Result<std::shared_ptr<const Bucket>> MemStore::ReadBucket(BucketIndex index) {
+  if (index >= buckets_.size()) {
+    return Status::OutOfRange("bucket index " + std::to_string(index) +
+                              " >= " + std::to_string(buckets_.size()));
+  }
+  RecordRead(*buckets_[index]);
+  return buckets_[index];
+}
+
+}  // namespace liferaft::storage

@@ -1,0 +1,35 @@
+// In-memory BucketStore. The catalog's buckets are materialized once and
+// served by shared pointer; the simulator charges modeled I/O time when a
+// read would have gone to disk.
+
+#ifndef LIFERAFT_STORAGE_MEM_STORE_H_
+#define LIFERAFT_STORAGE_MEM_STORE_H_
+
+#include <memory>
+#include <vector>
+
+#include "storage/bucket_store.h"
+
+namespace liferaft::storage {
+
+/// BucketStore over materialized in-memory buckets.
+class MemStore : public BucketStore {
+ public:
+  /// Takes ownership of a partitioned catalog.
+  explicit MemStore(PartitionResult partition);
+
+  size_t num_buckets() const override { return buckets_.size(); }
+  const BucketMap& bucket_map() const override { return *map_; }
+  size_t BucketObjectCount(BucketIndex index) const override {
+    return index < buckets_.size() ? buckets_[index]->size() : 0;
+  }
+  Result<std::shared_ptr<const Bucket>> ReadBucket(BucketIndex index) override;
+
+ private:
+  std::shared_ptr<const BucketMap> map_;
+  std::vector<std::shared_ptr<const Bucket>> buckets_;
+};
+
+}  // namespace liferaft::storage
+
+#endif  // LIFERAFT_STORAGE_MEM_STORE_H_

@@ -1,0 +1,20 @@
+#include "storage/object.h"
+
+#include "htm/htm.h"
+
+namespace liferaft::storage {
+
+CatalogObject MakeObject(uint64_t object_id, const SkyPoint& p, float mag,
+                         float color) {
+  CatalogObject o;
+  o.object_id = object_id;
+  o.ra_deg = p.ra_deg;
+  o.dec_deg = p.dec_deg;
+  o.pos = SkyToUnitVector(p);
+  o.htm_id = htm::PointToId(o.pos, htm::kObjectLevel);
+  o.mag = mag;
+  o.color = color;
+  return o;
+}
+
+}  // namespace liferaft::storage

@@ -1,0 +1,52 @@
+// The catalog record type: one astronomical observation. This is the row of
+// the "primary fact table" LifeRaft partitions into buckets.
+
+#ifndef LIFERAFT_STORAGE_OBJECT_H_
+#define LIFERAFT_STORAGE_OBJECT_H_
+
+#include <cstdint>
+
+#include "geom/spherical.h"
+#include "geom/vec3.h"
+#include "htm/htm_id.h"
+
+namespace liferaft::storage {
+
+/// One celestial object of the archive's fact table.
+///
+/// Plain trivially-copyable struct: the on-disk bucket format serializes it
+/// byte-for-byte (fixed-width little-endian fields written individually, so
+/// padding never reaches disk).
+struct CatalogObject {
+  /// Archive-unique object identifier.
+  uint64_t object_id = 0;
+  /// Level-14 HTM ID of the object's mean position; the sort/partition key.
+  htm::HtmId htm_id = 0;
+  /// Unit-vector mean position (derived from ra/dec, cached for joins).
+  Vec3 pos;
+  /// Right ascension / declination in degrees.
+  double ra_deg = 0.0;
+  double dec_deg = 0.0;
+  /// Apparent magnitude (used by query predicates).
+  float mag = 0.0f;
+  /// Color index (used by query predicates).
+  float color = 0.0f;
+
+  SkyPoint sky() const { return SkyPoint{ra_deg, dec_deg}; }
+};
+
+/// Builds a CatalogObject from sky coordinates, assigning its HTM ID at the
+/// standard object level.
+CatalogObject MakeObject(uint64_t object_id, const SkyPoint& p,
+                         float mag = 20.0f, float color = 0.5f);
+
+/// Ordering used everywhere objects are stored: by HTM ID, ties by
+/// object_id so sorting is total and deterministic.
+inline bool ObjectHtmLess(const CatalogObject& a, const CatalogObject& b) {
+  if (a.htm_id != b.htm_id) return a.htm_id < b.htm_id;
+  return a.object_id < b.object_id;
+}
+
+}  // namespace liferaft::storage
+
+#endif  // LIFERAFT_STORAGE_OBJECT_H_

@@ -1,0 +1,30 @@
+#include "util/clock.h"
+
+#include <cassert>
+#include <chrono>
+
+namespace liferaft {
+
+void VirtualClock::Advance(TimeMs delta) {
+  assert(delta >= 0.0);
+  now_ += delta;
+}
+
+void VirtualClock::AdvanceTo(TimeMs t) {
+  if (t > now_) now_ = t;
+}
+
+WallClock::WallClock() {
+  epoch_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now().time_since_epoch())
+                  .count();
+}
+
+TimeMs WallClock::NowMs() const {
+  int64_t now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now().time_since_epoch())
+                       .count();
+  return static_cast<TimeMs>(now_ns - epoch_ns_) / 1e6;
+}
+
+}  // namespace liferaft

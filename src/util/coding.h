@@ -1,0 +1,70 @@
+// Fixed-width little-endian serialization helpers for the on-disk bucket
+// format (RocksDB-style PutFixed/GetFixed idiom). All multi-byte values are
+// written explicitly little-endian so files are portable across hosts.
+
+#ifndef LIFERAFT_UTIL_CODING_H_
+#define LIFERAFT_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace liferaft {
+
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  dst->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  dst->append(buf, 8);
+}
+
+inline void PutDouble(std::string* dst, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  PutFixed64(dst, bits);
+}
+
+inline void PutFloat(std::string* dst, float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  PutFixed32(dst, bits);
+}
+
+inline uint32_t GetFixed32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+inline uint64_t GetFixed64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+inline double GetDouble(const char* p) {
+  uint64_t bits = GetFixed64(p);
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+inline float GetFloat(const char* p) {
+  uint32_t bits = GetFixed32(p);
+  float v;
+  std::memcpy(&v, &bits, 4);
+  return v;
+}
+
+}  // namespace liferaft
+
+#endif  // LIFERAFT_UTIL_CODING_H_

@@ -1,0 +1,18 @@
+// CRC-32 (ISO-HDLC polynomial, the zlib variant) for the on-disk bucket
+// format's corruption checks.
+
+#ifndef LIFERAFT_UTIL_CRC32_H_
+#define LIFERAFT_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace liferaft {
+
+/// Computes CRC-32 over `len` bytes. `seed` allows incremental use: pass the
+/// previous call's return value to continue a running checksum.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace liferaft
+
+#endif  // LIFERAFT_UTIL_CRC32_H_

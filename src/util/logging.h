@@ -1,0 +1,66 @@
+// Minimal leveled logger used across LifeRaft.
+//
+// Logging is intentionally simple: a process-wide level, stderr sink by
+// default, and stream-style message construction. Benchmarks set the level
+// to kWarn so timed regions are not polluted by I/O.
+
+#ifndef LIFERAFT_UTIL_LOGGING_H_
+#define LIFERAFT_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace liferaft {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Process-wide logging configuration.
+class Logger {
+ public:
+  /// Sets the minimum level that will be emitted.
+  static void SetLevel(LogLevel level);
+  static LogLevel level();
+
+  /// Emits one formatted line ("[LEVEL] message\n") to stderr if `level`
+  /// is at or above the configured minimum.
+  static void Log(LogLevel level, const std::string& message);
+};
+
+namespace internal {
+
+/// Builds a log line with stream syntax and emits it on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Log(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace liferaft
+
+#define LIFERAFT_LOG_DEBUG \
+  ::liferaft::internal::LogMessage(::liferaft::LogLevel::kDebug)
+#define LIFERAFT_LOG_INFO \
+  ::liferaft::internal::LogMessage(::liferaft::LogLevel::kInfo)
+#define LIFERAFT_LOG_WARN \
+  ::liferaft::internal::LogMessage(::liferaft::LogLevel::kWarn)
+#define LIFERAFT_LOG_ERROR \
+  ::liferaft::internal::LogMessage(::liferaft::LogLevel::kError)
+
+#endif  // LIFERAFT_UTIL_LOGGING_H_

@@ -1,0 +1,94 @@
+// Deterministic pseudo-random generation and the distributions used by the
+// workload generators: uniform, exponential (Poisson inter-arrivals), Zipf
+// (bucket popularity skew), and normal.
+//
+// All experiments are seeded, so every benchmark run is reproducible.
+
+#ifndef LIFERAFT_UTIL_RANDOM_H_
+#define LIFERAFT_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace liferaft {
+
+/// xoshiro256++ PRNG. Fast, high-quality, and deterministic across
+/// platforms (unlike std::mt19937 distributions, whose output is not
+/// specified identically by all standard libraries).
+class Rng {
+ public:
+  /// Seeds the generator from a single 64-bit value via splitmix64.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n). Precondition: n > 0.
+  uint64_t UniformU64(uint64_t n);
+
+  /// Uniform integer in [lo, hi]. Precondition: lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Exponential with rate lambda (mean 1/lambda). Used for Poisson
+  /// inter-arrival times. Precondition: lambda > 0.
+  double Exponential(double lambda);
+
+  /// Standard normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformU64(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Samples ranks 0..n-1 with probability proportional to 1/(rank+1)^s.
+///
+/// Uses a precomputed cumulative table with binary search; construction is
+/// O(n), sampling O(log n). Rank 0 is the most popular item.
+class ZipfDistribution {
+ public:
+  /// @param n number of items (> 0)
+  /// @param s skew exponent (>= 0; 0 degenerates to uniform)
+  ZipfDistribution(size_t n, double s);
+
+  /// Draws a rank in [0, n).
+  size_t Sample(Rng* rng) const;
+
+  /// Probability mass of a given rank.
+  double Pmf(size_t rank) const;
+
+  size_t n() const { return cdf_.size(); }
+  double s() const { return s_; }
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i)
+};
+
+/// Samples a count from Poisson(mean) via inversion (small mean) or
+/// normal approximation (large mean).
+int64_t PoissonSample(Rng* rng, double mean);
+
+}  // namespace liferaft
+
+#endif  // LIFERAFT_UTIL_RANDOM_H_

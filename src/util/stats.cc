@@ -1,0 +1,89 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace liferaft {
+
+void StreamingStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double StreamingStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+double StreamingStats::coefficient_of_variation() const {
+  if (mean_ == 0.0 || count_ == 0) return 0.0;
+  return stddev() / mean_;
+}
+
+void StreamingStats::Merge(const StreamingStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double delta = other.mean_ - mean_;
+  size_t total = count_ + other.count_;
+  m2_ += other.m2_ + delta * delta *
+                         (static_cast<double>(count_) * other.count_ / total);
+  mean_ += delta * static_cast<double>(other.count_) / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  count_ = total;
+}
+
+double Percentiles::Percentile(double p) {
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  double idx = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(idx);
+  size_t hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = idx - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  assert(bins > 0);
+  assert(hi > lo);
+}
+
+void Histogram::Add(double x) {
+  double rel = (x - lo_) / width_;
+  int64_t bin = static_cast<int64_t>(std::floor(rel));
+  bin = std::clamp<int64_t>(bin, 0, static_cast<int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<size_t>(bin)];
+  ++total_;
+}
+
+uint64_t Histogram::BinCount(size_t bin) const {
+  assert(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::BinLow(size_t bin) const {
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+}  // namespace liferaft

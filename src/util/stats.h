@@ -1,0 +1,80 @@
+// Streaming statistics and histograms used by the simulator's run metrics
+// (mean / variance / coefficient of variance of response times, percentiles,
+// cumulative-frequency curves).
+
+#ifndef LIFERAFT_UTIL_STATS_H_
+#define LIFERAFT_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace liferaft {
+
+/// Single-pass mean/variance accumulator (Welford's algorithm).
+class StreamingStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Coefficient of variation: stddev / mean (0 if mean == 0).
+  double coefficient_of_variation() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void Merge(const StreamingStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exact-percentile sample collector. Stores all samples; suitable for the
+/// trace sizes used here (thousands of queries).
+class Percentiles {
+ public:
+  void Add(double x) { samples_.push_back(x); }
+  size_t count() const { return samples_.size(); }
+
+  /// p in [0, 100]. Returns 0 for an empty collector. Sorts lazily.
+  double Percentile(double p);
+
+  double Median() { return Percentile(50.0); }
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+/// Fixed-width linear histogram over [lo, hi); out-of-range values clamp to
+/// the edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double x);
+  uint64_t BinCount(size_t bin) const;
+  size_t bins() const { return counts_.size(); }
+  double BinLow(size_t bin) const;
+  uint64_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace liferaft
+
+#endif  // LIFERAFT_UTIL_STATS_H_

@@ -1,0 +1,45 @@
+// Small tabular output helper used by the benchmark harnesses to print the
+// rows/series the paper's figures report, plus CSV export so results can be
+// re-plotted.
+
+#ifndef LIFERAFT_UTIL_TABLE_H_
+#define LIFERAFT_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace liferaft {
+
+/// Column-aligned text table with optional CSV export.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as headers.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 3);
+
+  /// Renders an aligned, human-readable table.
+  std::string ToText() const;
+
+  /// Renders RFC-4180-ish CSV (no quoting of embedded commas is needed by
+  /// our numeric output, but cells containing commas are quoted anyway).
+  std::string ToCsv() const;
+
+  /// Writes the CSV rendering to a file.
+  Status WriteCsv(const std::string& path) const;
+
+  size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace liferaft
+
+#endif  // LIFERAFT_UTIL_TABLE_H_

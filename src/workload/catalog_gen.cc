@@ -1,0 +1,75 @@
+#include "workload/catalog_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace liferaft::workload {
+
+SkyPoint RandomSkyPoint(Rng* rng) {
+  SkyPoint p;
+  p.ra_deg = rng->UniformDouble(0.0, 360.0);
+  p.dec_deg = std::asin(rng->UniformDouble(-1.0, 1.0)) * kRadToDeg;
+  return p;
+}
+
+SkyPoint RandomPointInCap(Rng* rng, const SkyPoint& center,
+                          double radius_deg) {
+  // Area-uniform in the cap: cos(theta) uniform on [cos r, 1], azimuth
+  // uniform; then rotate the polar sample onto the cap axis.
+  double cos_r = std::cos(radius_deg * kDegToRad);
+  double cos_t = rng->UniformDouble(cos_r, 1.0);
+  double sin_t = std::sqrt(std::max(0.0, 1.0 - cos_t * cos_t));
+  double phi = rng->UniformDouble(0.0, 2.0 * M_PI);
+
+  Vec3 axis = SkyToUnitVector(center);
+  // Orthonormal basis (axis, u, v).
+  Vec3 ref = std::abs(axis.z) < 0.9 ? Vec3{0, 0, 1} : Vec3{1, 0, 0};
+  Vec3 u = axis.Cross(ref).Normalized();
+  Vec3 v = axis.Cross(u);
+  Vec3 p = axis * cos_t + (u * std::cos(phi) + v * std::sin(phi)) * sin_t;
+  return UnitVectorToSky(p.Normalized());
+}
+
+Result<std::vector<storage::CatalogObject>> GenerateCatalog(
+    const CatalogGenConfig& config) {
+  if (config.num_objects == 0) {
+    return Status::InvalidArgument("num_objects must be positive");
+  }
+  if (config.cluster_fraction < 0.0 || config.cluster_fraction > 1.0) {
+    return Status::InvalidArgument("cluster_fraction must be in [0, 1]");
+  }
+  if (config.cluster_fraction > 0.0 && config.num_clusters == 0) {
+    return Status::InvalidArgument(
+        "num_clusters must be positive when cluster_fraction > 0");
+  }
+  Rng rng(config.seed);
+
+  std::vector<SkyPoint> cluster_centers;
+  cluster_centers.reserve(config.num_clusters);
+  for (size_t i = 0; i < config.num_clusters; ++i) {
+    cluster_centers.push_back(RandomSkyPoint(&rng));
+  }
+
+  std::vector<storage::CatalogObject> objects;
+  objects.reserve(config.num_objects);
+  for (size_t i = 0; i < config.num_objects; ++i) {
+    SkyPoint p;
+    if (rng.Bernoulli(config.cluster_fraction)) {
+      const SkyPoint& c =
+          cluster_centers[rng.UniformU64(cluster_centers.size())];
+      p.ra_deg = c.ra_deg + rng.Normal(0.0, config.cluster_sigma_deg);
+      p.dec_deg = c.dec_deg + rng.Normal(0.0, config.cluster_sigma_deg);
+      p.ra_deg = std::fmod(p.ra_deg + 720.0, 360.0);
+      p.dec_deg = std::clamp(p.dec_deg, -89.999, 89.999);
+    } else {
+      p = RandomSkyPoint(&rng);
+    }
+    float mag = static_cast<float>(
+        rng.UniformDouble(config.mag_min, config.mag_max));
+    float color = static_cast<float>(rng.Normal(0.6, 0.4));
+    objects.push_back(storage::MakeObject(i, p, mag, color));
+  }
+  return objects;
+}
+
+}  // namespace liferaft::workload

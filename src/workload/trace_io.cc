@@ -1,0 +1,124 @@
+#include "workload/trace_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "util/coding.h"
+#include "util/crc32.h"
+
+namespace liferaft::workload {
+namespace {
+
+constexpr char kMagic[8] = {'L', 'F', 'R', 'T', 'R', 'C', '0', '1'};
+
+}  // namespace
+
+Status SaveTrace(const std::string& path,
+                 const std::vector<query::CrossMatchQuery>& trace) {
+  std::string payload;
+  PutFixed64(&payload, trace.size());
+  for (const auto& q : trace) {
+    PutFixed64(&payload, q.id);
+    PutDouble(&payload, q.arrival_ms);
+    PutFloat(&payload, q.predicate.min_mag);
+    PutFloat(&payload, q.predicate.max_mag);
+    PutFloat(&payload, q.predicate.min_color);
+    PutFloat(&payload, q.predicate.max_color);
+    PutFixed32(&payload, static_cast<uint32_t>(q.label.size()));
+    payload += q.label;
+    PutFixed64(&payload, q.objects.size());
+    for (const auto& o : q.objects) {
+      PutFixed64(&payload, o.id);
+      PutDouble(&payload, o.ra_deg);
+      PutDouble(&payload, o.dec_deg);
+      PutDouble(&payload, o.radius_arcsec);
+    }
+  }
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  PutFixed32(&out, Crc32(payload.data(), payload.size()));
+  out += payload;
+
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return Status::IOError("cannot create " + path);
+  f.write(out.data(), static_cast<std::streamsize>(out.size()));
+  if (!f) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+Result<std::vector<query::CrossMatchQuery>> LoadTrace(
+    const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  if (!f) return Status::IOError("cannot open " + path);
+  auto size = static_cast<size_t>(f.tellg());
+  if (size < sizeof(kMagic) + 4) {
+    return Status::Corruption("trace file too small: " + path);
+  }
+  std::string data(size, '\0');
+  f.seekg(0);
+  f.read(data.data(), static_cast<std::streamsize>(size));
+  if (!f) return Status::IOError("read failed for " + path);
+
+  if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad trace magic in " + path);
+  }
+  uint32_t stored_crc = GetFixed32(data.data() + sizeof(kMagic));
+  const char* payload = data.data() + sizeof(kMagic) + 4;
+  size_t payload_size = size - sizeof(kMagic) - 4;
+  if (Crc32(payload, payload_size) != stored_crc) {
+    return Status::Corruption("trace checksum mismatch in " + path);
+  }
+
+  const char* p = payload;
+  const char* end = payload + payload_size;
+  auto need = [&](size_t n) { return static_cast<size_t>(end - p) >= n; };
+
+  if (!need(8)) return Status::Corruption("truncated trace header");
+  uint64_t n = GetFixed64(p);
+  p += 8;
+  std::vector<query::CrossMatchQuery> trace;
+  trace.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!need(8 + 8 + 16 + 4)) return Status::Corruption("truncated query");
+    query::CrossMatchQuery q;
+    q.id = GetFixed64(p);
+    p += 8;
+    q.arrival_ms = GetDouble(p);
+    p += 8;
+    q.predicate.min_mag = GetFloat(p);
+    p += 4;
+    q.predicate.max_mag = GetFloat(p);
+    p += 4;
+    q.predicate.min_color = GetFloat(p);
+    p += 4;
+    q.predicate.max_color = GetFloat(p);
+    p += 4;
+    uint32_t label_len = GetFixed32(p);
+    p += 4;
+    if (!need(label_len + 8)) return Status::Corruption("truncated label");
+    q.label.assign(p, label_len);
+    p += label_len;
+    uint64_t n_objects = GetFixed64(p);
+    p += 8;
+    if (!need(n_objects * 32)) return Status::Corruption("truncated objects");
+    q.objects.reserve(n_objects);
+    for (uint64_t j = 0; j < n_objects; ++j) {
+      uint64_t oid = GetFixed64(p);
+      p += 8;
+      double ra = GetDouble(p);
+      p += 8;
+      double dec = GetDouble(p);
+      p += 8;
+      double radius = GetDouble(p);
+      p += 8;
+      q.objects.push_back(
+          query::MakeQueryObject(oid, SkyPoint{ra, dec}, radius));
+    }
+    trace.push_back(std::move(q));
+  }
+  if (p != end) return Status::Corruption("trailing bytes in trace file");
+  return trace;
+}
+
+}  // namespace liferaft::workload

@@ -1,0 +1,29 @@
+// Trace persistence: save a generated query trace to a binary file and
+// replay it later, so experiments across schedulers run the exact same
+// workload (and traces can be shipped between machines).
+
+#ifndef LIFERAFT_WORKLOAD_TRACE_IO_H_
+#define LIFERAFT_WORKLOAD_TRACE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "util/status.h"
+
+namespace liferaft::workload {
+
+/// Writes the trace to `path` (overwrites). Object HTM covers are not
+/// stored; they are deterministic functions of position and radius and are
+/// recomputed on load.
+Status SaveTrace(const std::string& path,
+                 const std::vector<query::CrossMatchQuery>& trace);
+
+/// Loads a trace written by SaveTrace, recomputing HTM covers. Validates
+/// magic and checksum.
+Result<std::vector<query::CrossMatchQuery>> LoadTrace(
+    const std::string& path);
+
+}  // namespace liferaft::workload
+
+#endif  // LIFERAFT_WORKLOAD_TRACE_IO_H_

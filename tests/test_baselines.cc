@@ -1,0 +1,227 @@
+// Tests for the CasJobs multi-queue baseline and coordinated federation
+// execution.
+
+#include <gtest/gtest.h>
+
+#include "federation/federation.h"
+#include "sim/arrivals.h"
+#include "sim/casjobs.h"
+#include "storage/catalog.h"
+#include "util/random.h"
+#include "workload/catalog_gen.h"
+#include "workload/trace_gen.h"
+
+namespace liferaft::sim {
+namespace {
+
+class CasJobsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::CatalogGenConfig gen;
+    gen.num_objects = 50'000;
+    gen.seed = 901;
+    auto objects = workload::GenerateCatalog(gen);
+    ASSERT_TRUE(objects.ok());
+    storage::CatalogOptions options;
+    options.objects_per_bucket = 1000;
+    auto catalog = storage::Catalog::Build(std::move(*objects), options);
+    ASSERT_TRUE(catalog.ok());
+    catalog_ = std::move(*catalog);
+
+    // Mixed trace: alternate short (20 objects) and long (600+) queries.
+    workload::TraceConfig tc;
+    tc.num_queries = 60;
+    tc.min_objects_per_query = 300;
+    tc.seed = 907;
+    auto trace = workload::GenerateTrace(tc);
+    ASSERT_TRUE(trace.ok());
+    trace_ = std::move(*trace);
+    // Every other query becomes genuinely short *and* spatially tiny (one
+    // bucket), like an interactive lookup.
+    Rng rng(911);
+    for (size_t i = 0; i < trace_.size(); i += 2) {
+      auto& q = trace_[i];
+      q.objects.clear();
+      SkyPoint center = workload::RandomSkyPoint(&rng);
+      for (int j = 0; j < 20; ++j) {
+        q.objects.push_back(query::MakeQueryObject(
+            j, workload::RandomPointInCap(&rng, center, 0.05), 3.0));
+      }
+    }
+  }
+
+  std::unique_ptr<storage::Catalog> catalog_;
+  std::vector<query::CrossMatchQuery> trace_;
+};
+
+TEST_F(CasJobsTest, ClassifiesByThreshold) {
+  CasJobsConfig config;
+  config.short_threshold_objects = 100;
+  auto arrivals = ImmediateArrivals(trace_.size());
+  auto metrics = RunCasJobs(catalog_.get(), config, trace_, arrivals);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_EQ(metrics->short_queries, 30u);
+  EXPECT_EQ(metrics->long_queries, 30u);
+  EXPECT_EQ(metrics->short_response_ms.count(), 30u);
+  EXPECT_EQ(metrics->long_response_ms.count(), 30u);
+  EXPECT_GT(metrics->throughput_qps, 0.0);
+  EXPECT_GT(metrics->bucket_reads, 0u);
+}
+
+TEST_F(CasJobsTest, ShortQueueShieldsShortQueries) {
+  // The whole point of CasJobs: short queries don't wait behind long ones.
+  CasJobsConfig config;
+  config.short_threshold_objects = 100;
+  auto arrivals = ImmediateArrivals(trace_.size());
+  auto metrics = RunCasJobs(catalog_.get(), config, trace_, arrivals);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_LT(metrics->short_response_ms.mean(),
+            metrics->long_response_ms.mean() * 0.5);
+}
+
+TEST_F(CasJobsTest, ArbitraryThresholdMisclassifies) {
+  // The paper's §2 criticism quantified: push the threshold up and the
+  // "longest short queries" (now in the short queue) drag the short
+  // class's response up.
+  auto arrivals = ImmediateArrivals(trace_.size());
+  CasJobsConfig tight;
+  tight.short_threshold_objects = 100;
+  CasJobsConfig loose;
+  loose.short_threshold_objects = 5000;  // everything is "short"
+  auto m_tight = RunCasJobs(catalog_.get(), tight, trace_, arrivals);
+  auto m_loose = RunCasJobs(catalog_.get(), loose, trace_, arrivals);
+  ASSERT_TRUE(m_tight.ok() && m_loose.ok());
+  EXPECT_EQ(m_loose->long_queries, 0u);
+  EXPECT_GT(m_loose->short_response_ms.mean(),
+            m_tight->short_response_ms.mean());
+}
+
+TEST_F(CasJobsTest, InputValidation) {
+  CasJobsConfig config;
+  EXPECT_FALSE(RunCasJobs(catalog_.get(), config, trace_, {}).ok());
+  EXPECT_FALSE(RunCasJobs(catalog_.get(), config, {}, {}).ok());
+}
+
+}  // namespace
+}  // namespace liferaft::sim
+
+namespace liferaft::federation {
+namespace {
+
+// Shared-sky sites as in test_core.cc, but smaller.
+const std::vector<SkyPoint>& Stars() {
+  static const auto* stars = [] {
+    Rng rng(919);
+    auto* v = new std::vector<SkyPoint>();
+    for (int i = 0; i < 10'000; ++i) {
+      v->push_back(workload::RandomPointInCap(&rng, {90.0, -20.0}, 8.0));
+    }
+    return v;
+  }();
+  return *stars;
+}
+
+std::unique_ptr<core::LifeRaft> MakeSite(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<storage::CatalogObject> objects;
+  const double jitter = 1.0 / kArcsecPerDeg;
+  for (size_t i = 0; i < Stars().size(); ++i) {
+    SkyPoint p = Stars()[i];
+    p.ra_deg += rng.Normal(0, jitter);
+    p.dec_deg += rng.Normal(0, jitter);
+    objects.push_back(storage::MakeObject(i, p, 18.0f, 0.5f));
+  }
+  core::LifeRaftOptions options;
+  // Small buckets: the sites' active sets exceed the cache, so shared vs
+  // repeated bucket reads are observable.
+  options.objects_per_bucket = 100;
+  auto system = core::LifeRaft::Create(std::move(objects), options);
+  EXPECT_TRUE(system.ok());
+  return std::move(*system);
+}
+
+CrossMatchPlan MakePlan(query::QueryId id, size_t offset, int n_seeds) {
+  CrossMatchPlan plan;
+  plan.query_id = id;
+  plan.archives = {"a", "b"};
+  plan.radius_arcsec = 5.0;
+  for (int i = 0; i < n_seeds; ++i) {
+    plan.seed_objects.push_back(query::MakeQueryObject(
+        i, Stars()[(offset + static_cast<size_t>(i) * 13) % Stars().size()],
+        5.0));
+  }
+  return plan;
+}
+
+TEST(CoordinatedFederationTest, MatchesSequentialExecutionResults) {
+  std::vector<CrossMatchPlan> plans = {MakePlan(1, 0, 50),
+                                       MakePlan(2, 500, 50),
+                                       MakePlan(3, 1000, 50)};
+
+  Federation seq;
+  ASSERT_TRUE(seq.AddSite("a", MakeSite(101)).ok());
+  ASSERT_TRUE(seq.AddSite("b", MakeSite(102)).ok());
+  std::vector<std::set<uint64_t>> seq_survivors;
+  for (const auto& plan : plans) {
+    auto r = seq.ExecutePlan(plan);
+    ASSERT_TRUE(r.ok());
+    std::set<uint64_t> ids;
+    for (const auto& o : r->survivors) ids.insert(o.id);
+    seq_survivors.push_back(std::move(ids));
+  }
+
+  Federation coord;
+  ASSERT_TRUE(coord.AddSite("a", MakeSite(101)).ok());
+  ASSERT_TRUE(coord.AddSite("b", MakeSite(102)).ok());
+  auto results = coord.ExecutePlansCoordinated(plans);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), plans.size());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    std::set<uint64_t> ids;
+    for (const auto& o : (*results)[i].survivors) ids.insert(o.id);
+    EXPECT_EQ(ids, seq_survivors[i]) << "plan " << i;
+    EXPECT_EQ((*results)[i].query_id, plans[i].query_id);
+  }
+}
+
+TEST(CoordinatedFederationTest, CoordinationSavesBucketReads) {
+  // Plans over overlapping sky share bucket reads when coordinated. The
+  // plans are large enough that the hybrid strategy scans (queues above
+  // the indexed-join threshold).
+  std::vector<CrossMatchPlan> plans;
+  for (query::QueryId id = 1; id <= 4; ++id) {
+    plans.push_back(MakePlan(id, id * 3, 400));  // heavy overlap
+  }
+
+  Federation seq;
+  ASSERT_TRUE(seq.AddSite("a", MakeSite(103)).ok());
+  ASSERT_TRUE(seq.AddSite("b", MakeSite(104)).ok());
+  for (const auto& plan : plans) {
+    ASSERT_TRUE(seq.ExecutePlan(plan).ok());
+  }
+  uint64_t seq_reads = seq.TotalBucketReads();
+
+  Federation coord;
+  ASSERT_TRUE(coord.AddSite("a", MakeSite(103)).ok());
+  ASSERT_TRUE(coord.AddSite("b", MakeSite(104)).ok());
+  ASSERT_TRUE(coord.ExecutePlansCoordinated(plans).ok());
+  uint64_t coord_reads = coord.TotalBucketReads();
+
+  EXPECT_LT(coord_reads, seq_reads)
+      << "coordinated rounds should share bucket reads across plans";
+}
+
+TEST(CoordinatedFederationTest, Validation) {
+  Federation fed;
+  ASSERT_TRUE(fed.AddSite("a", MakeSite(105)).ok());
+  EXPECT_FALSE(fed.ExecutePlansCoordinated({}).ok());
+  CrossMatchPlan bad;
+  bad.query_id = 1;
+  bad.archives = {"nope"};
+  bad.seed_objects.push_back(query::MakeQueryObject(0, {1, 1}, 3.0));
+  EXPECT_EQ(fed.ExecutePlansCoordinated({bad}).status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace liferaft::federation

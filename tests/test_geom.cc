@@ -1,0 +1,106 @@
+// Unit tests for spherical geometry: vector math, coordinate conversions,
+// angular separation, caps.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/spherical.h"
+#include "geom/vec3.h"
+#include "util/random.h"
+
+namespace liferaft {
+namespace {
+
+TEST(Vec3Test, BasicOps) {
+  Vec3 a{1, 0, 0}, b{0, 1, 0};
+  EXPECT_EQ(a.Dot(b), 0.0);
+  EXPECT_EQ(a.Cross(b), (Vec3{0, 0, 1}));
+  EXPECT_EQ((a + b), (Vec3{1, 1, 0}));
+  EXPECT_EQ((a - b), (Vec3{1, -1, 0}));
+  EXPECT_EQ((a * 3.0), (Vec3{3, 0, 0}));
+  EXPECT_DOUBLE_EQ((a + b).Norm(), std::sqrt(2.0));
+}
+
+TEST(Vec3Test, NormalizedIsUnit) {
+  Vec3 v{3, 4, 12};
+  EXPECT_NEAR(v.Normalized().Norm(), 1.0, 1e-15);
+}
+
+TEST(Vec3Test, NormalizedZeroIsIdentity) {
+  Vec3 z{0, 0, 0};
+  EXPECT_EQ(z.Normalized(), z);
+}
+
+TEST(Vec3Test, AngleBetweenOrthogonal) {
+  EXPECT_NEAR(AngleBetween({1, 0, 0}, {0, 1, 0}), M_PI / 2, 1e-15);
+}
+
+TEST(Vec3Test, AngleBetweenTinyAnglesAccurate) {
+  // acos-based formulas lose precision here; atan2 must not.
+  double eps = 1e-8;
+  Vec3 a{1, 0, 0};
+  Vec3 b = Vec3{1, eps, 0}.Normalized();
+  EXPECT_NEAR(AngleBetween(a, b), eps, 1e-15);
+}
+
+TEST(Vec3Test, AngleBetweenAntipodal) {
+  EXPECT_NEAR(AngleBetween({1, 0, 0}, {-1, 0, 0}), M_PI, 1e-12);
+}
+
+TEST(SphericalTest, RoundTripSkyToVector) {
+  Rng rng(41);
+  for (int i = 0; i < 1000; ++i) {
+    SkyPoint p;
+    p.ra_deg = rng.UniformDouble(0.0, 360.0);
+    p.dec_deg = rng.UniformDouble(-89.9, 89.9);
+    SkyPoint q = UnitVectorToSky(SkyToUnitVector(p));
+    EXPECT_NEAR(p.ra_deg, q.ra_deg, 1e-9);
+    EXPECT_NEAR(p.dec_deg, q.dec_deg, 1e-9);
+  }
+}
+
+TEST(SphericalTest, PolesMapToZ) {
+  EXPECT_NEAR(SkyToUnitVector({12.0, 90.0}).z, 1.0, 1e-15);
+  EXPECT_NEAR(SkyToUnitVector({270.0, -90.0}).z, -1.0, 1e-15);
+}
+
+TEST(SphericalTest, KnownSeparations) {
+  // 90 degrees along the equator.
+  EXPECT_NEAR(AngularSeparationDeg({0, 0}, {90, 0}), 90.0, 1e-12);
+  // Equator to pole.
+  EXPECT_NEAR(AngularSeparationDeg({45, 0}, {123, 90}), 90.0, 1e-12);
+  // Small separation in declination is exact.
+  EXPECT_NEAR(AngularSeparationArcsec({10, 20}, {10, 20.001}), 3.6, 1e-6);
+}
+
+TEST(SphericalTest, RaSeparationScalesByCosDec) {
+  // At dec=60, 1 degree of RA is 0.5 degrees of arc (approximately).
+  double sep = AngularSeparationDeg({0, 60}, {1, 60});
+  EXPECT_NEAR(sep, 0.5, 0.01);
+}
+
+TEST(CapTest, ContainsCenterAndBoundary) {
+  Cap cap = MakeCap({180, 45}, 2.0);
+  EXPECT_TRUE(cap.Contains(SkyToUnitVector({180, 45})));
+  EXPECT_TRUE(cap.Contains(SkyToUnitVector({180, 46.999})));
+  EXPECT_TRUE(cap.Contains(SkyToUnitVector({180, 47.0})));  // on boundary
+  EXPECT_FALSE(cap.Contains(SkyToUnitVector({180, 47.01})));
+  EXPECT_FALSE(cap.Contains(SkyToUnitVector({0, -45})));
+}
+
+TEST(CapTest, ContainmentMatchesAngularDistance) {
+  Rng rng(43);
+  Cap cap = MakeCap({200, -30}, 5.0);
+  SkyPoint center{200, -30};
+  for (int i = 0; i < 2000; ++i) {
+    SkyPoint p{rng.UniformDouble(0, 360), rng.UniformDouble(-90, 90)};
+    bool in = cap.Contains(SkyToUnitVector(p));
+    double d = AngularSeparationDeg(center, p);
+    if (d < 4.999) EXPECT_TRUE(in) << "d=" << d;
+    if (d > 5.001) EXPECT_FALSE(in) << "d=" << d;
+  }
+}
+
+}  // namespace
+}  // namespace liferaft

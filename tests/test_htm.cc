@@ -1,0 +1,364 @@
+// Tests for the HTM substrate: ID arithmetic, trixel geometry, point
+// location, range sets, and cone covers. Cover conservativeness is the key
+// system invariant: a cover must never miss a trixel containing a point of
+// the cap.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "geom/spherical.h"
+#include "htm/cover.h"
+#include "htm/htm.h"
+#include "htm/htm_id.h"
+#include "htm/range_set.h"
+#include "htm/trixel.h"
+#include "util/random.h"
+
+namespace liferaft::htm {
+namespace {
+
+// ----------------------------------------------------------------- HtmId --
+
+TEST(HtmIdTest, RootsAreLevelZero) {
+  for (HtmId id = 8; id <= 15; ++id) {
+    EXPECT_TRUE(IsValidId(id));
+    EXPECT_EQ(LevelOf(id), 0);
+  }
+}
+
+TEST(HtmIdTest, InvalidIds) {
+  for (HtmId id = 0; id < 8; ++id) EXPECT_FALSE(IsValidId(id));
+  // 16..31 have odd "level width" (bit_width 5) -> invalid.
+  EXPECT_FALSE(IsValidId(16));
+  EXPECT_FALSE(IsValidId(31));
+  EXPECT_TRUE(IsValidId(32));  // 8 << 2: first level-1 ID
+}
+
+TEST(HtmIdTest, ChildParentRoundTrip) {
+  HtmId id = 11;
+  for (int c = 0; c < 4; ++c) {
+    HtmId child = ChildOf(id, c);
+    EXPECT_EQ(LevelOf(child), 1);
+    EXPECT_EQ(ParentOf(child), id);
+  }
+}
+
+TEST(HtmIdTest, LevelRanges) {
+  // Level-14 IDs span [8*4^14, 16*4^14), i.e. [2^31, 2^32).
+  EXPECT_EQ(LevelMin(14), HtmId{1} << 31);
+  EXPECT_EQ(LevelMax(14), (HtmId{1} << 32) - 1);
+  EXPECT_EQ(LevelOf(LevelMin(14)), 14);
+  EXPECT_EQ(LevelOf(LevelMax(14)), 14);
+}
+
+TEST(HtmIdTest, DescendantRangeCoversExactlyChildren) {
+  HtmId id = 9;
+  HtmId lo = RangeLo(id, 2);
+  HtmId hi = RangeHi(id, 2);
+  EXPECT_EQ(hi - lo + 1, 16u);  // 4^2 descendants
+  for (int c1 = 0; c1 < 4; ++c1) {
+    for (int c2 = 0; c2 < 4; ++c2) {
+      HtmId leaf = ChildOf(ChildOf(id, c1), c2);
+      EXPECT_GE(leaf, lo);
+      EXPECT_LE(leaf, hi);
+    }
+  }
+}
+
+TEST(HtmIdTest, AncestorInvertsRangeLo) {
+  HtmId id = 13;
+  HtmId deep = RangeLo(id, 10);
+  EXPECT_EQ(AncestorAt(deep, 0), id);
+}
+
+TEST(HtmIdTest, NameRoundTrip) {
+  EXPECT_EQ(IdToName(8), "S0");
+  EXPECT_EQ(IdToName(15), "N3");
+  EXPECT_EQ(IdToName(ChildOf(ChildOf(12, 1), 3)), "N013");
+  for (HtmId id : {HtmId{8}, HtmId{15}, ChildOf(ChildOf(10, 2), 0),
+                   RangeLo(14, 6)}) {
+    auto parsed = NameToId(IdToName(id));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, id);
+  }
+}
+
+TEST(HtmIdTest, NameParsingErrors) {
+  EXPECT_FALSE(NameToId("").ok());
+  EXPECT_FALSE(NameToId("X0").ok());
+  EXPECT_FALSE(NameToId("N4").ok());
+  EXPECT_FALSE(NameToId("N05").ok());
+}
+
+// ---------------------------------------------------------------- Trixel --
+
+TEST(TrixelTest, RootsTileTheSphere) {
+  // Every random point must be inside at least one root trixel.
+  Rng rng(47);
+  for (int i = 0; i < 5000; ++i) {
+    Vec3 p = Vec3{rng.Normal(), rng.Normal(), rng.Normal()}.Normalized();
+    int hits = 0;
+    for (int r = 0; r < kNumRoots; ++r) {
+      if (Trixel::Root(r).Contains(p)) ++hits;
+    }
+    EXPECT_GE(hits, 1);
+  }
+}
+
+TEST(TrixelTest, ChildrenTileParent) {
+  Rng rng(53);
+  Trixel parent = Trixel::Root(5);
+  for (int i = 0; i < 2000; ++i) {
+    Vec3 p = Vec3{rng.Normal(), rng.Normal(), rng.Normal()}.Normalized();
+    if (!parent.Contains(p)) continue;
+    int hits = 0;
+    for (int c = 0; c < 4; ++c) {
+      if (parent.Child(c).Contains(p)) ++hits;
+    }
+    EXPECT_GE(hits, 1) << "point in parent missed by all children";
+  }
+}
+
+TEST(TrixelTest, ChildrenStayInsideParentBoundingCap) {
+  Trixel parent = Trixel::Root(2);
+  Cap bound = parent.BoundingCap();
+  for (int c = 0; c < 4; ++c) {
+    Trixel child = parent.Child(c);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_TRUE(bound.Contains(child.v(i)));
+    }
+  }
+}
+
+TEST(TrixelTest, FromIdMatchesDescent) {
+  Trixel t = Trixel::Root(6).Child(2).Child(1).Child(3);
+  Trixel u = Trixel::FromId(t.id());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR((t.v(i) - u.v(i)).Norm(), 0.0, 1e-15);
+  }
+}
+
+TEST(TrixelTest, BoundingCapContainsWholeTrixel) {
+  Rng rng(59);
+  Trixel t = Trixel::FromId(RangeLo(9, 3) + 37);
+  Cap cap = t.BoundingCap();
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(cap.Contains(t.v(i)));
+  // Random interior points (blend of corners) must also be inside.
+  for (int i = 0; i < 500; ++i) {
+    double a = rng.UniformDouble(), b = rng.UniformDouble(0, 1 - a);
+    Vec3 p = (t.v(0) * a + t.v(1) * b + t.v(2) * (1 - a - b)).Normalized();
+    EXPECT_TRUE(cap.Contains(p));
+  }
+}
+
+// --------------------------------------------------------- Point location --
+
+class PointToIdTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PointToIdTest, LookupLandsInContainingTrixel) {
+  const int level = GetParam();
+  Rng rng(61 + level);
+  for (int i = 0; i < 1000; ++i) {
+    Vec3 p = Vec3{rng.Normal(), rng.Normal(), rng.Normal()}.Normalized();
+    HtmId id = PointToId(p, level);
+    EXPECT_TRUE(IsValidId(id));
+    EXPECT_EQ(LevelOf(id), level);
+    EXPECT_TRUE(Trixel::FromId(id).Contains(p))
+        << "point not inside its assigned trixel at level " << level;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, PointToIdTest,
+                         ::testing::Values(0, 1, 3, 6, 10, 14));
+
+TEST(PointToIdTest, DeterministicOnBoundaries) {
+  // Octahedron vertices sit on many trixel boundaries; lookup must still
+  // return a single consistent answer.
+  for (const Vec3& v : {Vec3{0, 0, 1}, Vec3{1, 0, 0}, Vec3{0, -1, 0}}) {
+    HtmId a = PointToId(v, 8);
+    HtmId b = PointToId(v, 8);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(PointToIdTest, Level14FitsIn32Bits) {
+  Rng rng(67);
+  for (int i = 0; i < 200; ++i) {
+    Vec3 p = Vec3{rng.Normal(), rng.Normal(), rng.Normal()}.Normalized();
+    HtmId id = PointToId(p, kObjectLevel);
+    EXPECT_LT(id, HtmId{1} << 32);
+    EXPECT_GE(id, HtmId{1} << 31);
+  }
+}
+
+TEST(PointToIdTest, SpatialLocalityAlongCurve) {
+  // Nearby points should mostly share a deep ancestor: the space-filling
+  // property the bucket partitioning depends on.
+  Rng rng(71);
+  int shared_ancestor = 0;
+  const int trials = 500;
+  for (int i = 0; i < trials; ++i) {
+    SkyPoint p{rng.UniformDouble(0, 360), rng.UniformDouble(-80, 80)};
+    SkyPoint q{p.ra_deg + 0.001, p.dec_deg + 0.001};
+    HtmId a = PointToId(p, 14), b = PointToId(q, 14);
+    if (AncestorAt(a, 8) == AncestorAt(b, 8)) ++shared_ancestor;
+  }
+  // Not all pairs share (boundary effects), but the vast majority must.
+  EXPECT_GT(shared_ancestor, trials * 0.9);
+}
+
+TEST(IdToCenterTest, CenterMapsBackToSameTrixel) {
+  Rng rng(73);
+  for (int i = 0; i < 300; ++i) {
+    Vec3 p = Vec3{rng.Normal(), rng.Normal(), rng.Normal()}.Normalized();
+    HtmId id = PointToId(p, 10);
+    SkyPoint c = IdToCenter(id);
+    EXPECT_EQ(PointToId(c, 10), id);
+  }
+}
+
+// -------------------------------------------------------------- RangeSet --
+
+TEST(RangeSetTest, MergesOverlappingAndAdjacent) {
+  RangeSet s;
+  s.Add(10, 20);
+  s.Add(15, 30);   // overlaps
+  s.Add(31, 40);   // adjacent
+  s.Add(100, 110); // separate
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.ranges()[0], (IdRange{10, 40}));
+  EXPECT_EQ(s.ranges()[1], (IdRange{100, 110}));
+  EXPECT_EQ(s.Count(), 31u + 11u);
+}
+
+TEST(RangeSetTest, ContainsAndOverlaps) {
+  RangeSet s;
+  s.Add(10, 20);
+  s.Add(40, 50);
+  EXPECT_TRUE(s.Contains(10));
+  EXPECT_TRUE(s.Contains(20));
+  EXPECT_FALSE(s.Contains(21));
+  EXPECT_FALSE(s.Contains(9));
+  EXPECT_TRUE(s.Overlaps(18, 45));
+  EXPECT_TRUE(s.Overlaps(0, 10));
+  EXPECT_FALSE(s.Overlaps(21, 39));
+  EXPECT_FALSE(s.Overlaps(51, 60));
+}
+
+TEST(RangeSetTest, IntersectBasics) {
+  RangeSet a, b;
+  a.Add(0, 100);
+  b.Add(50, 150);
+  auto c = a.Intersect(b);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.ranges()[0], (IdRange{50, 100}));
+}
+
+TEST(RangeSetTest, IntersectMultipleFragments) {
+  RangeSet a, b;
+  a.Add(0, 10);
+  a.Add(20, 30);
+  a.Add(40, 50);
+  b.Add(5, 45);
+  auto c = a.Intersect(b);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.ranges()[0], (IdRange{5, 10}));
+  EXPECT_EQ(c.ranges()[1], (IdRange{20, 30}));
+  EXPECT_EQ(c.ranges()[2], (IdRange{40, 45}));
+}
+
+TEST(RangeSetTest, EmptyIntersect) {
+  RangeSet a, b;
+  a.Add(0, 10);
+  EXPECT_TRUE(a.Intersect(b).empty());
+  EXPECT_TRUE(b.Intersect(a).empty());
+}
+
+// ----------------------------------------------------------------- Cover --
+
+class CoverTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(CoverTest, CoverIsConservative) {
+  // Any point inside the cap must land in a covered trixel.
+  const double radius = GetParam();
+  Rng rng(79);
+  const int level = 8;
+  SkyPoint center{33.0, 21.0};
+  RangeSet cover = CoverCircle(center, radius, level);
+  EXPECT_FALSE(cover.empty());
+  for (int i = 0; i < 2000; ++i) {
+    // Rejection-sample points inside the cap.
+    SkyPoint p{center.ra_deg + rng.UniformDouble(-2 * radius, 2 * radius),
+               center.dec_deg + rng.UniformDouble(-2 * radius, 2 * radius)};
+    if (AngularSeparationDeg(center, p) > radius) continue;
+    HtmId id = PointToId(p, level);
+    EXPECT_TRUE(cover.Contains(id))
+        << "point inside cap not covered, radius " << radius;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radii, CoverTest,
+                         ::testing::Values(0.01, 0.1, 1.0, 5.0, 20.0));
+
+TEST(CoverTest, CoverIsTight) {
+  // The cover should not be wildly larger than the cap: compare covered
+  // area (trixel count / total trixels) against cap area.
+  const int level = 10;
+  const double radius = 2.0;
+  RangeSet cover = CoverCircle({100, -40}, radius, level);
+  double total_trixels =
+      static_cast<double>(LevelMax(level) - LevelMin(level) + 1);
+  double covered_frac = static_cast<double>(cover.Count()) / total_trixels;
+  double cap_frac = (1 - std::cos(radius * kDegToRad)) / 2.0;
+  EXPECT_LT(covered_frac, cap_frac * 4.0)
+      << "cover more than 4x the cap area";
+}
+
+TEST(CoverTest, TinyCapCoversFewTrixels) {
+  // A 1-arcsecond error circle at level 14 should touch only a handful of
+  // trixels (level-14 trixels are ~10 arcsec across).
+  RangeSet cover = CoverCircle({210.0, 5.0}, 1.0 / 3600.0, 14);
+  EXPECT_GE(cover.Count(), 1u);
+  EXPECT_LE(cover.Count(), 16u);
+}
+
+TEST(CoverTest, FullSkyCapCoversEverything) {
+  RangeSet cover = CoverCap(Cap{{0, 0, 1}, 180.0}, 4);
+  EXPECT_EQ(cover.Count(), LevelMax(4) - LevelMin(4) + 1);
+}
+
+TEST(CoverTest, MaxRangesBoundsOutputButStaysConservative) {
+  SkyPoint center{33.0, 21.0};
+  const int level = 12;
+  RangeSet bounded = CoverCircle(center, 3.0, level, 8);
+  RangeSet full = CoverCircle(center, 3.0, level);
+  // Bounded cover must be a superset of the exact cover.
+  for (const auto& r : full.ranges()) {
+    for (HtmId id = r.lo; id <= r.hi && id - r.lo < 100; ++id) {
+      EXPECT_TRUE(bounded.Contains(id));
+    }
+  }
+}
+
+TEST(ClassifyTrixelTest, FullWhenCapHuge) {
+  Trixel t = Trixel::Root(0).Child(1);
+  Cap cap{t.Centroid(), 170.0};
+  EXPECT_EQ(ClassifyTrixel(t, cap), Coverage::kFull);
+}
+
+TEST(ClassifyTrixelTest, DisjointWhenFarAway) {
+  Trixel t = Trixel::FromId(PointToId(SkyPoint{0, 80}, 6));
+  Cap cap = MakeCap({180, -80}, 1.0);
+  EXPECT_EQ(ClassifyTrixel(t, cap), Coverage::kDisjoint);
+}
+
+TEST(ClassifyTrixelTest, PartialWhenCapInsideTrixel) {
+  Trixel t = Trixel::Root(3);
+  Cap cap{t.Centroid(), 0.5};
+  EXPECT_EQ(ClassifyTrixel(t, cap), Coverage::kPartial);
+}
+
+}  // namespace
+}  // namespace liferaft::htm

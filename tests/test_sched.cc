@@ -1,0 +1,418 @@
+// Tests for the scheduling layer: the U_t / U_a metric math, the LifeRaft
+// scheduler's greedy and age-biased behaviours, cache-awareness (phi), the
+// round-robin and least-sharable baselines, QoS age depreciation, and the
+// adaptive alpha selector.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "query/workload.h"
+#include "sched/adaptive.h"
+#include "sched/least_sharable.h"
+#include "sched/liferaft_scheduler.h"
+#include "sched/metric.h"
+#include "sched/round_robin.h"
+#include "storage/catalog.h"
+#include "util/random.h"
+#include "workload/catalog_gen.h"
+
+namespace liferaft::sched {
+namespace {
+
+using query::WorkloadManager;
+using storage::BucketIndex;
+
+// ---------------------------------------------------------------- Metric --
+
+TEST(MetricTest, UtMatchesPaperFormula) {
+  storage::DiskModel model;
+  // |W| / (T_b + T_m |W|) for an uncached bucket.
+  uint64_t bucket_bytes = 40ull * 1024 * 1024;
+  double tb = model.SequentialReadMs(bucket_bytes);
+  double ut = WorkloadThroughput(model, 200, bucket_bytes, false);
+  EXPECT_NEAR(ut, 200.0 / (tb + 200 * 0.13), 1e-12);
+}
+
+TEST(MetricTest, CachedBucketDropsTbTerm) {
+  storage::DiskModel model;
+  uint64_t bytes = 40ull * 1024 * 1024;
+  double cached = WorkloadThroughput(model, 100, bytes, true);
+  double uncached = WorkloadThroughput(model, 100, bytes, false);
+  EXPECT_NEAR(cached, 100.0 / (100 * 0.13), 1e-12);
+  EXPECT_GT(cached, uncached * 10.0);
+}
+
+TEST(MetricTest, UtMonotoneInQueueLength) {
+  storage::DiskModel model;
+  uint64_t bytes = 4096ull * 1000;
+  double prev = 0.0;
+  for (uint64_t w : {1, 10, 100, 1000, 10000}) {
+    double ut = WorkloadThroughput(model, w, bytes, false);
+    EXPECT_GT(ut, prev);
+    prev = ut;
+  }
+  // And saturates at 1/T_m as |W| -> infinity.
+  EXPECT_LT(prev, 1.0 / 0.13);
+}
+
+TEST(MetricTest, ZeroQueueHasZeroThroughput) {
+  storage::DiskModel model;
+  EXPECT_EQ(WorkloadThroughput(model, 0, 4096, false), 0.0);
+}
+
+TEST(MetricTest, RawBlendEndpoints) {
+  EXPECT_DOUBLE_EQ(AgedThroughputRaw(5.0, 9000.0, 0.0), 5.0);
+  EXPECT_DOUBLE_EQ(AgedThroughputRaw(5.0, 9000.0, 1.0), 9000.0);
+  EXPECT_DOUBLE_EQ(AgedThroughputRaw(4.0, 100.0, 0.5), 52.0);
+}
+
+TEST(MetricTest, RawBlendIsAgeDominatedForRealisticUnits) {
+  // The unit mismatch documented in DESIGN.md: with U_t ~ 0.1 obj/ms and
+  // ages in minutes, even alpha = 0.05 is dominated by the age term.
+  double ut_hot = 7.7, ut_cold = 0.08;   // cached vs uncached queue
+  double age_hot = 100.0, age_cold = 60'000.0;
+  double hot = AgedThroughputRaw(ut_hot, age_hot, 0.05);
+  double cold = AgedThroughputRaw(ut_cold, age_cold, 0.05);
+  EXPECT_GT(cold, hot) << "age term should dominate despite tiny alpha";
+}
+
+TEST(MetricTest, NormalizedBlendKeepsAlphaMeaningful) {
+  // Same scenario, normalized: at alpha=0.05 contention still wins.
+  double ut_hot = 7.7, ut_cold = 0.08;
+  double age_hot = 100.0, age_cold = 60'000.0;
+  double hot =
+      AgedThroughputNormalized(ut_hot, ut_hot, age_hot, age_cold, 0.05);
+  double cold =
+      AgedThroughputNormalized(ut_cold, ut_hot, age_cold, age_cold, 0.05);
+  EXPECT_GT(hot, cold);
+  // And at alpha=0.95 age wins.
+  hot = AgedThroughputNormalized(ut_hot, ut_hot, age_hot, age_cold, 0.95);
+  cold = AgedThroughputNormalized(ut_cold, ut_hot, age_cold, age_cold, 0.95);
+  EXPECT_GT(cold, hot);
+}
+
+TEST(MetricTest, NormalizedHandlesZeroMaxima) {
+  EXPECT_EQ(AgedThroughputNormalized(0.0, 0.0, 0.0, 0.0, 0.5), 0.0);
+}
+
+// ------------------------------------------------- Scheduler test fixture --
+
+// A catalog plus a manager with hand-placed workloads so tests control
+// exactly which buckets hold how much work of what age.
+class SchedulerFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::CatalogGenConfig gen;
+    gen.num_objects = 10'000;
+    gen.seed = 31;
+    auto objects = workload::GenerateCatalog(gen);
+    ASSERT_TRUE(objects.ok());
+    storage::CatalogOptions options;
+    options.objects_per_bucket = 500;  // 20 buckets
+    options.build_index = false;
+    auto catalog = storage::Catalog::Build(std::move(*objects), options);
+    ASSERT_TRUE(catalog.ok());
+    catalog_ = std::move(*catalog);
+    manager_ = std::make_unique<WorkloadManager>(catalog_->num_buckets());
+  }
+
+  // Admits a query with `n_objects` objects targeted at bucket `b`,
+  // arriving at `arrival`.
+  void Place(query::QueryId id, BucketIndex b, size_t n_objects,
+             TimeMs arrival) {
+    query::CrossMatchQuery q;
+    q.id = id;
+    q.arrival_ms = arrival;
+    query::BucketWorkload w;
+    w.bucket = b;
+    htm::IdRange range = catalog_->bucket_map().RangeOf(b);
+    for (size_t i = 0; i < n_objects; ++i) {
+      query::QueryObject qo;
+      qo.id = i;
+      qo.htm_ranges.Add(range.lo, range.lo);  // inside the bucket
+      w.objects.push_back(qo);
+    }
+    auto admitted = manager_->Admit(q, {w});
+    ASSERT_TRUE(admitted.ok()) << admitted.status().ToString();
+  }
+
+  LifeRaftScheduler MakeScheduler(double alpha,
+                                  MetricNormalization norm =
+                                      MetricNormalization::kNormalized) {
+    LifeRaftConfig config;
+    config.alpha = alpha;
+    config.normalization = norm;
+    return LifeRaftScheduler(catalog_->store(), storage::DiskModel{},
+                             config);
+  }
+
+  static CacheProbe NothingCached() {
+    return [](BucketIndex) { return false; };
+  }
+
+  std::unique_ptr<storage::Catalog> catalog_;
+  std::unique_ptr<WorkloadManager> manager_;
+};
+
+// -------------------------------------------------------------- LifeRaft --
+
+TEST_F(SchedulerFixture, EmptyManagerYieldsNothing) {
+  auto sched = MakeScheduler(0.0);
+  EXPECT_FALSE(
+      sched.PickBucket(*manager_, 0.0, NothingCached()).has_value());
+}
+
+TEST_F(SchedulerFixture, GreedyPicksMostContentiousBucket) {
+  Place(1, 3, 50, 0.0);
+  Place(2, 7, 400, 0.0);  // most pending objects
+  Place(3, 11, 120, 0.0);
+  auto sched = MakeScheduler(0.0);
+  auto pick = sched.PickBucket(*manager_, 1000.0, NothingCached());
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 7u);
+}
+
+TEST_F(SchedulerFixture, GreedyPrefersCachedBucket) {
+  Place(1, 3, 200, 0.0);
+  Place(2, 7, 300, 0.0);  // bigger queue but cold
+  auto sched = MakeScheduler(0.0);
+  CacheProbe cached = [](BucketIndex b) { return b == 3; };
+  auto pick = sched.PickBucket(*manager_, 1000.0, cached);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 3u) << "phi=0 should beat a moderately longer queue";
+}
+
+TEST_F(SchedulerFixture, AgeOnePicksOldestRequest) {
+  Place(1, 3, 400, 5000.0);
+  Place(2, 7, 50, 100.0);  // tiny queue but oldest
+  Place(3, 11, 400, 3000.0);
+  auto sched = MakeScheduler(1.0);
+  auto pick = sched.PickBucket(*manager_, 10'000.0, NothingCached());
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 7u);
+}
+
+TEST_F(SchedulerFixture, IntermediateAlphaInterpolates) {
+  // Bucket A: hot (large queue), young. Bucket B: cold, old.
+  Place(1, 2, 500, 9900.0);   // arrives late
+  Place(2, 9, 20, 0.0);       // ancient but tiny
+  auto greedy = MakeScheduler(0.0);
+  auto aged = MakeScheduler(1.0);
+  auto mid = MakeScheduler(0.5);
+  TimeMs now = 10'000.0;
+  EXPECT_EQ(*greedy.PickBucket(*manager_, now, NothingCached()), 2u);
+  EXPECT_EQ(*aged.PickBucket(*manager_, now, NothingCached()), 9u);
+  // Mid alpha: with normalized terms, B's age share (1.0) beats A's
+  // throughput share advantage -> schedules the starving bucket.
+  auto pick = mid.PickBucket(*manager_, now, NothingCached());
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 9u);
+}
+
+TEST_F(SchedulerFixture, RawPaperModeCollapsesOntoAge) {
+  // With the literal Eq. 2 blend, even alpha = 0.05 behaves like alpha = 1
+  // once ages reach seconds (the unit-mismatch ablation).
+  Place(1, 2, 500, 9000.0);
+  Place(2, 9, 20, 0.0);
+  auto raw = MakeScheduler(0.05, MetricNormalization::kRawPaper);
+  auto norm = MakeScheduler(0.05, MetricNormalization::kNormalized);
+  TimeMs now = 10'000.0;
+  EXPECT_EQ(*raw.PickBucket(*manager_, now, NothingCached()), 9u)
+      << "raw metric should be age-dominated";
+  EXPECT_EQ(*norm.PickBucket(*manager_, now, NothingCached()), 2u)
+      << "normalized metric should keep contention dominant at low alpha";
+}
+
+TEST_F(SchedulerFixture, NameEncodesAlpha) {
+  EXPECT_EQ(MakeScheduler(0.25).name(), "liferaft(a=0.25)");
+}
+
+TEST_F(SchedulerFixture, SetAlphaTakesEffect) {
+  Place(1, 2, 500, 9000.0);
+  Place(2, 9, 20, 0.0);
+  auto sched = MakeScheduler(0.0);
+  TimeMs now = 10'000.0;
+  EXPECT_EQ(*sched.PickBucket(*manager_, now, NothingCached()), 2u);
+  sched.set_alpha(1.0);
+  EXPECT_EQ(*sched.PickBucket(*manager_, now, NothingCached()), 9u);
+}
+
+// ------------------------------------------------------------------- QoS --
+
+TEST(QosTest, WeightShape) {
+  QosConfig off;
+  EXPECT_EQ(QosAgeWeight(off, 1000), 1.0);
+  QosConfig on;
+  on.depreciate_long_queries = true;
+  on.half_life_parts = 16.0;
+  EXPECT_NEAR(QosAgeWeight(on, 0), 1.0, 1e-12);
+  EXPECT_NEAR(QosAgeWeight(on, 16), 0.5, 1e-12);
+  EXPECT_LT(QosAgeWeight(on, 160), 0.1);
+}
+
+TEST_F(SchedulerFixture, QosDepreciatesLongQueryAge) {
+  // Two buckets with equally old entries; the long query's bucket loses
+  // its age priority under QoS.
+  // Long query: parts spread over many buckets (simulate by admitting a
+  // multi-bucket workload).
+  query::CrossMatchQuery long_q;
+  long_q.id = 1;
+  long_q.arrival_ms = 0.0;
+  std::vector<query::BucketWorkload> long_workloads;
+  for (BucketIndex b = 0; b < 10; ++b) {
+    query::BucketWorkload w;
+    w.bucket = b;
+    query::QueryObject qo;
+    qo.id = b;
+    qo.htm_ranges.Add(catalog_->bucket_map().RangeOf(b).lo,
+                      catalog_->bucket_map().RangeOf(b).lo);
+    w.objects.push_back(qo);
+    long_workloads.push_back(w);
+  }
+  ASSERT_TRUE(manager_->Admit(long_q, long_workloads).ok());
+  Place(2, 15, 1, 0.0);  // short query, single part, same age
+
+  LifeRaftConfig config;
+  config.alpha = 1.0;  // pure age scheduling
+  config.qos.depreciate_long_queries = true;
+  config.qos.half_life_parts = 2.0;
+  LifeRaftScheduler qos_sched(catalog_->store(), storage::DiskModel{},
+                              config);
+  auto pick = qos_sched.PickBucket(*manager_, 60'000.0, NothingCached());
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 15u) << "short query should outrank the 10-part query";
+
+  // Without QoS the tie resolves to the lowest bucket of the long query.
+  auto plain = MakeScheduler(1.0);
+  auto plain_pick = plain.PickBucket(*manager_, 60'000.0, NothingCached());
+  ASSERT_TRUE(plain_pick.has_value());
+  EXPECT_EQ(*plain_pick, 0u);
+}
+
+// ------------------------------------------------------------ RoundRobin --
+
+TEST_F(SchedulerFixture, RoundRobinSweepsInBucketOrder) {
+  Place(1, 5, 10, 0.0);
+  Place(2, 12, 10, 0.0);
+  Place(3, 2, 10, 0.0);
+  RoundRobinScheduler rr;
+  auto p1 = rr.PickBucket(*manager_, 0.0, NothingCached());
+  ASSERT_TRUE(p1.has_value());
+  EXPECT_EQ(*p1, 2u);
+  manager_->TakeBucket(*p1, nullptr);
+  auto p2 = rr.PickBucket(*manager_, 0.0, NothingCached());
+  EXPECT_EQ(*p2, 5u);
+  manager_->TakeBucket(*p2, nullptr);
+  auto p3 = rr.PickBucket(*manager_, 0.0, NothingCached());
+  EXPECT_EQ(*p3, 12u);
+  manager_->TakeBucket(*p3, nullptr);
+  EXPECT_FALSE(rr.PickBucket(*manager_, 0.0, NothingCached()).has_value());
+}
+
+TEST_F(SchedulerFixture, RoundRobinWrapsAround) {
+  Place(1, 5, 10, 0.0);
+  RoundRobinScheduler rr;
+  auto p1 = rr.PickBucket(*manager_, 0.0, NothingCached());
+  EXPECT_EQ(*p1, 5u);
+  manager_->TakeBucket(*p1, nullptr);
+  // New work arrives at a lower bucket; cursor is past it, so the sweep
+  // wraps.
+  Place(2, 1, 10, 0.0);
+  auto p2 = rr.PickBucket(*manager_, 0.0, NothingCached());
+  ASSERT_TRUE(p2.has_value());
+  EXPECT_EQ(*p2, 1u);
+}
+
+// --------------------------------------------------------- LeastSharable --
+
+TEST_F(SchedulerFixture, LeastSharablePicksSmallestQueue) {
+  Place(1, 3, 50, 0.0);
+  Place(2, 7, 400, 0.0);
+  Place(3, 11, 5, 0.0);
+  LeastSharableScheduler ls;
+  auto pick = ls.PickBucket(*manager_, 0.0, NothingCached());
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 11u);
+}
+
+// ---------------------------------------------------------- SelectAlpha --
+
+std::vector<TradeoffPoint> PaperLikeCurve() {
+  // Shaped like Fig 4's high-saturation curve: throughput falls and
+  // response improves as alpha rises.
+  return {
+      {0.00, 0.40, 300'000.0},
+      {0.25, 0.33, 240'000.0},
+      {0.50, 0.28, 220'000.0},
+      {0.75, 0.24, 210'000.0},
+      {1.00, 0.20, 200'000.0},
+  };
+}
+
+TEST(SelectAlphaTest, ZeroToleranceKeepsMaxThroughput) {
+  auto alpha = SelectAlpha(PaperLikeCurve(), 0.0);
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_DOUBLE_EQ(*alpha, 0.0);
+}
+
+TEST(SelectAlphaTest, TwentyPercentToleranceMatchesFig4) {
+  // 20% tolerance admits throughput >= 0.32: alpha 0.25 qualifies and has
+  // the best response among qualifiers.
+  auto alpha = SelectAlpha(PaperLikeCurve(), 0.2);
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_DOUBLE_EQ(*alpha, 0.25);
+}
+
+TEST(SelectAlphaTest, FullToleranceMinimizesResponse) {
+  auto alpha = SelectAlpha(PaperLikeCurve(), 1.0);
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_DOUBLE_EQ(*alpha, 1.0);
+}
+
+TEST(SelectAlphaTest, RejectsBadInput) {
+  EXPECT_FALSE(SelectAlpha({}, 0.2).ok());
+  EXPECT_FALSE(SelectAlpha(PaperLikeCurve(), -0.1).ok());
+  EXPECT_FALSE(SelectAlpha(PaperLikeCurve(), 1.5).ok());
+}
+
+TEST(AlphaSelectorTest, PicksNearestSaturationCurve) {
+  AlphaSelector selector(0.2);
+  // Low saturation: flat throughput, response improves a lot with alpha.
+  ASSERT_TRUE(selector
+                  .AddCurve(0.1, {{0.0, 0.20, 100'000.0},
+                                  {1.0, 0.19, 40'000.0}})
+                  .ok());
+  ASSERT_TRUE(selector.AddCurve(0.5, PaperLikeCurve()).ok());
+  auto low = selector.AlphaFor(0.12);
+  ASSERT_TRUE(low.ok());
+  EXPECT_DOUBLE_EQ(*low, 1.0);
+  auto high = selector.AlphaFor(0.48);
+  ASSERT_TRUE(high.ok());
+  EXPECT_DOUBLE_EQ(*high, 0.25);
+}
+
+TEST(AlphaSelectorTest, ErrorsWithoutCurves) {
+  AlphaSelector selector(0.2);
+  EXPECT_FALSE(selector.AlphaFor(0.3).ok());
+  EXPECT_FALSE(selector.AddCurve(-1.0, PaperLikeCurve()).ok());
+  EXPECT_FALSE(selector.AddCurve(0.1, {}).ok());
+}
+
+TEST(ArrivalRateEstimatorTest, EstimatesSteadyRate) {
+  ArrivalRateEstimator est(10'000.0);
+  // 1 query / 200 ms = 5 qps for 10 seconds.
+  for (int i = 0; i < 50; ++i) est.OnArrival(i * 200.0);
+  EXPECT_NEAR(est.RateQps(10'000.0), 5.0, 0.6);
+}
+
+TEST(ArrivalRateEstimatorTest, WindowForgetsOldArrivals) {
+  ArrivalRateEstimator est(1'000.0);
+  for (int i = 0; i < 100; ++i) est.OnArrival(i * 10.0);  // burst, 100 qps
+  EXPECT_GT(est.RateQps(1'000.0), 50.0);
+  // 10 virtual seconds later the burst left the window entirely.
+  EXPECT_EQ(est.RateQps(11'000.0), 0.0);
+}
+
+}  // namespace
+}  // namespace liferaft::sched

@@ -1,0 +1,510 @@
+// Tests for the storage substrate: objects, buckets, the equal-count
+// partitioner, disk cost model, mem/file stores (round trip + corruption
+// detection), the B+tree index, and the LRU bucket cache.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "storage/btree.h"
+#include "storage/bucket_cache.h"
+#include "storage/catalog.h"
+#include "storage/disk_model.h"
+#include "htm/trixel.h"
+#include "storage/file_store.h"
+#include "storage/mem_store.h"
+#include "storage/partitioner.h"
+#include "util/random.h"
+
+namespace liferaft::storage {
+namespace {
+
+// Generates n objects scattered uniformly over the sky, ids 0..n-1.
+std::vector<CatalogObject> RandomObjects(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CatalogObject> objects;
+  objects.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    SkyPoint p{rng.UniformDouble(0, 360),
+               std::asin(rng.UniformDouble(-1, 1)) * kRadToDeg};
+    objects.push_back(MakeObject(i, p, 15.0f + static_cast<float>(i % 10),
+                                 static_cast<float>(i % 5) * 0.2f));
+  }
+  return objects;
+}
+
+// ---------------------------------------------------------------- Object --
+
+TEST(ObjectTest, MakeObjectAssignsLevel14Id) {
+  CatalogObject o = MakeObject(7, {123.4, -56.7}, 18.5f, 0.3f);
+  EXPECT_EQ(o.object_id, 7u);
+  EXPECT_EQ(htm::LevelOf(o.htm_id), htm::kObjectLevel);
+  EXPECT_TRUE(htm::Trixel::FromId(o.htm_id).Contains(o.pos));
+  EXPECT_NEAR(o.pos.Norm(), 1.0, 1e-12);
+  EXPECT_FLOAT_EQ(o.mag, 18.5f);
+}
+
+TEST(ObjectTest, OrderingIsTotal) {
+  CatalogObject a = MakeObject(1, {10, 10});
+  CatalogObject b = MakeObject(2, {10, 10});  // same position, higher id
+  EXPECT_TRUE(ObjectHtmLess(a, b));
+  EXPECT_FALSE(ObjectHtmLess(b, a));
+}
+
+// ---------------------------------------------------------------- Bucket --
+
+TEST(BucketTest, ObjectsInRangeBinarySearch) {
+  auto objects = RandomObjects(500, 101);
+  std::sort(objects.begin(), objects.end(), ObjectHtmLess);
+  htm::IdRange full{htm::LevelMin(htm::kObjectLevel),
+                    htm::LevelMax(htm::kObjectLevel)};
+  Bucket b(0, full, objects);
+
+  htm::HtmId mid = objects[250].htm_id;
+  auto span = b.ObjectsInRange(mid, mid);
+  EXPECT_GE(span.size(), 1u);
+  for (const auto& o : span) EXPECT_EQ(o.htm_id, mid);
+
+  auto all = b.ObjectsInRange(full.lo, full.hi);
+  EXPECT_EQ(all.size(), objects.size());
+
+  auto none = b.ObjectsInRange(full.lo, objects.front().htm_id - 1);
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(BucketTest, EstimatedBytesMatchesPaperScale) {
+  // 10,000 objects -> ~40 MB, the paper's bucket size.
+  auto objects = RandomObjects(100, 103);
+  std::sort(objects.begin(), objects.end(), ObjectHtmLess);
+  Bucket b(0,
+           htm::IdRange{htm::LevelMin(htm::kObjectLevel),
+                        htm::LevelMax(htm::kObjectLevel)},
+           objects);
+  EXPECT_EQ(b.EstimatedBytes(), 100u * Bucket::kBytesPerObject);
+  EXPECT_NEAR(10000.0 * Bucket::kBytesPerObject / (1024.0 * 1024.0), 40.0,
+              1.0);
+}
+
+// ----------------------------------------------------------- Partitioner --
+
+TEST(PartitionerTest, RejectsBadInput) {
+  EXPECT_FALSE(PartitionCatalog({}, 10).ok());
+  EXPECT_FALSE(PartitionCatalog(RandomObjects(10, 1), 0).ok());
+}
+
+TEST(PartitionerTest, EqualSizedBuckets) {
+  auto result = PartitionCatalog(RandomObjects(10000, 107), 1000);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->buckets.size(), 10u);
+  for (size_t i = 0; i + 1 < result->buckets.size(); ++i) {
+    // All but possibly the last bucket hold exactly the target count
+    // (duplicate HTM IDs could overflow, but random sky positions at level
+    // 14 collide essentially never).
+    EXPECT_EQ(result->buckets[i].size(), 1000u);
+  }
+}
+
+TEST(PartitionerTest, BucketsTileTheCurve) {
+  auto result = PartitionCatalog(RandomObjects(5000, 109), 500);
+  ASSERT_TRUE(result.ok());
+  const BucketMap& map = *result->map;
+  EXPECT_EQ(map.RangeOf(0).lo, htm::LevelMin(htm::kObjectLevel));
+  EXPECT_EQ(map.RangeOf(static_cast<BucketIndex>(map.num_buckets() - 1)).hi,
+            htm::LevelMax(htm::kObjectLevel));
+  for (size_t i = 0; i + 1 < map.num_buckets(); ++i) {
+    EXPECT_EQ(map.RangeOf(static_cast<BucketIndex>(i)).hi + 1,
+              map.RangeOf(static_cast<BucketIndex>(i + 1)).lo)
+        << "gap or overlap between buckets " << i << " and " << i + 1;
+  }
+}
+
+TEST(PartitionerTest, EveryObjectInItsBucketRange) {
+  auto result = PartitionCatalog(RandomObjects(3000, 113), 250);
+  ASSERT_TRUE(result.ok());
+  size_t total = 0;
+  for (const auto& b : result->buckets) {
+    total += b.size();
+    for (const auto& o : b.objects()) {
+      EXPECT_TRUE(b.range().Contains(o.htm_id));
+      EXPECT_EQ(result->map->BucketOf(o.htm_id), b.index());
+    }
+  }
+  EXPECT_EQ(total, 3000u);
+}
+
+TEST(PartitionerTest, BucketOfIsConsistentWithRanges) {
+  auto result = PartitionCatalog(RandomObjects(2000, 127), 100);
+  ASSERT_TRUE(result.ok());
+  const BucketMap& map = *result->map;
+  Rng rng(131);
+  for (int i = 0; i < 2000; ++i) {
+    htm::HtmId id = htm::LevelMin(htm::kObjectLevel) +
+                    rng.UniformU64(htm::LevelMax(htm::kObjectLevel) -
+                                   htm::LevelMin(htm::kObjectLevel) + 1);
+    BucketIndex idx = map.BucketOf(id);
+    EXPECT_TRUE(map.RangeOf(idx).Contains(id));
+  }
+}
+
+TEST(PartitionerTest, BucketsOverlappingSpansCorrectRun) {
+  auto result = PartitionCatalog(RandomObjects(2000, 137), 200);
+  ASSERT_TRUE(result.ok());
+  const BucketMap& map = *result->map;
+  auto r3 = map.RangeOf(3);
+  auto r5 = map.RangeOf(5);
+  auto [lo, hi] = map.BucketsOverlapping(r3.lo + 1, r5.lo);
+  EXPECT_EQ(lo, 3u);
+  EXPECT_EQ(hi, 5u);
+}
+
+// ------------------------------------------------------------ Disk model --
+
+TEST(DiskModelTest, DefaultsMatchPaperConstants) {
+  DiskModel model;
+  ASSERT_TRUE(model.params().Validate().ok());
+  // T_b for a 40 MB bucket should be ~1.2 seconds.
+  double tb = model.SequentialReadMs(40ull * 1024 * 1024);
+  EXPECT_NEAR(tb, 1200.0, 60.0);
+  // T_m = 0.13 ms per object.
+  EXPECT_DOUBLE_EQ(model.MatchMs(1000), 130.0);
+}
+
+TEST(DiskModelTest, ScanJoinChargesTbOnlyWhenNotCached) {
+  DiskModel model;
+  uint64_t bytes = 40ull * 1024 * 1024;
+  double cached = model.ScanJoinMs(bytes, 500, /*bucket_cached=*/true);
+  double uncached = model.ScanJoinMs(bytes, 500, /*bucket_cached=*/false);
+  EXPECT_DOUBLE_EQ(cached, model.MatchMs(500));
+  EXPECT_DOUBLE_EQ(uncached, model.SequentialReadMs(bytes) + cached);
+}
+
+TEST(DiskModelTest, HybridBreakEvenNearThreePercent) {
+  // With default calibration, indexed join beats scan below ~3% of a
+  // 10,000-object bucket and loses above it (paper Fig 2).
+  DiskModel model;
+  uint64_t bucket_bytes = 10000ull * Bucket::kBytesPerObject;
+  uint64_t small_queue = 100;   // 1%
+  uint64_t large_queue = 1000;  // 10%
+  EXPECT_LT(model.IndexedJoinMs(small_queue),
+            model.ScanJoinMs(bucket_bytes, small_queue, false));
+  EXPECT_GT(model.IndexedJoinMs(large_queue),
+            model.ScanJoinMs(bucket_bytes, large_queue, false));
+}
+
+TEST(DiskModelTest, ValidateRejectsBadParams) {
+  DiskModelParams p;
+  p.transfer_mb_per_s = 0;
+  EXPECT_FALSE(p.Validate().ok());
+  p = DiskModelParams{};
+  p.match_ms_per_object = -1;
+  EXPECT_FALSE(p.Validate().ok());
+  p = DiskModelParams{};
+  p.index_probe_ms = 0;
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+// ---------------------------------------------------------------- Stores --
+
+TEST(MemStoreTest, ReadsBackAllBuckets) {
+  auto partition = PartitionCatalog(RandomObjects(1000, 139), 100);
+  ASSERT_TRUE(partition.ok());
+  MemStore store(std::move(*partition));
+  EXPECT_EQ(store.num_buckets(), 10u);
+  size_t total = 0;
+  for (BucketIndex i = 0; i < store.num_buckets(); ++i) {
+    auto bucket = store.ReadBucket(i);
+    ASSERT_TRUE(bucket.ok());
+    EXPECT_EQ((*bucket)->index(), i);
+    total += (*bucket)->size();
+  }
+  EXPECT_EQ(total, 1000u);
+  EXPECT_EQ(store.stats().bucket_reads, 10u);
+  EXPECT_EQ(store.stats().objects_read, 1000u);
+}
+
+TEST(MemStoreTest, OutOfRangeIndex) {
+  auto partition = PartitionCatalog(RandomObjects(100, 149), 50);
+  ASSERT_TRUE(partition.ok());
+  MemStore store(std::move(*partition));
+  EXPECT_EQ(store.ReadBucket(99).status().code(), StatusCode::kOutOfRange);
+}
+
+class FileStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("liferaft_store_test_" + std::to_string(::getpid()) + ".lfr");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(FileStoreTest, RoundTripPreservesEverything) {
+  auto partition = PartitionCatalog(RandomObjects(2000, 151), 250);
+  ASSERT_TRUE(partition.ok());
+  ASSERT_TRUE(FileStore::Create(path_.string(), partition->buckets).ok());
+
+  auto store = FileStore::Open(path_.string());
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_EQ((*store)->num_buckets(), partition->buckets.size());
+
+  for (BucketIndex i = 0; i < (*store)->num_buckets(); ++i) {
+    auto bucket = (*store)->ReadBucket(i);
+    ASSERT_TRUE(bucket.ok()) << bucket.status().ToString();
+    const Bucket& loaded = **bucket;
+    const Bucket& original = partition->buckets[i];
+    ASSERT_EQ(loaded.size(), original.size());
+    EXPECT_EQ(loaded.range(), original.range());
+    for (size_t j = 0; j < loaded.size(); ++j) {
+      const auto& a = loaded.objects()[j];
+      const auto& b = original.objects()[j];
+      EXPECT_EQ(a.object_id, b.object_id);
+      EXPECT_EQ(a.htm_id, b.htm_id);
+      EXPECT_DOUBLE_EQ(a.ra_deg, b.ra_deg);
+      EXPECT_DOUBLE_EQ(a.dec_deg, b.dec_deg);
+      EXPECT_FLOAT_EQ(a.mag, b.mag);
+      EXPECT_NEAR((a.pos - b.pos).Norm(), 0.0, 1e-14);
+    }
+  }
+  // Bucket map reconstructed identically.
+  const BucketMap& m1 = (*store)->bucket_map();
+  const BucketMap& m2 = *partition->map;
+  ASSERT_EQ(m1.num_buckets(), m2.num_buckets());
+  for (size_t i = 0; i < m1.num_buckets(); ++i) {
+    EXPECT_EQ(m1.RangeOf(static_cast<BucketIndex>(i)),
+              m2.RangeOf(static_cast<BucketIndex>(i)));
+  }
+}
+
+TEST_F(FileStoreTest, DetectsPayloadCorruption) {
+  auto partition = PartitionCatalog(RandomObjects(500, 157), 100);
+  ASSERT_TRUE(partition.ok());
+  ASSERT_TRUE(FileStore::Create(path_.string(), partition->buckets).ok());
+
+  // Flip a byte in the middle of the file (inside some bucket payload).
+  {
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(200);
+    char c;
+    f.seekg(200);
+    f.get(c);
+    f.seekp(200);
+    f.put(static_cast<char>(c ^ 0xFF));
+  }
+  auto store = FileStore::Open(path_.string());
+  ASSERT_TRUE(store.ok());  // index is intact
+  bool corruption_seen = false;
+  for (BucketIndex i = 0; i < (*store)->num_buckets(); ++i) {
+    auto bucket = (*store)->ReadBucket(i);
+    if (!bucket.ok()) {
+      EXPECT_EQ(bucket.status().code(), StatusCode::kCorruption);
+      corruption_seen = true;
+    }
+  }
+  EXPECT_TRUE(corruption_seen);
+}
+
+TEST_F(FileStoreTest, RejectsTruncatedFile) {
+  auto partition = PartitionCatalog(RandomObjects(300, 163), 100);
+  ASSERT_TRUE(partition.ok());
+  ASSERT_TRUE(FileStore::Create(path_.string(), partition->buckets).ok());
+  std::filesystem::resize_file(path_, 64);
+  EXPECT_FALSE(FileStore::Open(path_.string()).ok());
+}
+
+TEST_F(FileStoreTest, RejectsBadMagic) {
+  {
+    std::ofstream f(path_, std::ios::binary);
+    f << "definitely not a liferaft bucket store file, padded to 64 bytes..";
+  }
+  auto r = FileStore::Open(path_.string());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(FileStoreTest, CreateRejectsEmpty) {
+  EXPECT_FALSE(FileStore::Create(path_.string(), {}).ok());
+}
+
+// ----------------------------------------------------------------- BTree --
+
+TEST(BTreeTest, RejectsUnsortedInput) {
+  auto objects = RandomObjects(100, 167);  // unsorted
+  // Force an inversion in case randomness sorted it.
+  std::sort(objects.begin(), objects.end(), ObjectHtmLess);
+  std::swap(objects.front(), objects.back());
+  EXPECT_FALSE(BTreeIndex::BulkLoad(objects).ok());
+}
+
+TEST(BTreeTest, RangeLookupMatchesLinearScan) {
+  auto objects = RandomObjects(20000, 173);
+  std::sort(objects.begin(), objects.end(), ObjectHtmLess);
+  auto tree = BTreeIndex::BulkLoad(objects);
+  ASSERT_TRUE(tree.ok());
+
+  Rng rng(179);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t a = rng.UniformU64(objects.size());
+    size_t b = rng.UniformU64(objects.size());
+    htm::HtmId lo = std::min(objects[a].htm_id, objects[b].htm_id);
+    htm::HtmId hi = std::max(objects[a].htm_id, objects[b].htm_id);
+    auto got = tree->RangeLookup(lo, hi);
+    size_t expected = 0;
+    for (const auto& o : objects) {
+      expected += (o.htm_id >= lo && o.htm_id <= hi);
+    }
+    EXPECT_EQ(got.size(), expected);
+    for (const auto& o : got) {
+      EXPECT_GE(o.htm_id, lo);
+      EXPECT_LE(o.htm_id, hi);
+    }
+  }
+}
+
+TEST(BTreeTest, EmptyRangeAndEmptyTree) {
+  auto empty = BTreeIndex::BulkLoad({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->RangeLookup(0, UINT64_MAX).empty());
+
+  auto objects = RandomObjects(100, 181);
+  std::sort(objects.begin(), objects.end(), ObjectHtmLess);
+  auto tree = BTreeIndex::BulkLoad(objects);
+  ASSERT_TRUE(tree.ok());
+  // lo > hi yields nothing.
+  EXPECT_TRUE(tree->RangeLookup(100, 50).empty());
+}
+
+TEST(BTreeTest, ScanStatsCountLeaves) {
+  auto objects = RandomObjects(10000, 191);
+  std::sort(objects.begin(), objects.end(), ObjectHtmLess);
+  auto tree = BTreeIndex::BulkLoad(objects);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_leaves(),
+            (10000 + BTreeIndex::kLeafCapacity - 1) /
+                BTreeIndex::kLeafCapacity);
+
+  // Full scan touches every leaf.
+  size_t seen = 0;
+  auto stats = tree->RangeScan(0, UINT64_MAX,
+                               [&](const CatalogObject&) { ++seen; });
+  EXPECT_EQ(seen, 10000u);
+  EXPECT_EQ(stats.matches, 10000u);
+  EXPECT_EQ(stats.leaves_visited, tree->num_leaves());
+
+  // A point lookup touches very few.
+  auto one = tree->RangeScan(objects[5000].htm_id, objects[5000].htm_id,
+                             [](const CatalogObject&) {});
+  EXPECT_LE(one.leaves_visited, 2u);
+  EXPECT_GE(one.matches, 1u);
+}
+
+// ----------------------------------------------------------------- Cache --
+
+class CacheTestFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto partition = PartitionCatalog(RandomObjects(1000, 193), 100);
+    ASSERT_TRUE(partition.ok());
+    store_ = std::make_unique<MemStore>(std::move(*partition));
+  }
+  std::unique_ptr<MemStore> store_;
+};
+
+TEST_F(CacheTestFixture, HitsAndMisses) {
+  BucketCache cache(store_.get(), 3);
+  EXPECT_FALSE(cache.Contains(0));
+  ASSERT_TRUE(cache.Get(0).ok());
+  EXPECT_TRUE(cache.Contains(0));
+  ASSERT_TRUE(cache.Get(0).ok());
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_NEAR(cache.stats().HitRate(), 0.5, 1e-12);
+}
+
+TEST_F(CacheTestFixture, EvictsLeastRecentlyUsed) {
+  BucketCache cache(store_.get(), 3);
+  ASSERT_TRUE(cache.Get(0).ok());
+  ASSERT_TRUE(cache.Get(1).ok());
+  ASSERT_TRUE(cache.Get(2).ok());
+  ASSERT_TRUE(cache.Get(0).ok());  // 0 is now MRU; LRU is 1
+  ASSERT_TRUE(cache.Get(3).ok());  // evicts 1
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST_F(CacheTestFixture, ContainsDoesNotPromote) {
+  BucketCache cache(store_.get(), 2);
+  ASSERT_TRUE(cache.Get(0).ok());
+  ASSERT_TRUE(cache.Get(1).ok());
+  // Interrogate residency of 0 (phi check) -- must NOT promote it.
+  EXPECT_TRUE(cache.Contains(0));
+  ASSERT_TRUE(cache.Get(2).ok());  // evicts 0, the true LRU
+  EXPECT_FALSE(cache.Contains(0));
+  EXPECT_TRUE(cache.Contains(1));
+}
+
+TEST_F(CacheTestFixture, SharedPointersStayValidAfterEviction) {
+  BucketCache cache(store_.get(), 1);
+  auto b0 = cache.Get(0);
+  ASSERT_TRUE(b0.ok());
+  ASSERT_TRUE(cache.Get(1).ok());  // evicts 0
+  // The evicted bucket remains usable through the original shared_ptr.
+  EXPECT_EQ((*b0)->index(), 0u);
+  EXPECT_GT((*b0)->size(), 0u);
+}
+
+TEST_F(CacheTestFixture, ClearEmptiesCache) {
+  BucketCache cache(store_.get(), 4);
+  ASSERT_TRUE(cache.Get(0).ok());
+  ASSERT_TRUE(cache.Get(1).ok());
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Contains(0));
+}
+
+// --------------------------------------------------------------- Catalog --
+
+TEST(CatalogTest, BuildWithIndex) {
+  CatalogOptions options;
+  options.objects_per_bucket = 200;
+  options.build_index = true;
+  auto catalog = Catalog::Build(RandomObjects(2000, 197), options);
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_EQ((*catalog)->num_buckets(), 10u);
+  EXPECT_EQ((*catalog)->num_objects(), 2000u);
+  ASSERT_NE((*catalog)->index(), nullptr);
+  EXPECT_EQ((*catalog)->index()->size(), 2000u);
+}
+
+TEST(CatalogTest, BuildWithoutIndex) {
+  CatalogOptions options;
+  options.objects_per_bucket = 100;
+  options.build_index = false;
+  auto catalog = Catalog::Build(RandomObjects(500, 199), options);
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_EQ((*catalog)->index(), nullptr);
+}
+
+TEST(CatalogTest, IndexAgreesWithBuckets) {
+  CatalogOptions options;
+  options.objects_per_bucket = 100;
+  auto catalog = Catalog::Build(RandomObjects(1000, 211), options);
+  ASSERT_TRUE(catalog.ok());
+  // Every bucket's objects are exactly the index's objects in that range.
+  for (BucketIndex i = 0; i < (*catalog)->num_buckets(); ++i) {
+    auto bucket = (*catalog)->store()->ReadBucket(i);
+    ASSERT_TRUE(bucket.ok());
+    auto range = (*bucket)->range();
+    auto from_index = (*catalog)->index()->RangeLookup(range.lo, range.hi);
+    EXPECT_EQ(from_index.size(), (*bucket)->size());
+  }
+}
+
+}  // namespace
+}  // namespace liferaft::storage

@@ -1,0 +1,311 @@
+// Unit tests for util: Status/Result, Rng + distributions, stats, clocks,
+// tables.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "util/clock.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/table.h"
+
+namespace liferaft {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("bucket 7");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "bucket 7");
+  EXPECT_EQ(s.ToString(), "NotFound: bucket 7");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kCorruption), "Corruption");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::IOError("disk gone"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> DoubleIfPositive(int x) {
+  LIFERAFT_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto ok = DoubleIfPositive(21);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  auto err = DoubleIfPositive(-3);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformU64InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformU64(10), 10u);
+  }
+}
+
+TEST(RngTest, UniformU64CoversAllValues) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformU64(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(13);
+  StreamingStats s;
+  const double lambda = 0.5;  // mean 2
+  for (int i = 0; i < 50000; ++i) s.Add(rng.Exponential(lambda));
+  EXPECT_NEAR(s.mean(), 2.0, 0.05);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(17);
+  StreamingStats s;
+  for (int i = 0; i < 50000; ++i) s.Add(rng.Normal(10.0, 3.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.1);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+// ------------------------------------------------------------------ Zipf --
+
+TEST(ZipfTest, UniformWhenSkewZero) {
+  ZipfDistribution z(4, 0.0);
+  for (size_t i = 0; i < 4; ++i) EXPECT_NEAR(z.Pmf(i), 0.25, 1e-12);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution z(100, 1.1);
+  double sum = 0;
+  for (size_t i = 0; i < 100; ++i) sum += z.Pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, RankZeroMostPopular) {
+  ZipfDistribution z(50, 1.0);
+  for (size_t i = 1; i < 50; ++i) EXPECT_GT(z.Pmf(0), z.Pmf(i));
+}
+
+TEST(ZipfTest, SampleFrequenciesMatchPmf) {
+  Rng rng(29);
+  ZipfDistribution z(10, 1.0);
+  std::vector<int> counts(10, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[z.Sample(&rng)];
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(n), z.Pmf(i), 0.01)
+        << "rank " << i;
+  }
+}
+
+TEST(ZipfTest, HighSkewConcentratesMass) {
+  ZipfDistribution z(1000, 2.0);
+  double top10 = 0;
+  for (size_t i = 0; i < 10; ++i) top10 += z.Pmf(i);
+  EXPECT_GT(top10, 0.9);
+}
+
+TEST(PoissonTest, MeanMatchesSmallAndLarge) {
+  Rng rng(31);
+  for (double mean : {0.5, 5.0, 80.0}) {
+    StreamingStats s;
+    for (int i = 0; i < 20000; ++i) {
+      s.Add(static_cast<double>(PoissonSample(&rng, mean)));
+    }
+    EXPECT_NEAR(s.mean(), mean, mean * 0.05 + 0.05) << "mean " << mean;
+  }
+}
+
+// ----------------------------------------------------------------- Stats --
+
+TEST(StreamingStatsTest, Empty) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.coefficient_of_variation(), 0.0);
+}
+
+TEST(StreamingStatsTest, KnownValues) {
+  StreamingStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(StreamingStatsTest, MergeEqualsCombined) {
+  Rng rng(37);
+  StreamingStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.Normal(3, 2);
+    all.Add(v);
+    (i % 2 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(PercentilesTest, ExactOnSmallSet) {
+  Percentiles p;
+  for (int i = 1; i <= 100; ++i) p.Add(i);
+  EXPECT_NEAR(p.Median(), 50.5, 1e-12);
+  EXPECT_NEAR(p.Percentile(0), 1.0, 1e-12);
+  EXPECT_NEAR(p.Percentile(100), 100.0, 1e-12);
+  EXPECT_NEAR(p.Percentile(99), 99.01, 0.5);
+}
+
+TEST(PercentilesTest, EmptyReturnsZero) {
+  Percentiles p;
+  EXPECT_EQ(p.Percentile(50), 0.0);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(0.5);    // bin 0
+  h.Add(9.99);   // bin 9
+  h.Add(-5.0);   // clamps to bin 0
+  h.Add(100.0);  // clamps to bin 9
+  EXPECT_EQ(h.BinCount(0), 2u);
+  EXPECT_EQ(h.BinCount(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.BinLow(3), 3.0);
+}
+
+// ----------------------------------------------------------------- Clock --
+
+TEST(VirtualClockTest, AdvanceMonotone) {
+  VirtualClock c(100.0);
+  EXPECT_EQ(c.NowMs(), 100.0);
+  c.Advance(50.0);
+  EXPECT_EQ(c.NowMs(), 150.0);
+  c.AdvanceTo(120.0);  // in the past: no-op
+  EXPECT_EQ(c.NowMs(), 150.0);
+  c.AdvanceTo(200.0);
+  EXPECT_EQ(c.NowMs(), 200.0);
+}
+
+TEST(WallClockTest, MovesForward) {
+  WallClock c;
+  double t0 = c.NowMs();
+  // Burn a little CPU; steady_clock must not go backwards.
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x += std::sqrt(static_cast<double>(i));
+  EXPECT_GE(c.NowMs(), t0);
+}
+
+// ----------------------------------------------------------------- Table --
+
+TEST(TableTest, TextAndCsv) {
+  Table t({"alg", "throughput"});
+  t.AddRow({"NoShare", Table::Num(0.084, 3)});
+  t.AddRow({"LifeRaft", Table::Num(0.212, 3)});
+  std::string text = t.ToText();
+  EXPECT_NE(text.find("NoShare"), std::string::npos);
+  EXPECT_NE(text.find("0.212"), std::string::npos);
+  std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("alg,throughput"), std::string::npos);
+  EXPECT_NE(csv.find("NoShare,0.084"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, CsvQuotesCommas) {
+  Table t({"a"});
+  t.AddRow({"x,y"});
+  EXPECT_NE(t.ToCsv().find("\"x,y\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace liferaft

@@ -1,0 +1,334 @@
+// Tests for the workload generators: catalog synthesis, the SDSS-like
+// trace's calibrated skew (the Fig 5 / Fig 6 marginals), temporal locality,
+// and trace persistence.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "query/preprocessor.h"
+#include "storage/catalog.h"
+#include "workload/catalog_gen.h"
+#include "workload/trace_gen.h"
+#include "workload/trace_io.h"
+
+namespace liferaft::workload {
+namespace {
+
+// ------------------------------------------------------------ CatalogGen --
+
+TEST(CatalogGenTest, GeneratesRequestedCount) {
+  CatalogGenConfig config;
+  config.num_objects = 5000;
+  auto objects = GenerateCatalog(config);
+  ASSERT_TRUE(objects.ok());
+  EXPECT_EQ(objects->size(), 5000u);
+  std::set<uint64_t> ids;
+  for (const auto& o : *objects) {
+    ids.insert(o.object_id);
+    EXPECT_GE(o.ra_deg, 0.0);
+    EXPECT_LT(o.ra_deg, 360.0);
+    EXPECT_GE(o.dec_deg, -90.0);
+    EXPECT_LE(o.dec_deg, 90.0);
+    EXPECT_EQ(htm::LevelOf(o.htm_id), htm::kObjectLevel);
+  }
+  EXPECT_EQ(ids.size(), 5000u) << "object ids must be unique";
+}
+
+TEST(CatalogGenTest, Deterministic) {
+  CatalogGenConfig config;
+  config.num_objects = 500;
+  config.seed = 99;
+  auto a = GenerateCatalog(config);
+  auto b = GenerateCatalog(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].htm_id, (*b)[i].htm_id);
+  }
+}
+
+TEST(CatalogGenTest, ClusteringConcentratesObjects) {
+  CatalogGenConfig clustered;
+  clustered.num_objects = 20'000;
+  clustered.cluster_fraction = 0.8;
+  clustered.num_clusters = 4;
+  clustered.cluster_sigma_deg = 1.0;
+  auto objects = GenerateCatalog(clustered);
+  ASSERT_TRUE(objects.ok());
+  // Count objects per level-2 trixel; clustering must produce a much more
+  // skewed histogram than uniform would.
+  std::map<htm::HtmId, size_t> per_trixel;
+  for (const auto& o : *objects) {
+    ++per_trixel[htm::AncestorAt(o.htm_id, 2)];
+  }
+  size_t max_count = 0;
+  for (const auto& [_, c] : per_trixel) max_count = std::max(max_count, c);
+  // 128 level-2 trixels; uniform would put ~156 in each.
+  EXPECT_GT(max_count, 1000u);
+}
+
+TEST(CatalogGenTest, RejectsBadConfig) {
+  CatalogGenConfig config;
+  config.num_objects = 0;
+  EXPECT_FALSE(GenerateCatalog(config).ok());
+  config = CatalogGenConfig{};
+  config.cluster_fraction = 1.5;
+  EXPECT_FALSE(GenerateCatalog(config).ok());
+  config = CatalogGenConfig{};
+  config.cluster_fraction = 0.5;
+  config.num_clusters = 0;
+  EXPECT_FALSE(GenerateCatalog(config).ok());
+}
+
+TEST(RandomPointInCapTest, StaysInsideCap) {
+  Rng rng(401);
+  SkyPoint center{123.0, -37.0};
+  for (int i = 0; i < 2000; ++i) {
+    SkyPoint p = RandomPointInCap(&rng, center, 5.0);
+    EXPECT_LE(AngularSeparationDeg(center, p), 5.0 + 1e-9);
+  }
+}
+
+TEST(RandomPointInCapTest, CoversTheCapArea) {
+  // The sampler is area-uniform: about 3/4 of samples should lie beyond
+  // half the radius (area ratio ~ (1-cos r)(3/4) for small r).
+  Rng rng(409);
+  SkyPoint center{10.0, 10.0};
+  int outer = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    SkyPoint p = RandomPointInCap(&rng, center, 2.0);
+    if (AngularSeparationDeg(center, p) > 1.0) ++outer;
+  }
+  EXPECT_NEAR(outer / static_cast<double>(n), 0.75, 0.03);
+}
+
+// -------------------------------------------------------------- TraceGen --
+
+class TraceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    CatalogGenConfig gen;
+    gen.num_objects = 100'000;
+    gen.seed = 17;
+    auto objects = GenerateCatalog(gen);
+    ASSERT_TRUE(objects.ok());
+    storage::CatalogOptions options;
+    options.objects_per_bucket = 1000;  // 100 buckets
+    options.build_index = false;
+    auto catalog = storage::Catalog::Build(std::move(*objects), options);
+    ASSERT_TRUE(catalog.ok());
+    catalog_ = std::move(*catalog);
+  }
+  std::unique_ptr<storage::Catalog> catalog_;
+};
+
+TEST_F(TraceFixture, GeneratesRequestedQueries) {
+  TraceConfig config;
+  config.num_queries = 200;
+  config.seed = 5;
+  auto trace = GenerateTrace(config);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->size(), 200u);
+  for (size_t i = 0; i < trace->size(); ++i) {
+    const auto& q = (*trace)[i];
+    EXPECT_EQ(q.id, i + 1);
+    EXPECT_GE(q.objects.size(), config.min_objects_per_query);
+    EXPECT_LE(q.objects.size(), config.max_objects_per_query);
+    EXPECT_FALSE(q.label.empty());
+  }
+}
+
+TEST_F(TraceFixture, ValidateCatchesBadConfigs) {
+  TraceConfig c;
+  c.num_queries = 0;
+  EXPECT_FALSE(GenerateTrace(c).ok());
+  c = TraceConfig{};
+  c.p_hotspot = 1.2;
+  EXPECT_FALSE(GenerateTrace(c).ok());
+  c = TraceConfig{};
+  c.min_radius_deg = 5;
+  c.max_radius_deg = 1;
+  EXPECT_FALSE(GenerateTrace(c).ok());
+  c = TraceConfig{};
+  c.max_objects_per_query = 1;
+  c.min_objects_per_query = 10;
+  EXPECT_FALSE(GenerateTrace(c).ok());
+}
+
+TEST_F(TraceFixture, ReproducesFig5TopTenReuse) {
+  // Paper: the top-ten buckets are accessed by ~61% of queries. Accept a
+  // generous band around it; the point is strong head concentration.
+  TraceConfig config;  // defaults are the calibrated ones
+  config.num_queries = 500;
+  auto trace = GenerateTrace(config);
+  ASSERT_TRUE(trace.ok());
+  double frac = TopKTouchFraction(*trace, catalog_->bucket_map(), 10);
+  EXPECT_GT(frac, 0.45) << "top-10 bucket reuse too weak";
+  EXPECT_LT(frac, 0.85) << "top-10 bucket reuse implausibly strong";
+}
+
+TEST_F(TraceFixture, ReproducesFig6MassConcentration) {
+  // Paper: ~2% of buckets carry 50% of the workload. With 100 buckets we
+  // accept 1-10%.
+  TraceConfig config;
+  config.num_queries = 500;
+  auto trace = GenerateTrace(config);
+  ASSERT_TRUE(trace.ok());
+  auto touches = CharacterizeTrace(*trace, catalog_->bucket_map());
+  double frac =
+      BucketFractionForMass(touches, catalog_->num_buckets(), 0.5);
+  EXPECT_GT(frac, 0.005);
+  EXPECT_LT(frac, 0.12) << "workload mass not concentrated enough";
+}
+
+TEST_F(TraceFixture, TemporalLocalityOfBucketReuse) {
+  // Consecutive queries should overlap in buckets far more often than
+  // distant pairs (Fig 5's visual clustering).
+  TraceConfig config;
+  config.num_queries = 300;
+  auto trace = GenerateTrace(config);
+  ASSERT_TRUE(trace.ok());
+
+  auto buckets_of = [&](const query::CrossMatchQuery& q) {
+    std::set<storage::BucketIndex> out;
+    for (const auto& w :
+         query::SplitQueryByBucket(q, catalog_->bucket_map())) {
+      out.insert(w.bucket);
+    }
+    return out;
+  };
+  auto overlaps = [&](size_t i, size_t j) {
+    auto a = buckets_of((*trace)[i]);
+    auto b = buckets_of((*trace)[j]);
+    for (auto x : a) {
+      if (b.count(x)) return true;
+    }
+    return false;
+  };
+  Rng rng(419);
+  int adjacent_hits = 0, random_hits = 0;
+  const int trials = 150;
+  for (int t = 0; t < trials; ++t) {
+    size_t i = rng.UniformU64(trace->size() - 1);
+    adjacent_hits += overlaps(i, i + 1);
+    size_t a = rng.UniformU64(trace->size());
+    size_t b = rng.UniformU64(trace->size());
+    if (a != b) random_hits += overlaps(a, b);
+  }
+  EXPECT_GT(adjacent_hits, random_hits)
+      << "consecutive queries should share buckets more than random pairs";
+}
+
+TEST_F(TraceFixture, CharacterizeTraceSortsByMass) {
+  TraceConfig config;
+  config.num_queries = 100;
+  auto trace = GenerateTrace(config);
+  ASSERT_TRUE(trace.ok());
+  auto touches = CharacterizeTrace(*trace, catalog_->bucket_map());
+  ASSERT_FALSE(touches.empty());
+  for (size_t i = 1; i < touches.size(); ++i) {
+    EXPECT_GE(touches[i - 1].workload_objects, touches[i].workload_objects);
+  }
+  uint64_t total_objects = 0;
+  for (const auto& t : touches) total_objects += t.workload_objects;
+  uint64_t expected = 0;
+  for (const auto& q : *trace) {
+    for (const auto& w :
+         query::SplitQueryByBucket(q, catalog_->bucket_map())) {
+      expected += w.objects.size();
+    }
+  }
+  EXPECT_EQ(total_objects, expected);
+}
+
+TEST(BucketFractionForMassTest, HandCheckedExample) {
+  std::vector<BucketTouch> touches = {
+      {0, 1, 500}, {1, 1, 300}, {2, 1, 150}, {3, 1, 50}};
+  // 50% of 1000 = 500: first bucket suffices -> 1/10 buckets.
+  EXPECT_DOUBLE_EQ(BucketFractionForMass(touches, 10, 0.5), 0.1);
+  // 90% needs 500+300+150 = 950 >= 900 -> 3 buckets.
+  EXPECT_DOUBLE_EQ(BucketFractionForMass(touches, 10, 0.9), 0.3);
+  EXPECT_EQ(BucketFractionForMass({}, 10, 0.5), 0.0);
+  EXPECT_EQ(BucketFractionForMass(touches, 0, 0.5), 0.0);
+}
+
+// --------------------------------------------------------------- TraceIO --
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("liferaft_trace_test_" + std::to_string(::getpid()) + ".lft");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(TraceIoTest, RoundTrip) {
+  TraceConfig config;
+  config.num_queries = 50;
+  config.seed = 77;
+  auto trace = GenerateTrace(config);
+  ASSERT_TRUE(trace.ok());
+  (*trace)[3].arrival_ms = 1234.5;
+
+  ASSERT_TRUE(SaveTrace(path_.string(), *trace).ok());
+  auto loaded = LoadTrace(path_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), trace->size());
+  for (size_t i = 0; i < trace->size(); ++i) {
+    const auto& a = (*trace)[i];
+    const auto& b = (*loaded)[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_DOUBLE_EQ(a.arrival_ms, b.arrival_ms);
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_FLOAT_EQ(a.predicate.max_mag, b.predicate.max_mag);
+    ASSERT_EQ(a.objects.size(), b.objects.size());
+    for (size_t j = 0; j < a.objects.size(); ++j) {
+      EXPECT_EQ(a.objects[j].id, b.objects[j].id);
+      EXPECT_DOUBLE_EQ(a.objects[j].ra_deg, b.objects[j].ra_deg);
+      EXPECT_DOUBLE_EQ(a.objects[j].dec_deg, b.objects[j].dec_deg);
+      EXPECT_DOUBLE_EQ(a.objects[j].radius_arcsec,
+                       b.objects[j].radius_arcsec);
+      // Covers are recomputed deterministically.
+      EXPECT_EQ(a.objects[j].htm_ranges.ToString(),
+                b.objects[j].htm_ranges.ToString());
+    }
+  }
+}
+
+TEST_F(TraceIoTest, DetectsCorruption) {
+  TraceConfig config;
+  config.num_queries = 10;
+  auto trace = GenerateTrace(config);
+  ASSERT_TRUE(trace.ok());
+  ASSERT_TRUE(SaveTrace(path_.string(), *trace).ok());
+  {
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(100);
+    f.put('\x42');
+  }
+  auto loaded = LoadTrace(path_.string());
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(TraceIoTest, RejectsForeignFile) {
+  {
+    std::ofstream f(path_);
+    f << "not a trace file at all, but long enough to pass size checks";
+  }
+  EXPECT_FALSE(LoadTrace(path_.string()).ok());
+}
+
+TEST_F(TraceIoTest, MissingFileIsIOError) {
+  auto loaded = LoadTrace("/nonexistent/liferaft.trace");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace liferaft::workload
