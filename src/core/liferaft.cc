@@ -24,6 +24,10 @@ Result<std::unique_ptr<LifeRaft>> LifeRaft::Create(
   system->evaluator_ = std::make_unique<join::JoinEvaluator>(
       system->cache_.get(), system->catalog_->index(),
       storage::DiskModel(options.disk), options.hybrid);
+  if (options.num_threads > 1) {
+    system->pool_ = std::make_unique<util::ThreadPool>(options.num_threads);
+    system->evaluator_->set_thread_pool(system->pool_.get());
+  }
   system->manager_ = std::make_unique<query::WorkloadManager>(
       system->catalog_->num_buckets());
 

@@ -30,6 +30,7 @@
 #include "sched/liferaft_scheduler.h"
 #include "storage/catalog.h"
 #include "util/clock.h"
+#include "util/thread_pool.h"
 
 namespace liferaft::core {
 
@@ -101,6 +102,7 @@ class LifeRaft {
 
   LifeRaftOptions options_;
   VirtualClock clock_;
+  std::unique_ptr<util::ThreadPool> pool_;  // non-null iff num_threads > 1
   std::unique_ptr<storage::Catalog> catalog_;
   std::unique_ptr<storage::BucketCache> cache_;
   std::unique_ptr<join::JoinEvaluator> evaluator_;

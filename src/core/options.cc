@@ -18,6 +18,9 @@ Status LifeRaftOptions::Validate() const {
   if (qos.half_life_parts <= 0.0) {
     return Status::InvalidArgument("qos.half_life_parts must be positive");
   }
+  if (num_threads == 0) {
+    return Status::InvalidArgument("num_threads must be >= 1");
+  }
   return disk.Validate();
 }
 

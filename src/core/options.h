@@ -35,6 +35,10 @@ struct LifeRaftOptions {
   sched::QosConfig qos;
   /// Build the B+tree spatial index (required for the hybrid indexed path).
   bool build_index = true;
+  /// Worker threads for a batch's join work. 1 = serial. Parallel mode
+  /// produces results identical to serial mode (see join::JoinEvaluator);
+  /// scheduling and the virtual clock stay deterministic.
+  size_t num_threads = 1;
 
   Status Validate() const;
 };

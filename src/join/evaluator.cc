@@ -1,6 +1,8 @@
 #include "join/evaluator.h"
 
 #include <cassert>
+#include <future>
+#include <span>
 
 namespace liferaft::join {
 namespace {
@@ -9,6 +11,70 @@ uint64_t CountObjects(const std::vector<query::WorkloadEntry>& batch) {
   uint64_t n = 0;
   for (const auto& e : batch) n += e.objects.size();
   return n;
+}
+
+/// Splits `[0, n)` into at most `parts` contiguous slices of near-equal
+/// size (earlier slices get the remainder). Deterministic in (n, parts).
+std::vector<std::span<const query::WorkloadEntry>> SliceBatch(
+    const std::vector<query::WorkloadEntry>& batch, size_t parts) {
+  std::vector<std::span<const query::WorkloadEntry>> slices;
+  const size_t n = batch.size();
+  parts = std::max<size_t>(std::min(parts, n), 1);
+  slices.reserve(parts);
+  const size_t base = n / parts;
+  const size_t rem = n % parts;
+  size_t offset = 0;
+  for (size_t i = 0; i < parts; ++i) {
+    const size_t len = base + (i < rem ? 1 : 0);
+    slices.push_back(std::span<const query::WorkloadEntry>(batch).subspan(
+        offset, len));
+    offset += len;
+  }
+  return slices;
+}
+
+/// Fans `kernel(slice, out)` across the pool, one task per contiguous
+/// slice of `batch`, and merges counters and matches in slice (= entry)
+/// order, which makes the result identical to one serial kernel call over
+/// the whole batch. Every task is drained before any exception propagates:
+/// tasks reference stack-owned inputs, so unwinding while a worker still
+/// runs would be a use-after-free.
+template <typename Counters, typename Kernel>
+Counters ParallelJoin(util::ThreadPool& pool,
+                      const std::vector<query::WorkloadEntry>& batch,
+                      std::vector<query::Match>* out, const Kernel& kernel) {
+  struct SliceResult {
+    Counters counters{};
+    std::vector<query::Match> matches;
+  };
+  const bool collect = out != nullptr;
+  std::vector<std::future<SliceResult>> futures;
+  try {
+    auto slices = SliceBatch(batch, pool.num_threads());
+    futures.reserve(slices.size());
+    for (auto slice : slices) {
+      futures.push_back(pool.Submit([&kernel, slice, collect] {
+        SliceResult r;
+        r.counters = kernel(slice, collect ? &r.matches : nullptr);
+        return r;
+      }));
+    }
+    for (auto& f : futures) f.wait();
+  } catch (...) {
+    for (auto& f : futures) {
+      if (f.valid()) f.wait();
+    }
+    throw;
+  }
+  Counters total{};
+  for (auto& f : futures) {
+    SliceResult r = f.get();  // rethrows a worker's exception, post-drain
+    total += r.counters;
+    if (out != nullptr) {
+      out->insert(out->end(), r.matches.begin(), r.matches.end());
+    }
+  }
+  return total;
 }
 
 }  // namespace
@@ -38,25 +104,46 @@ Result<BatchResult> JoinEvaluator::EvaluateBucket(
           ? JoinStrategy::kScan
           : ChooseStrategy(config_, queue_objects, bucket_objects, cached);
 
+  const bool parallel = pool_ != nullptr && batch.size() > 1;
   std::vector<query::Match>* out = collect_matches ? &result.matches
                                                    : nullptr;
   if (result.strategy == JoinStrategy::kScan) {
     // Pull the bucket through the cache: a miss reads from the store and
-    // pays T_b; a hit pays only the in-memory matching term.
+    // pays T_b; a hit pays only the in-memory matching term. The cache is
+    // touched once, serially, before any fan-out.
     LIFERAFT_ASSIGN_OR_RETURN(std::shared_ptr<const storage::Bucket> b,
                               cache_->Get(bucket));
     result.cache_hit = cached;
     result.cost_ms =
         model_.ScanJoinMs(b->EstimatedBytes(), queue_objects, cached);
-    result.counters = MergeCrossMatch(*b, batch, out);
+    if (parallel) {
+      result.counters = ParallelJoin<JoinCounters>(
+          *pool_, batch, out,
+          [b](std::span<const query::WorkloadEntry> slice,
+              std::vector<query::Match>* slice_out) {
+            return MergeCrossMatch(*b, slice, slice_out);
+          });
+    } else {
+      result.counters = MergeCrossMatch(*b, batch, out);
+    }
     ++stats_.scan_batches;
   } else {
     // Indexed path: per-object random probes; the bucket itself is never
     // materialized, so the cache is untouched (the paper's age-biased
-    // scheduler leans on this to serve uncached buckets cheaply).
+    // scheduler leans on this to serve uncached buckets cheaply). The
+    // B+tree is immutable after bulk load, so concurrent probes are safe.
     const htm::IdRange range = cache_->store().bucket_map().RangeOf(bucket);
-    IndexedJoinCounters counters =
-        IndexedCrossMatch(*index_, range, batch, out);
+    IndexedJoinCounters counters;
+    if (parallel) {
+      counters = ParallelJoin<IndexedJoinCounters>(
+          *pool_, batch, out,
+          [this, range](std::span<const query::WorkloadEntry> slice,
+                        std::vector<query::Match>* slice_out) {
+            return IndexedCrossMatch(*index_, range, slice, slice_out);
+          });
+    } else {
+      counters = IndexedCrossMatch(*index_, range, batch, out);
+    }
     result.cache_hit = false;
     result.cost_ms = model_.IndexedJoinMs(queue_objects);
     result.counters = counters.join;

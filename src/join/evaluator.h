@@ -19,6 +19,7 @@
 #include "storage/bucket_cache.h"
 #include "storage/disk_model.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace liferaft::join {
 
@@ -43,8 +44,13 @@ struct EvaluatorStats {
   TimeMs total_cost_ms = 0.0;
 };
 
-/// Executes bucket batches. Single-threaded, like the paper's scheduler
-/// loop.
+/// Executes bucket batches. The scheduler loop stays single-threaded, as in
+/// the paper; when a thread pool is attached, the join work *within* one
+/// batch is fanned across workers by slicing the workload entries, and the
+/// slices are merged back in entry order. Strategy choice, cache traffic,
+/// modeled cost, counters, and match order are byte-identical to the
+/// single-threaded path, so scheduling and the virtual clock stay
+/// deterministic.
 class JoinEvaluator {
  public:
   /// @param cache  bucket cache layered over the archive's store (not
@@ -68,6 +74,11 @@ class JoinEvaluator {
     return cache_->Contains(bucket);
   }
 
+  /// Attaches a worker pool (not owned; may be null to restore serial
+  /// execution). The pool must outlive the evaluator's last EvaluateBucket.
+  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
+  util::ThreadPool* thread_pool() const { return pool_; }
+
   const storage::DiskModel& disk_model() const { return model_; }
   const HybridConfig& hybrid_config() const { return config_; }
   const EvaluatorStats& stats() const { return stats_; }
@@ -79,6 +90,7 @@ class JoinEvaluator {
   const storage::BTreeIndex* index_;
   storage::DiskModel model_;
   HybridConfig config_;
+  util::ThreadPool* pool_ = nullptr;
   EvaluatorStats stats_;
 };
 

@@ -6,7 +6,7 @@ namespace liferaft::join {
 
 IndexedJoinCounters IndexedCrossMatch(
     const storage::BTreeIndex& index, const htm::IdRange& restrict_to,
-    const std::vector<query::WorkloadEntry>& batch,
+    std::span<const query::WorkloadEntry> batch,
     std::vector<query::Match>* out) {
   IndexedJoinCounters counters;
   for (const query::WorkloadEntry& entry : batch) {

@@ -7,6 +7,7 @@
 #define LIFERAFT_JOIN_INDEXED_JOIN_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "htm/range_set.h"
@@ -24,6 +25,15 @@ struct IndexedJoinCounters {
   uint64_t probes = 0;
   /// Leaf pages touched across all probes.
   uint64_t leaves_visited = 0;
+
+  /// Merges another slice's counters (keep in sync with the fields above —
+  /// the parallel path aggregates per-slice counters through this).
+  IndexedJoinCounters& operator+=(const IndexedJoinCounters& o) {
+    join += o.join;
+    probes += o.probes;
+    leaves_visited += o.leaves_visited;
+    return *this;
+  }
 };
 
 /// Cross-matches a workload batch via index probes, restricted to the
@@ -32,7 +42,7 @@ struct IndexedJoinCounters {
 /// exactly once per bucket). Appends matches to `out`.
 IndexedJoinCounters IndexedCrossMatch(
     const storage::BTreeIndex& index, const htm::IdRange& restrict_to,
-    const std::vector<query::WorkloadEntry>& batch,
+    std::span<const query::WorkloadEntry> batch,
     std::vector<query::Match>* out);
 
 }  // namespace liferaft::join

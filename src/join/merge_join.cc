@@ -12,7 +12,7 @@ bool WithinRadius(const query::QueryObject& qo,
 }
 
 JoinCounters MergeCrossMatch(const storage::Bucket& bucket,
-                             const std::vector<query::WorkloadEntry>& batch,
+                             std::span<const query::WorkloadEntry> batch,
                              std::vector<query::Match>* out) {
   JoinCounters counters;
   const htm::IdRange bucket_range = bucket.range();

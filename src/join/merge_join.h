@@ -9,6 +9,7 @@
 #define LIFERAFT_JOIN_MERGE_JOIN_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "query/workload.h"
@@ -26,12 +27,24 @@ struct JoinCounters {
   uint64_t spatial_matches = 0;
   /// Pairs surviving predicates (reported matches).
   uint64_t output_matches = 0;
+
+  /// Merges another slice's counters (keep in sync with the fields above —
+  /// the parallel path aggregates per-slice counters through this).
+  JoinCounters& operator+=(const JoinCounters& o) {
+    workload_objects += o.workload_objects;
+    candidates_tested += o.candidates_tested;
+    spatial_matches += o.spatial_matches;
+    output_matches += o.output_matches;
+    return *this;
+  }
 };
 
 /// Cross-matches every entry of a bucket's workload batch against the
-/// bucket via sorted-range sweep. Appends matches to `out`.
+/// bucket via sorted-range sweep. Appends matches to `out`. Entries are
+/// processed in order and touch no shared state, so disjoint slices of a
+/// batch may run on different threads and be concatenated in slice order.
 JoinCounters MergeCrossMatch(const storage::Bucket& bucket,
-                             const std::vector<query::WorkloadEntry>& batch,
+                             std::span<const query::WorkloadEntry> batch,
                              std::vector<query::Match>* out);
 
 /// Exact refinement test shared by all join strategies: true iff the

@@ -166,6 +166,14 @@ Result<RunMetrics> SimEngine::Run(
       catalog_->store(), std::max<size_t>(config_.cache_capacity, 1));
   evaluator_ = std::make_unique<join::JoinEvaluator>(
       cache_.get(), catalog_->index(), model_, config_.hybrid);
+  if (config_.num_threads > 1 && config_.mode == ExecutionMode::kShared) {
+    if (pool_ == nullptr || pool_->num_threads() != config_.num_threads) {
+      pool_ = std::make_unique<util::ThreadPool>(config_.num_threads);
+    }
+    evaluator_->set_thread_pool(pool_.get());
+  } else {
+    pool_.reset();
+  }
   manager_ =
       std::make_unique<query::WorkloadManager>(catalog_->num_buckets());
   if (!config_.spill_path.empty() &&

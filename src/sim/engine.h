@@ -28,6 +28,7 @@
 #include "sim/run_metrics.h"
 #include "storage/catalog.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace liferaft::sim {
 
@@ -45,6 +46,11 @@ struct EngineConfig {
   storage::DiskModelParams disk;
   /// Keep match tuples (disable for scheduling-scale experiments).
   bool collect_matches = false;
+  /// Worker threads for evaluating a bucket batch's join work (shared mode
+  /// only). 1 = serial, the paper's loop. Parallel runs produce results
+  /// identical to serial runs: only the in-batch join is parallelized;
+  /// scheduling, cache traffic, and the virtual clock are unchanged.
+  size_t num_threads = 1;
   /// Optional workload-adaptive alpha: when set and the scheduler is a
   /// LifeRaftScheduler, the engine re-selects alpha from the observed
   /// arrival rate after every admission.
@@ -112,6 +118,7 @@ class SimEngine {
 
   // Run state.
   storage::DiskModel model_;
+  std::unique_ptr<util::ThreadPool> pool_;  // non-null iff num_threads > 1
   std::unique_ptr<storage::BucketCache> cache_;
   std::unique_ptr<join::JoinEvaluator> evaluator_;
   std::unique_ptr<query::WorkloadManager> manager_;

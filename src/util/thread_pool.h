@@ -1,0 +1,87 @@
+// A fixed-size worker pool for data-parallel batch work.
+//
+// The pool owns `num_threads` workers that drain a FIFO task queue. Submit()
+// returns a std::future for the task's result; exceptions thrown by a task
+// are captured and rethrown from future::get(), so callers see worker
+// failures exactly as they would see their own. Destruction (or an explicit
+// Shutdown()) finishes every task already queued, then joins the workers —
+// no task is ever dropped.
+//
+// The pool is deliberately dumb: no work stealing, no priorities. LifeRaft
+// uses it to fan a bucket batch's independent workload-entry joins across
+// cores and then merges the slices back in submission order, which keeps
+// parallel results byte-identical to the single-threaded path (see
+// join::JoinEvaluator).
+
+#ifndef LIFERAFT_UTIL_THREAD_POOL_H_
+#define LIFERAFT_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace liferaft::util {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers immediately. `num_threads` must be >= 1.
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn(args...)`; the returned future yields its result (or
+  /// rethrows its exception). Submitting after Shutdown() throws.
+  template <typename Fn, typename... Args>
+  auto Submit(Fn&& fn, Args&&... args)
+      -> std::future<std::invoke_result_t<Fn, Args...>> {
+    using R = std::invoke_result_t<Fn, Args...>;
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [fn = std::forward<Fn>(fn),
+         ... args = std::forward<Args>(args)]() mutable {
+          return std::invoke(std::move(fn), std::move(args)...);
+        });
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_) {
+        throw std::runtime_error("ThreadPool::Submit after Shutdown");
+      }
+      queue_.emplace_back([task]() mutable { (*task)(); });
+    }
+    wake_.notify_one();
+    return result;
+  }
+
+  /// Stops accepting work, finishes every queued task, joins the workers.
+  /// Idempotent; called by the destructor.
+  void Shutdown();
+
+  /// The construction-time worker count (stable across Shutdown).
+  size_t num_threads() const { return num_threads_; }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  size_t num_threads_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace liferaft::util
+
+#endif  // LIFERAFT_UTIL_THREAD_POOL_H_

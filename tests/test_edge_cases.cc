@@ -60,8 +60,9 @@ TEST(PolarEdgeTest, ZonesMatchesMergeNearPole) {
         120.0));
   }
   std::vector<query::Match> merge_out, zones_out;
-  join::MergeCrossMatch(bucket, {entry}, &merge_out);
-  join::ZonesCrossMatch(bucket, {entry}, 120.0 / kArcsecPerDeg, &zones_out);
+  const std::vector<query::WorkloadEntry> batch = {entry};
+  join::MergeCrossMatch(bucket, batch, &merge_out);
+  join::ZonesCrossMatch(bucket, batch, 120.0 / kArcsecPerDeg, &zones_out);
   auto key = [](const query::Match& m) {
     return std::tuple(m.query_id, m.query_object_id, m.catalog_object_id);
   };
@@ -84,8 +85,9 @@ TEST(RaWrapEdgeTest, MatchesAcrossRaZero) {
   entry.query_id = 1;
   entry.objects.push_back(query::MakeQueryObject(0, {0.0005, 10.0}, 10.0));
   std::vector<query::Match> merge_out, zones_out;
-  join::MergeCrossMatch(bucket, {entry}, &merge_out);
-  join::ZonesCrossMatch(bucket, {entry}, 10.0 / kArcsecPerDeg, &zones_out);
+  const std::vector<query::WorkloadEntry> batch = {entry};
+  join::MergeCrossMatch(bucket, batch, &merge_out);
+  join::ZonesCrossMatch(bucket, batch, 10.0 / kArcsecPerDeg, &zones_out);
   EXPECT_EQ(merge_out.size(), 1u);
   EXPECT_EQ(zones_out.size(), 1u);
 }

@@ -97,8 +97,12 @@ TEST(CapTest, ContainmentMatchesAngularDistance) {
     SkyPoint p{rng.UniformDouble(0, 360), rng.UniformDouble(-90, 90)};
     bool in = cap.Contains(SkyToUnitVector(p));
     double d = AngularSeparationDeg(center, p);
-    if (d < 4.999) EXPECT_TRUE(in) << "d=" << d;
-    if (d > 5.001) EXPECT_FALSE(in) << "d=" << d;
+    if (d < 4.999) {
+      EXPECT_TRUE(in) << "d=" << d;
+    }
+    if (d > 5.001) {
+      EXPECT_FALSE(in) << "d=" << d;
+    }
   }
 }
 

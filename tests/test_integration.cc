@@ -79,10 +79,11 @@ TEST_F(FileStorePipelineTest, JoinsFromDiskMatchJoinsFromMemory) {
     entry.objects = w.objects;
 
     std::vector<query::Match> mem_out, disk_out;
-    join::MergeCrossMatch(partition->buckets[w.bucket], {entry}, &mem_out);
+    const std::vector<query::WorkloadEntry> batch = {entry};
+    join::MergeCrossMatch(partition->buckets[w.bucket], batch, &mem_out);
     auto disk_bucket = (*disk_store)->ReadBucket(w.bucket);
     ASSERT_TRUE(disk_bucket.ok());
-    join::MergeCrossMatch(**disk_bucket, {entry}, &disk_out);
+    join::MergeCrossMatch(**disk_bucket, batch, &disk_out);
 
     for (const auto& m : mem_out) {
       from_memory.insert({m.query_id, m.query_object_id,
@@ -197,8 +198,9 @@ TEST(JoinCrossValidationTest, MergeAndZonesAgreeOverEveryBucket) {
   size_t total_matches = 0;
   for (const auto& bucket : partition->buckets) {
     std::vector<query::Match> merge_out, zones_out;
-    join::MergeCrossMatch(bucket, {entry}, &merge_out);
-    join::ZonesCrossMatch(bucket, {entry}, 20.0 / kArcsecPerDeg, &zones_out);
+    const std::vector<query::WorkloadEntry> batch = {entry};
+    join::MergeCrossMatch(bucket, batch, &merge_out);
+    join::ZonesCrossMatch(bucket, batch, 20.0 / kArcsecPerDeg, &zones_out);
     std::set<MatchKey> a, b;
     for (const auto& m : merge_out) {
       a.insert({m.query_id, m.query_object_id, m.catalog_object_id});

@@ -220,7 +220,8 @@ TEST(MergeJoinTest, RespectsBucketBoundary) {
     e.query_id = q.id;
     e.objects = w.objects;
     std::vector<Match> out;
-    MergeCrossMatch(partition->buckets[w.bucket], {e}, &out);
+    const std::vector<WorkloadEntry> batch = {e};
+    MergeCrossMatch(partition->buckets[w.bucket], batch, &out);
     for (const auto& m : out) {
       MatchKey key{m.query_id, m.query_object_id, m.catalog_object_id};
       EXPECT_EQ(seen.count(key), 0u) << "duplicate match across buckets";

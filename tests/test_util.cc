@@ -282,7 +282,7 @@ TEST(WallClockTest, MovesForward) {
   double t0 = c.NowMs();
   // Burn a little CPU; steady_clock must not go backwards.
   volatile double x = 0;
-  for (int i = 0; i < 100000; ++i) x += std::sqrt(static_cast<double>(i));
+  for (int i = 0; i < 100000; ++i) x = x + std::sqrt(static_cast<double>(i));
   EXPECT_GE(c.NowMs(), t0);
 }
 

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Emits BENCH_<tag>.json (default: seed) from the bench_micro
+# google-benchmark suite — the perf-trajectory anchor successive PRs
+# compare against. Usage: tools/bench_seed.sh [tag] [extra bench args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TAG="${1:-seed}"
+shift || true
+
+cmake -B build -S . >/dev/null
+cmake --build build -j --target bench_micro >/dev/null
+./build/bench_micro \
+  --benchmark_format=json \
+  --benchmark_out="BENCH_${TAG}.json" \
+  --benchmark_out_format=json \
+  "$@"
+echo "wrote BENCH_${TAG}.json"

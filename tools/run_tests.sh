@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verify, verbatim from ROADMAP.md. Pass "--smoke" to run only the
+# fast per-suite smoke label (<30 s gate), anything else is forwarded to
+# ctest.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CTEST_ARGS=(--output-on-failure -j)
+if [[ "${1:-}" == "--smoke" ]]; then
+  CTEST_ARGS+=(-L smoke)
+  shift
+fi
+CTEST_ARGS+=("$@")
+
+cmake -B build -S . && cmake --build build -j && cd build && \
+  ctest "${CTEST_ARGS[@]}"
