@@ -38,7 +38,9 @@ void Run() {
   const size_t kWindow = 200;
   std::vector<std::string> headers = {"queries"};
   for (size_t i = 0; i < top.size(); ++i) {
-    headers.push_back("B" + std::to_string(i));
+    std::string header = "B";
+    header += std::to_string(i);
+    headers.push_back(std::move(header));
   }
   Table table(headers);
   std::map<storage::BucketIndex, size_t> rank;

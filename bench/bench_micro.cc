@@ -11,6 +11,8 @@
 #include "join/merge_join.h"
 #include "join/zones.h"
 #include "query/query.h"
+#include "sched/liferaft_scheduler.h"
+#include "sim/engine.h"
 #include "storage/btree.h"
 #include "storage/bucket_cache.h"
 #include "storage/catalog.h"
@@ -18,6 +20,7 @@
 #include "storage/partitioner.h"
 #include "util/random.h"
 #include "workload/catalog_gen.h"
+#include "workload/trace_gen.h"
 
 namespace liferaft {
 namespace {
@@ -142,6 +145,89 @@ void BM_BucketCacheGet(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BucketCacheGet);
+
+// ------------------------------------------------- Engine-level benches --
+// Wall-clock cost of whole simulated runs. Virtual quantities (the
+// makespan the paper's figures report) are attached as counters so the
+// BENCH_<tag>.json anchors also track the modeled effect of pipelining.
+
+struct EngineFixture {
+  std::unique_ptr<storage::Catalog> catalog;
+  std::vector<query::CrossMatchQuery> trace;
+  std::vector<TimeMs> arrivals;  // saturated drain: everything at t=0
+
+  static EngineFixture Make(size_t num_objects, size_t num_queries) {
+    workload::CatalogGenConfig gen;
+    gen.num_objects = num_objects;
+    gen.seed = 43;
+    auto objects = workload::GenerateCatalog(gen);
+    storage::CatalogOptions options;
+    options.objects_per_bucket = 1000;
+    auto catalog = storage::Catalog::Build(std::move(*objects), options);
+    workload::TraceConfig tc;
+    tc.num_queries = num_queries;
+    tc.max_objects_per_query = 800;
+    tc.match_radius_arcsec = 600.0;
+    tc.seed = 47;
+    auto trace = workload::GenerateTrace(tc);
+    return EngineFixture{std::move(*catalog), std::move(*trace),
+                         std::vector<TimeMs>(num_queries, 0.0)};
+  }
+};
+
+/// Shared-mode drain with the cross-batch prefetch pipeline off (arg 0) or
+/// on (arg 1); virtual_makespan_ms is the paper-visible effect.
+void BM_EngineSharedPrefetch(benchmark::State& state) {
+  auto fx = EngineFixture::Make(30'000, 24);
+  sim::EngineConfig config;
+  config.enable_prefetch = state.range(0) != 0;
+  double makespan = 0.0;
+  double hidden = 0.0;
+  for (auto _ : state) {
+    sched::LifeRaftConfig sc;
+    sc.alpha = 0.25;
+    sim::SimEngine engine(fx.catalog.get(),
+                          std::make_unique<sched::LifeRaftScheduler>(
+                              fx.catalog->store(), storage::DiskModel{}, sc),
+                          config);
+    auto metrics = engine.Run(fx.trace, fx.arrivals);
+    makespan = metrics->makespan_ms;
+    hidden = metrics->prefetch_hidden_ms;
+    benchmark::DoNotOptimize(metrics);
+  }
+  state.counters["virtual_makespan_ms"] = makespan;
+  state.counters["prefetch_hidden_ms"] = hidden;
+}
+BENCHMARK(BM_EngineSharedPrefetch)->Arg(0)->Arg(1);
+
+/// NoShare drain at 1 vs 4 worker threads: per-query fan-out wall-clock
+/// speedup (virtual results are byte-identical by construction).
+void BM_EngineNoShareThreads(benchmark::State& state) {
+  auto fx = EngineFixture::Make(30'000, 24);
+  sim::EngineConfig config;
+  config.mode = sim::ExecutionMode::kNoShare;
+  config.num_threads = static_cast<size_t>(state.range(0));
+  sim::SimEngine engine(fx.catalog.get(), nullptr, config);
+  for (auto _ : state) {
+    auto metrics = engine.Run(fx.trace, fx.arrivals);
+    benchmark::DoNotOptimize(metrics);
+  }
+}
+BENCHMARK(BM_EngineNoShareThreads)->Arg(1)->Arg(4);
+
+/// IndexOnly drain at 1 vs 4 worker threads.
+void BM_EngineIndexOnlyThreads(benchmark::State& state) {
+  auto fx = EngineFixture::Make(30'000, 24);
+  sim::EngineConfig config;
+  config.mode = sim::ExecutionMode::kIndexOnly;
+  config.num_threads = static_cast<size_t>(state.range(0));
+  sim::SimEngine engine(fx.catalog.get(), nullptr, config);
+  for (auto _ : state) {
+    auto metrics = engine.Run(fx.trace, fx.arrivals);
+    benchmark::DoNotOptimize(metrics);
+  }
+}
+BENCHMARK(BM_EngineIndexOnlyThreads)->Arg(1)->Arg(4);
 
 }  // namespace
 }  // namespace liferaft

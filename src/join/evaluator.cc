@@ -114,8 +114,9 @@ Result<BatchResult> JoinEvaluator::EvaluateBucket(
     LIFERAFT_ASSIGN_OR_RETURN(std::shared_ptr<const storage::Bucket> b,
                               cache_->Get(bucket));
     result.cache_hit = cached;
-    result.cost_ms =
-        model_.ScanJoinMs(b->EstimatedBytes(), queue_objects, cached);
+    result.io_ms = cached ? 0.0 : model_.SequentialReadMs(b->EstimatedBytes());
+    result.cpu_ms = model_.MatchMs(queue_objects);
+    result.cost_ms = result.io_ms + result.cpu_ms;
     if (parallel) {
       result.counters = ParallelJoin<JoinCounters>(
           *pool_, batch, out,
@@ -145,7 +146,9 @@ Result<BatchResult> JoinEvaluator::EvaluateBucket(
       counters = IndexedCrossMatch(*index_, range, batch, out);
     }
     result.cache_hit = false;
-    result.cost_ms = model_.IndexedJoinMs(queue_objects);
+    result.io_ms = model_.IndexedProbesMs(queue_objects);
+    result.cpu_ms = model_.MatchMs(queue_objects);
+    result.cost_ms = result.io_ms + result.cpu_ms;
     result.counters = counters.join;
     stats_.index_probes += counters.probes;
     ++stats_.indexed_batches;
@@ -153,6 +156,141 @@ Result<BatchResult> JoinEvaluator::EvaluateBucket(
   ++stats_.batches;
   stats_.total_cost_ms += result.cost_ms;
   return result;
+}
+
+Result<std::vector<PerQueryResult>> JoinEvaluator::EvaluatePerQueryWindow(
+    PerQueryMode mode, const std::vector<PerQueryWork>& window,
+    bool collect_matches) {
+  if (mode == PerQueryMode::kIndexProbes && index_ == nullptr) {
+    return Status::FailedPrecondition("index probes require an index");
+  }
+  const bool parallel = pool_ != nullptr && window.size() > 1;
+  // NoShare bucket reads go store-direct. In the parallel case, when the
+  // store supports concurrent reads, each worker reads its own buckets one
+  // at a time through ReadBucketForPrefetch — memory is bounded by the
+  // buckets in flight, not the backlog — and the owner applies the
+  // deferred I/O accounting per query in window order. Otherwise the owner
+  // pre-reads in window order via the stats-recording ReadBucket. Either
+  // way the store totals equal serial evaluation's (one read per
+  // sub-query, duplicates included).
+  const bool worker_reads =
+      mode == PerQueryMode::kNoShareScan && parallel &&
+      cache_->mutable_store()->SupportsConcurrentReads();
+  std::vector<std::vector<std::shared_ptr<const storage::Bucket>>> buckets;
+  if (mode == PerQueryMode::kNoShareScan && !worker_reads) {
+    buckets.resize(window.size());
+    for (size_t i = 0; i < window.size(); ++i) {
+      buckets[i].reserve(window[i].workloads->size());
+      for (const query::BucketWorkload& w : *window[i].workloads) {
+        LIFERAFT_ASSIGN_OR_RETURN(
+            std::shared_ptr<const storage::Bucket> b,
+            cache_->mutable_store()->ReadBucket(w.bucket));
+        buckets[i].push_back(std::move(b));
+      }
+    }
+  }
+
+  // One query's evaluation plus its deferred I/O charges.
+  struct QueryEval {
+    PerQueryResult result;
+    uint64_t reads = 0;
+    uint64_t read_bytes = 0;
+    uint64_t read_objects = 0;
+  };
+
+  // Deterministic in isolation: reads only this query's (immutable) inputs,
+  // so it computes the same result on any thread at any time.
+  auto evaluate_one = [this, mode, collect_matches, worker_reads, &window,
+                       &buckets](size_t i) -> Result<QueryEval> {
+    const PerQueryWork& work = window[i];
+    QueryEval eval;
+    std::vector<query::Match> out;
+    std::vector<query::Match>* outp = collect_matches ? &out : nullptr;
+    size_t wi = 0;
+    for (const query::BucketWorkload& w : *work.workloads) {
+      query::WorkloadEntry entry;
+      entry.query_id = work.query_id;
+      entry.arrival_ms = work.arrival_ms;
+      entry.predicate = work.predicate;
+      entry.objects = w.objects;
+      const std::vector<query::WorkloadEntry> batch = {std::move(entry)};
+      if (mode == PerQueryMode::kNoShareScan) {
+        // Independent evaluation: no shared cache, pay full T_b + T_m.
+        std::shared_ptr<const storage::Bucket> b;
+        if (worker_reads) {
+          LIFERAFT_ASSIGN_OR_RETURN(
+              b, cache_->mutable_store()->ReadBucketForPrefetch(w.bucket));
+          ++eval.reads;
+          eval.read_bytes += b->EstimatedBytes();
+          eval.read_objects += b->size();
+        } else {
+          b = buckets[i][wi];
+        }
+        ++wi;
+        JoinCounters counters = MergeCrossMatch(*b, batch, outp);
+        eval.result.matches += counters.output_matches;
+        eval.result.cost_ms += model_.ScanJoinMs(b->EstimatedBytes(),
+                                                 w.objects.size(),
+                                                 /*bucket_cached=*/false);
+        // b drops here, so a materializing store holds at most one bucket
+        // per worker at a time.
+      } else {
+        // Legacy index-exclusive execution (paper §5): every probe pays a
+        // cold root-to-leaf descent plus a heap row fetch — height + 2
+        // random I/Os per probe.
+        const htm::IdRange range = cache_->store().bucket_map().RangeOf(
+            w.bucket);
+        IndexedJoinCounters counters =
+            IndexedCrossMatch(*index_, range, batch, outp);
+        eval.result.matches += counters.join.output_matches;
+        uint64_t ios_per_probe = static_cast<uint64_t>(index_->height()) + 2;
+        eval.result.cost_ms +=
+            model_.IndexedProbesMs(counters.probes * ios_per_probe) +
+            model_.MatchMs(counters.join.workload_objects);
+      }
+    }
+    return eval;
+  };
+
+  std::vector<PerQueryResult> results(window.size());
+  auto commit = [this, worker_reads, &results](size_t i, QueryEval eval) {
+    if (worker_reads) {
+      cache_->mutable_store()->RecordPrefetchedReads(
+          eval.reads, eval.read_bytes, eval.read_objects);
+    }
+    results[i] = eval.result;
+  };
+  if (!parallel) {
+    for (size_t i = 0; i < window.size(); ++i) {
+      LIFERAFT_ASSIGN_OR_RETURN(QueryEval eval, evaluate_one(i));
+      commit(i, std::move(eval));
+    }
+    return results;
+  }
+  // One task per query; merged by submission index, so the window order
+  // (and with it every downstream accounting order) is preserved. Drain
+  // every task before an exception unwinds the stack the tasks reference.
+  std::vector<std::future<Result<QueryEval>>> futures;
+  try {
+    futures.reserve(window.size());
+    for (size_t i = 0; i < window.size(); ++i) {
+      futures.push_back(pool_->Submit([&evaluate_one, i] {
+        return evaluate_one(i);
+      }));
+    }
+    for (auto& f : futures) f.wait();
+  } catch (...) {
+    for (auto& f : futures) {
+      if (f.valid()) f.wait();
+    }
+    throw;
+  }
+  for (size_t i = 0; i < window.size(); ++i) {
+    Result<QueryEval> eval = futures[i].get();  // rethrows worker exceptions
+    if (!eval.ok()) return eval.status();
+    commit(i, std::move(*eval));
+  }
+  return results;
 }
 
 }  // namespace liferaft::join

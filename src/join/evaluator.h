@@ -29,10 +29,41 @@ struct BatchResult {
   /// True if the scan path found the bucket resident (phi(i) == 0).
   bool cache_hit = false;
   /// Modeled execution time of the batch (T_b + T_m terms, or probe costs).
+  /// Always io_ms + cpu_ms.
   TimeMs cost_ms = 0.0;
+  /// Disk-busy portion of cost_ms: T_b on a scan miss (0 on a hit) or the
+  /// probe I/O of the indexed path. The prefetch pipeline must not overlap
+  /// another fetch with this interval (one disk arm in the cost model).
+  TimeMs io_ms = 0.0;
+  /// In-memory matching portion (the T_m terms); the next bucket's fetch
+  /// can hide behind it.
+  TimeMs cpu_ms = 0.0;
   JoinCounters counters;
   /// Matches of all queries in the batch, interleaved.
   std::vector<query::Match> matches;
+};
+
+/// How a per-query (non-shared) unit is executed.
+enum class PerQueryMode {
+  kNoShareScan,  ///< read each bucket straight from the store and scan
+  kIndexProbes,  ///< SkyQuery legacy: spatial-index probes only
+};
+
+/// One admitted query's per-bucket sub-queries, evaluated independently of
+/// the shared cache and of every other query (the NoShare / IndexOnly
+/// baselines of paper §5).
+struct PerQueryWork {
+  query::QueryId query_id = 0;
+  TimeMs arrival_ms = 0.0;
+  query::Predicate predicate;
+  /// Not owned; must stay valid until evaluation returns.
+  const std::vector<query::BucketWorkload>* workloads = nullptr;
+};
+
+/// Modeled outcome of one per-query unit.
+struct PerQueryResult {
+  TimeMs cost_ms = 0.0;
+  uint64_t matches = 0;
 };
 
 /// Aggregate evaluator statistics across a run.
@@ -68,6 +99,18 @@ class JoinEvaluator {
       storage::BucketIndex bucket,
       const std::vector<query::WorkloadEntry>& batch,
       bool collect_matches = true);
+
+  /// Evaluates a window of per-query units in `window` order. Queries are
+  /// embarrassingly parallel here — each touches only its own buckets (read
+  /// store-direct, no shared cache) or the immutable index — so with a pool
+  /// attached they fan out one task per query; per-query costs, counters,
+  /// and I/O charges are merged back in window (= arrival) order, making
+  /// the results byte-identical to evaluating the window serially.
+  /// `collect_matches` mirrors EvaluateBucket (tuples are materialized then
+  /// discarded by per-query callers; counts are always exact).
+  Result<std::vector<PerQueryResult>> EvaluatePerQueryWindow(
+      PerQueryMode mode, const std::vector<PerQueryWork>& window,
+      bool collect_matches = false);
 
   /// True if the bucket is resident in cache (the metric's phi term).
   bool IsCached(storage::BucketIndex bucket) const {

@@ -3,8 +3,14 @@
 namespace liferaft::sched {
 
 std::optional<storage::BucketIndex> LeastSharableScheduler::PickBucket(
+    const query::WorkloadManager& manager, TimeMs now,
+    const CacheProbe& cached) {
+  return PeekNextBucket(manager, now, cached);
+}
+
+std::optional<storage::BucketIndex> LeastSharableScheduler::PeekNextBucket(
     const query::WorkloadManager& manager, TimeMs /*now*/,
-    const CacheProbe& /*cached*/) {
+    const CacheProbe& /*cached*/) const {
   const auto& active = manager.active_buckets();
   if (active.empty()) return std::nullopt;
   storage::BucketIndex best = *active.begin();

@@ -25,6 +25,11 @@ class LeastSharableScheduler : public Scheduler {
   std::optional<storage::BucketIndex> PickBucket(
       const query::WorkloadManager& manager, TimeMs now,
       const CacheProbe& cached) override;
+
+  /// The smallest-queue ranking is stateless, so the preview is exact.
+  std::optional<storage::BucketIndex> PeekNextBucket(
+      const query::WorkloadManager& manager, TimeMs now,
+      const CacheProbe& cached) const override;
 };
 
 }  // namespace liferaft::sched

@@ -39,6 +39,18 @@ double LifeRaftScheduler::EffectiveAge(const query::WorkloadQueue& queue,
 std::optional<storage::BucketIndex> LifeRaftScheduler::PickBucket(
     const query::WorkloadManager& manager, TimeMs now,
     const CacheProbe& cached) {
+  return RankBest(manager, now, cached);
+}
+
+std::optional<storage::BucketIndex> LifeRaftScheduler::PeekNextBucket(
+    const query::WorkloadManager& manager, TimeMs now,
+    const CacheProbe& cached) const {
+  return RankBest(manager, now, cached);
+}
+
+std::optional<storage::BucketIndex> LifeRaftScheduler::RankBest(
+    const query::WorkloadManager& manager, TimeMs now,
+    const CacheProbe& cached) const {
   const auto& active = manager.active_buckets();
   if (active.empty()) return std::nullopt;
 

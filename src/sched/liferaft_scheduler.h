@@ -43,6 +43,12 @@ class LifeRaftScheduler : public Scheduler {
       const query::WorkloadManager& manager, TimeMs now,
       const CacheProbe& cached) override;
 
+  /// The metric ranking is stateless, so the preview is exact: it returns
+  /// precisely what PickBucket would pick for the same queues/clock/cache.
+  std::optional<storage::BucketIndex> PeekNextBucket(
+      const query::WorkloadManager& manager, TimeMs now,
+      const CacheProbe& cached) const override;
+
   /// Adjusts alpha at runtime (used by the adaptive controller).
   void set_alpha(double alpha) { config_.alpha = alpha; }
   double alpha() const { return config_.alpha; }
@@ -54,6 +60,11 @@ class LifeRaftScheduler : public Scheduler {
   double EffectiveAge(const query::WorkloadQueue& queue,
                       const query::WorkloadManager& manager,
                       TimeMs now) const;
+
+  /// The shared const ranking behind PickBucket and PeekNextBucket.
+  std::optional<storage::BucketIndex> RankBest(
+      const query::WorkloadManager& manager, TimeMs now,
+      const CacheProbe& cached) const;
 
   const storage::BucketStore* store_;
   storage::DiskModel model_;

@@ -3,13 +3,21 @@
 namespace liferaft::sched {
 
 std::optional<storage::BucketIndex> RoundRobinScheduler::PickBucket(
+    const query::WorkloadManager& manager, TimeMs now,
+    const CacheProbe& cached) {
+  std::optional<storage::BucketIndex> pick =
+      PeekNextBucket(manager, now, cached);
+  if (pick.has_value()) cursor_ = *pick + 1;
+  return pick;
+}
+
+std::optional<storage::BucketIndex> RoundRobinScheduler::PeekNextBucket(
     const query::WorkloadManager& manager, TimeMs /*now*/,
-    const CacheProbe& /*cached*/) {
+    const CacheProbe& /*cached*/) const {
   const auto& active = manager.active_buckets();
   if (active.empty()) return std::nullopt;
   auto it = active.lower_bound(cursor_);
   if (it == active.end()) it = active.begin();  // wrap the sweep
-  cursor_ = *it + 1;
   return *it;
 }
 

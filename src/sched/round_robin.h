@@ -24,6 +24,12 @@ class RoundRobinScheduler : public Scheduler {
       const query::WorkloadManager& manager, TimeMs now,
       const CacheProbe& cached) override;
 
+  /// The sweep position the next PickBucket would serve, without advancing
+  /// the cursor.
+  std::optional<storage::BucketIndex> PeekNextBucket(
+      const query::WorkloadManager& manager, TimeMs now,
+      const CacheProbe& cached) const override;
+
  private:
   /// Next sweep position: the first active bucket >= cursor_ is served.
   storage::BucketIndex cursor_ = 0;

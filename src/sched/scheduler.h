@@ -34,6 +34,21 @@ class Scheduler {
   virtual std::optional<storage::BucketIndex> PickBucket(
       const query::WorkloadManager& manager, TimeMs now,
       const CacheProbe& cached) = 0;
+
+  /// Previews the bucket PickBucket would choose for the given state
+  /// WITHOUT mutating any scheduler state — the prediction hook of the
+  /// cross-batch prefetch pipeline (the engine peeks at the likely next
+  /// bucket while the current batch computes and starts its fetch early).
+  /// The default declines to predict, which disables pipelining for the
+  /// policy.
+  virtual std::optional<storage::BucketIndex> PeekNextBucket(
+      const query::WorkloadManager& manager, TimeMs now,
+      const CacheProbe& cached) const {
+    (void)manager;
+    (void)now;
+    (void)cached;
+    return std::nullopt;
+  }
 };
 
 }  // namespace liferaft::sched

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <cassert>
 
-#include "join/indexed_join.h"
-#include "join/merge_join.h"
 #include "query/preprocessor.h"
 #include "sched/liferaft_scheduler.h"
 
@@ -42,7 +40,12 @@ void SimEngine::RecordCompletion(query::QueryId id, TimeMs completion) {
 
 Result<bool> SimEngine::SharedStep() {
   auto cached = [this](storage::BucketIndex b) {
-    return cache_->Contains(b);
+    if (cache_->Contains(b)) return true;
+    // A prefetched bucket whose modeled fetch has completed is as good as
+    // resident for the metric's phi term — which also steers the scheduler
+    // toward the bucket we bet on, making the prediction self-fulfilling.
+    return prefetch_.has_value() && prefetch_->bucket == b &&
+           prefetch_->done_ms <= clock_;
   };
   std::optional<storage::BucketIndex> pick =
       scheduler_->PickBucket(*manager_, clock_, cached);
@@ -52,14 +55,76 @@ Result<bool> SimEngine::SharedStep() {
   uint64_t restored_bytes = 0;
   std::vector<query::WorkloadEntry> entries =
       manager_->TakeBucket(*pick, &completed, &restored_bytes);
+
+  // Claim the outstanding prefetch if this batch is the one it bet on: the
+  // bucket becomes resident (the evaluator sees a hit, charging no T_b)
+  // and the clock is charged only the un-hidden tail of the fetch. A
+  // prefetch for a different bucket stays pinned until its bucket is
+  // scheduled. Claim only when the evaluator will actually scan: under
+  // prefer_scan_when_cached=false a small batch probes the index and would
+  // never touch the fetched bucket (ChooseStrategy ignores residency in
+  // that config, so the evaluator reaches the same strategy whether or not
+  // we claim here).
+  TimeMs fetch_residual = 0.0;
+  if (prefetch_.has_value() && prefetch_->bucket == *pick) {
+    uint64_t queue_objects = 0;
+    for (const query::WorkloadEntry& e : entries) {
+      queue_objects += e.objects.size();
+    }
+    const bool will_scan =
+        catalog_->index() == nullptr ||
+        join::ChooseStrategy(config_.hybrid, queue_objects,
+                             cache_->store().BucketObjectCount(*pick),
+                             /*bucket_cached=*/true) ==
+            join::JoinStrategy::kScan;
+    if (will_scan) {
+      fetch_residual = std::max(0.0, prefetch_->done_ms - clock_);
+      prefetch_hidden_ms_ += prefetch_->fetch_ms - fetch_residual;
+      LIFERAFT_RETURN_IF_ERROR(cache_->Get(*pick).status());
+      prefetch_.reset();
+    }
+  }
+
+  // Predict the next pick and start its physical read now, overlapping the
+  // join below. The modeled fetch starts only when this batch's disk phase
+  // ends (one disk arm): done = now + residual + io + T_b(next).
+  bool has_predicted = false;
+  storage::BucketIndex predicted = 0;
+  if (config_.enable_prefetch && !prefetch_.has_value()) {
+    std::optional<storage::BucketIndex> peek =
+        scheduler_->PeekNextBucket(*manager_, clock_, cached);
+    if (peek.has_value() && !cache_->Contains(*peek)) {
+      (void)cache_->PrefetchAsync(*peek);
+      has_predicted = true;
+      predicted = *peek;
+    }
+  }
+
   LIFERAFT_ASSIGN_OR_RETURN(
       join::BatchResult result,
       evaluator_->EvaluateBucket(*pick, entries, config_.collect_matches));
-  clock_ += result.cost_ms;
-  if (restored_bytes > 0) {
-    // Fetching spilled workload segments back from disk is sequential I/O.
-    clock_ += model_.SequentialReadMs(restored_bytes);
+  // Fetching spilled workload segments back from disk is sequential I/O —
+  // part of this batch's disk phase, so it also delays a prefetch's start.
+  const TimeMs restore_ms =
+      restored_bytes > 0 ? model_.SequentialReadMs(restored_bytes) : 0.0;
+  if (has_predicted) {
+    uint64_t bytes =
+        static_cast<uint64_t>(cache_->store().BucketObjectCount(predicted)) *
+        storage::Bucket::kBytesPerObject;
+    TimeMs fetch_ms = model_.SequentialReadMs(bytes);
+    prefetch_ = PendingPrefetch{
+        predicted,
+        clock_ + fetch_residual + result.io_ms + restore_ms + fetch_ms,
+        fetch_ms};
+  } else if (prefetch_.has_value() && prefetch_->done_ms > clock_) {
+    // A still-in-flight prefetch (mispredicted earlier, or unclaimed by an
+    // index-only batch) yields the single disk arm to this batch's
+    // foreground I/O: its completion slips by however long the arm was
+    // busy here, so fetches never overlap fetches on the virtual clock.
+    prefetch_->done_ms += fetch_residual + result.io_ms + restore_ms;
   }
+  clock_ += fetch_residual + result.cost_ms;
+  clock_ += restore_ms;
   total_matches_ += result.counters.output_matches;
   if (config_.collect_matches) {
     for (const query::Match& m : result.matches) {
@@ -71,54 +136,51 @@ Result<bool> SimEngine::SharedStep() {
   return true;
 }
 
-Result<bool> SimEngine::PerQueryStep() {
+Result<bool> SimEngine::PerQueryStep(
+    const std::function<Status()>& admit_ready) {
   if (fifo_head_ >= fifo_.size()) return false;
-  const AdmittedQuery& aq = fifo_[fifo_head_++];
-  for (const auto& w : aq.workloads) fifo_pending_objects_ -= w.objects.size();
-  TimeMs cost = 0.0;
-  uint64_t matches = 0;
-  std::vector<query::Match> out;
-
-  for (const query::BucketWorkload& w : aq.workloads) {
-    query::WorkloadEntry entry;
-    entry.query_id = aq.query->id;
-    entry.arrival_ms = aq.arrival_ms;
-    entry.predicate = aq.query->predicate;
-    entry.objects = w.objects;
-    const std::vector<query::WorkloadEntry> batch = {std::move(entry)};
-
-    if (config_.mode == ExecutionMode::kNoShare) {
-      // Independent evaluation: read the bucket straight from the store
-      // (no shared cache), scan, pay full T_b + T_m.
-      LIFERAFT_ASSIGN_OR_RETURN(std::shared_ptr<const storage::Bucket> b,
-                                catalog_->store()->ReadBucket(w.bucket));
-      join::JoinCounters counters = join::MergeCrossMatch(
-          *b, batch, config_.collect_matches ? &out : nullptr);
-      matches += counters.output_matches;
-      cost += model_.ScanJoinMs(b->EstimatedBytes(), w.objects.size(),
-                                /*bucket_cached=*/false);
-    } else {  // kIndexOnly
-      const htm::IdRange range = catalog_->bucket_map().RangeOf(w.bucket);
-      join::IndexedJoinCounters counters = join::IndexedCrossMatch(
-          *catalog_->index(), range, batch,
-          config_.collect_matches ? &out : nullptr);
-      matches += counters.join.output_matches;
-      // Legacy index-exclusive execution (paper §5: ~7x slower than even
-      // NoShare): every probe pays a cold root-to-leaf descent plus a heap
-      // row fetch — height + 2 random I/Os per probe — unlike the hybrid
-      // path's short bucket-restricted probes against warm internals.
-      uint64_t ios_per_probe =
-          static_cast<uint64_t>(catalog_->index()->height()) + 2;
-      cost += model_.IndexedProbesMs(counters.probes * ios_per_probe) +
-              model_.MatchMs(counters.join.workload_objects);
-    }
+  // Serial (paper) execution serves exactly one query per step; with a
+  // pool attached, every ready query is evaluated concurrently — they are
+  // embarrassingly parallel, each touching only its own store-direct
+  // buckets or the immutable index — and the results are applied below in
+  // arrival order, reproducing the serial accounting byte for byte.
+  const size_t begin = fifo_head_;
+  const size_t end = pool_ != nullptr ? fifo_.size() : fifo_head_ + 1;
+  const join::PerQueryMode mode = config_.mode == ExecutionMode::kNoShare
+                                      ? join::PerQueryMode::kNoShareScan
+                                      : join::PerQueryMode::kIndexProbes;
+  std::vector<join::PerQueryWork> window;
+  window.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    const AdmittedQuery& aq = fifo_[i];
+    window.push_back(join::PerQueryWork{aq.query->id, aq.arrival_ms,
+                                        aq.query->predicate, &aq.workloads});
   }
-  clock_ += cost;
-  total_matches_ += matches;
-  auto it = pending_outcomes_.find(aq.query->id);
-  assert(it != pending_outcomes_.end());
-  it->second.matches = matches;
-  RecordCompletion(aq.query->id, clock_);
+  LIFERAFT_ASSIGN_OR_RETURN(std::vector<join::PerQueryResult> results,
+                            evaluator_->EvaluatePerQueryWindow(
+                                mode, window, config_.collect_matches));
+
+  for (size_t i = begin; i < end; ++i) {
+    // Re-index each iteration: admit_ready() may grow (and reallocate)
+    // fifo_ — appended queries land beyond `end` and run next step, just
+    // as they would have queued behind the window under serial execution.
+    const AdmittedQuery& aq = fifo_[i];
+    ++fifo_head_;
+    for (const auto& w : aq.workloads) {
+      fifo_pending_objects_ -= w.objects.size();
+    }
+    const join::PerQueryResult& r = results[i - begin];
+    clock_ += r.cost_ms;
+    total_matches_ += r.matches;
+    auto it = pending_outcomes_.find(aq.query->id);
+    assert(it != pending_outcomes_.end());
+    it->second.matches = r.matches;
+    RecordCompletion(aq.query->id, clock_);
+    // Between two completions the serial loop would admit everything that
+    // arrived while the earlier query ran; mirror it exactly so
+    // peak_pending_objects is identical.
+    if (i + 1 < end) LIFERAFT_RETURN_IF_ERROR(admit_ready());
+  }
   return true;
 }
 
@@ -161,16 +223,21 @@ Result<RunMetrics> SimEngine::Run(
   outcomes_.clear();
   outcomes_.reserve(queries.size());
   total_matches_ = 0;
+  prefetch_.reset();
+  prefetch_hidden_ms_ = 0.0;
   catalog_->store()->ResetStats();
+  // The old cache (and any in-flight prefetch it still holds) is drained
+  // here, while the pool it may reference is still alive.
   cache_ = std::make_unique<storage::BucketCache>(
       catalog_->store(), std::max<size_t>(config_.cache_capacity, 1));
   evaluator_ = std::make_unique<join::JoinEvaluator>(
       cache_.get(), catalog_->index(), model_, config_.hybrid);
-  if (config_.num_threads > 1 && config_.mode == ExecutionMode::kShared) {
+  if (config_.num_threads > 1) {
     if (pool_ == nullptr || pool_->num_threads() != config_.num_threads) {
       pool_ = std::make_unique<util::ThreadPool>(config_.num_threads);
     }
     evaluator_->set_thread_pool(pool_.get());
+    cache_->set_thread_pool(pool_.get());
   } else {
     pool_.reset();
   }
@@ -230,13 +297,18 @@ Result<RunMetrics> SimEngine::Run(
     return Status::OK();
   };
 
-  while (outcomes_.size() < n) {
+  auto admit_ready = [&]() -> Status {
     while (next_arrival < n && arrivals_ms[next_arrival] <= clock_) {
       LIFERAFT_RETURN_IF_ERROR(admit(next_arrival++));
     }
+    return Status::OK();
+  };
+
+  while (outcomes_.size() < n) {
+    LIFERAFT_RETURN_IF_ERROR(admit_ready());
     Result<bool> worked = config_.mode == ExecutionMode::kShared
                               ? SharedStep()
-                              : PerQueryStep();
+                              : PerQueryStep(admit_ready);
     if (!worked.ok()) return worked.status();
     if (!*worked) {
       if (next_arrival >= n) {
@@ -245,6 +317,11 @@ Result<RunMetrics> SimEngine::Run(
       // Idle until the next arrival.
       clock_ = std::max(clock_, arrivals_ms[next_arrival]);
     }
+  }
+  if (prefetch_.has_value()) {
+    // A final prediction whose bucket was never scheduled again.
+    cache_->CancelPrefetch(prefetch_->bucket);
+    prefetch_.reset();
   }
 
   // Assemble metrics.
@@ -272,6 +349,7 @@ Result<RunMetrics> SimEngine::Run(
   metrics.peak_pending_objects = peak_pending_objects_;
   metrics.spill = manager_ != nullptr ? manager_->spill_stats()
                                       : query::SpillStats{};
+  metrics.prefetch_hidden_ms = prefetch_hidden_ms_;
   return metrics;
 }
 

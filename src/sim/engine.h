@@ -18,7 +18,9 @@
 #ifndef LIFERAFT_SIM_ENGINE_H_
 #define LIFERAFT_SIM_ENGINE_H_
 
+#include <functional>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "join/evaluator.h"
@@ -46,11 +48,24 @@ struct EngineConfig {
   storage::DiskModelParams disk;
   /// Keep match tuples (disable for scheduling-scale experiments).
   bool collect_matches = false;
-  /// Worker threads for evaluating a bucket batch's join work (shared mode
-  /// only). 1 = serial, the paper's loop. Parallel runs produce results
-  /// identical to serial runs: only the in-batch join is parallelized;
-  /// scheduling, cache traffic, and the virtual clock are unchanged.
+  /// Worker threads for join work. 1 = serial, the paper's loop. In shared
+  /// mode the batch's join is sliced across workers by workload entry; in
+  /// NoShare/IndexOnly the ready queries fan out one task per query. Either
+  /// way parallel runs produce results byte-identical to serial runs:
+  /// counters and I/O charges are merged in arrival order, so scheduling,
+  /// cache traffic, and the virtual clock are unchanged.
   size_t num_threads = 1;
+  /// Cross-batch prefetch pipelining (shared mode): while a batch joins,
+  /// start fetching the bucket the scheduler is predicted to pick next
+  /// (Scheduler::PeekNextBucket), pinned in cache until claimed. The
+  /// virtual clock models one disk arm: the prefetch begins when the
+  /// current batch's disk phase ends and only the in-memory matching time
+  /// hides fetch latency; an early-arriving batch pays the residual
+  /// max(0, fetch_done - now). Changes the schedule (prefetched buckets
+  /// count as resident for phi), so results are NOT comparable to
+  /// non-prefetch runs; they are still deterministic and independent of
+  /// num_threads.
+  bool enable_prefetch = false;
   /// Optional workload-adaptive alpha: when set and the scheduler is a
   /// LifeRaftScheduler, the engine re-selects alpha from the observed
   /// arrival rate after every admission.
@@ -107,8 +122,11 @@ class SimEngine {
   // One scheduling step in shared mode; advances the clock. Returns false
   // if there was no pending work.
   Result<bool> SharedStep();
-  // Serves the FIFO-front query in a per-query mode.
-  Result<bool> PerQueryStep();
+  // Serves the FIFO-front query in a per-query mode (serial path), or the
+  // whole ready window in parallel. `admit_ready` admits every arrival at
+  // or before the current clock; the parallel path invokes it between
+  // per-query completions exactly where the serial loop would.
+  Result<bool> PerQueryStep(const std::function<Status()>& admit_ready);
 
   void RecordCompletion(query::QueryId id, TimeMs completion);
 
@@ -125,6 +143,17 @@ class SimEngine {
   std::vector<AdmittedQuery> fifo_;  // per-query modes; front = next
   size_t fifo_head_ = 0;
   TimeMs clock_ = 0.0;
+
+  /// The one outstanding cross-batch prefetch (shared mode, opt-in).
+  struct PendingPrefetch {
+    storage::BucketIndex bucket;
+    /// Virtual time at which the modeled fetch completes.
+    TimeMs done_ms;
+    /// Full modeled fetch cost (T_b of the bucket), for hidden-time stats.
+    TimeMs fetch_ms;
+  };
+  std::optional<PendingPrefetch> prefetch_;
+  TimeMs prefetch_hidden_ms_ = 0.0;
 
   std::unordered_map<query::QueryId, QueryOutcome> pending_outcomes_;
   std::vector<QueryOutcome> outcomes_;

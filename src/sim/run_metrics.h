@@ -44,6 +44,10 @@ struct RunMetrics {
   uint64_t peak_pending_objects = 0;
   /// Workload-overflow activity (zero unless spilling was enabled).
   query::SpillStats spill;
+  /// Virtual fetch time hidden behind compute by the cross-batch prefetch
+  /// pipeline (zero unless EngineConfig::enable_prefetch); issue/claim
+  /// counts are in `cache`.
+  TimeMs prefetch_hidden_ms = 0.0;
 
   /// One-line human-readable summary.
   std::string Summary() const;

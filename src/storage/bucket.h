@@ -23,11 +23,14 @@ class Bucket {
   Bucket(BucketIndex index, htm::IdRange range,
          std::vector<CatalogObject> objects);
 
+  /// Position of this bucket in its catalog (HTM-curve order).
   BucketIndex index() const { return index_; }
   /// Inclusive level-14 HTM ID range this bucket owns. Bucket ranges of a
   /// catalog tile the whole curve without gaps.
   const htm::IdRange& range() const { return range_; }
+  /// All objects, sorted by (htm_id, object_id).
   const std::vector<CatalogObject>& objects() const { return objects_; }
+  /// Object count (the equal-count partitioning target).
   size_t size() const { return objects_.size(); }
 
   /// Objects whose HTM ID lies in [lo, hi] (binary search; objects are

@@ -1,8 +1,19 @@
 #include "storage/bucket_cache.h"
 
 #include <cassert>
+#include <utility>
 
 namespace liferaft::storage {
+namespace {
+
+/// Wraps an already-known result in a ready shared_future.
+BucketCache::BucketFuture ReadyFuture(Result<std::shared_ptr<const Bucket>> r) {
+  std::promise<Result<std::shared_ptr<const Bucket>>> promise;
+  promise.set_value(std::move(r));
+  return promise.get_future().share();
+}
+
+}  // namespace
 
 BucketCache::BucketCache(BucketStore* store, size_t capacity)
     : store_(store), capacity_(capacity) {
@@ -10,15 +21,87 @@ BucketCache::BucketCache(BucketStore* store, size_t capacity)
   assert(capacity_ > 0);
 }
 
+BucketCache::~BucketCache() {
+  // Drain workers still reading on our behalf; they reference the store.
+  for (auto& [index, inflight] : inflight_) {
+    if (inflight.future.valid()) inflight.future.wait();
+  }
+}
+
 bool BucketCache::Contains(BucketIndex index) const {
   return map_.find(index) != map_.end();
+}
+
+bool BucketCache::IsPrefetchPending(BucketIndex index) const {
+  return inflight_.find(index) != inflight_.end();
+}
+
+bool BucketCache::IsPinned(BucketIndex index) const {
+  auto it = map_.find(index);
+  return it != map_.end() && it->second->pins > 0;
 }
 
 void BucketCache::Touch(std::list<Entry>::iterator it) {
   lru_.splice(lru_.begin(), lru_, it);
 }
 
+void BucketCache::EvictOverCapacity() {
+  while (map_.size() > capacity_) {
+    // Evict the least-recently-used unpinned entry; if every entry is
+    // pinned, stay over capacity until a pin is released.
+    auto victim = lru_.end();
+    for (auto it = std::prev(lru_.end());; --it) {
+      if (it->pins == 0) {
+        victim = it;
+        break;
+      }
+      if (it == lru_.begin()) break;
+    }
+    if (victim == lru_.end()) return;
+    ++stats_.evictions;
+    map_.erase(victim->index);
+    lru_.erase(victim);
+  }
+}
+
+void BucketCache::InsertMru(BucketIndex index,
+                            std::shared_ptr<const Bucket> bucket) {
+  lru_.push_front(Entry{index, std::move(bucket), /*pins=*/0});
+  map_[index] = lru_.begin();
+  EvictOverCapacity();
+}
+
 Result<std::shared_ptr<const Bucket>> BucketCache::Get(BucketIndex index) {
+  auto pending = inflight_.find(index);
+  if (pending != inflight_.end()) {
+    if (pending->second.pinned_resident) {
+      // The prefetch merely pinned a bucket that was already here.
+      auto it = map_.find(index);
+      assert(it != map_.end() && it->second->pins > 0);
+      --it->second->pins;
+      ++stats_.hits;
+      ++stats_.prefetch_claims;
+      Touch(it->second);
+      inflight_.erase(pending);
+      std::shared_ptr<const Bucket> bucket = it->second->bucket;
+      EvictOverCapacity();  // the unpin may re-enable a deferred eviction
+      return bucket;
+    }
+    Result<std::shared_ptr<const Bucket>> fetched = pending->second.future.get();
+    inflight_.erase(pending);
+    if (fetched.ok()) {
+      ++stats_.misses;  // the bucket did come from the store
+      ++stats_.prefetch_claims;
+      store_->RecordPrefetchedRead(**fetched);
+      InsertMru(index, *fetched);
+      return *fetched;
+    }
+    if (fetched.status().code() != StatusCode::kUnimplemented) {
+      return fetched.status();
+    }
+    // Store without prefetch-read support: degrade to a plain miss below.
+    ++stats_.prefetch_cancels;
+  }
   auto it = map_.find(index);
   if (it != map_.end()) {
     ++stats_.hits;
@@ -28,17 +111,62 @@ Result<std::shared_ptr<const Bucket>> BucketCache::Get(BucketIndex index) {
   ++stats_.misses;
   LIFERAFT_ASSIGN_OR_RETURN(std::shared_ptr<const Bucket> bucket,
                             store_->ReadBucket(index));
-  lru_.push_front(Entry{index, bucket});
-  map_[index] = lru_.begin();
-  if (map_.size() > capacity_) {
-    ++stats_.evictions;
-    map_.erase(lru_.back().index);
-    lru_.pop_back();
-  }
+  InsertMru(index, bucket);
   return bucket;
 }
 
+BucketCache::BucketFuture BucketCache::PrefetchAsync(BucketIndex index) {
+  auto pending = inflight_.find(index);
+  if (pending != inflight_.end()) return pending->second.future;
+  ++stats_.prefetch_issued;
+
+  Inflight inflight;
+  auto resident = map_.find(index);
+  if (resident != map_.end()) {
+    ++resident->second->pins;
+    inflight.pinned_resident = true;
+    inflight.future = ReadyFuture(resident->second->bucket);
+  } else if (!store_->SupportsConcurrentReads()) {
+    // No safe side-channel read: resolve to Unimplemented so the eventual
+    // Get degrades to a plain miss — the same behavior whether or not a
+    // pool is attached, keeping runs thread-count independent.
+    inflight.future = ReadyFuture(
+        Status::Unimplemented("store does not support prefetch reads"));
+  } else if (pool_ != nullptr) {
+    inflight.future =
+        pool_->Submit([store = store_, index] {
+               return store->ReadBucketForPrefetch(index);
+             })
+            .share();
+  } else {
+    inflight.future = ReadyFuture(store_->ReadBucketForPrefetch(index));
+  }
+  BucketFuture future = inflight.future;
+  inflight_.emplace(index, std::move(inflight));
+  return future;
+}
+
+void BucketCache::CancelPrefetch(BucketIndex index) {
+  auto pending = inflight_.find(index);
+  if (pending == inflight_.end()) return;
+  if (pending->second.pinned_resident) {
+    auto it = map_.find(index);
+    assert(it != map_.end() && it->second->pins > 0);
+    --it->second->pins;
+    EvictOverCapacity();  // the unpin may re-enable a deferred eviction
+  } else if (pending->second.future.valid()) {
+    pending->second.future.wait();  // discard the fetched bucket unrecorded
+  }
+  ++stats_.prefetch_cancels;
+  inflight_.erase(pending);
+}
+
 void BucketCache::Clear() {
+  for (auto& [index, inflight] : inflight_) {
+    if (inflight.future.valid()) inflight.future.wait();
+    ++stats_.prefetch_cancels;
+  }
+  inflight_.clear();
   lru_.clear();
   map_.clear();
 }

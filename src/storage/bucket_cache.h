@@ -3,11 +3,26 @@
 // predicate is the phi(i) term of the workload throughput metric — cached
 // buckets cost no T_b — so the greedy scheduler naturally gravitates toward
 // cached, contentious buckets.
+//
+// Prefetch contract (cross-batch pipelining): PrefetchAsync(i) starts
+// pulling bucket i toward the cache ahead of need, overlapping the
+// physical read with the owner thread's join compute. A prefetched bucket
+// is *pinned* from issue to claim — it cannot be evicted before use:
+//  * already-resident buckets are pinned in place (eviction skips them,
+//    transiently exceeding capacity if every entry is pinned);
+//  * in-flight buckets live outside the LRU until the owner claims them
+//    via Get(), which inserts them most-recently-used and only then runs
+//    eviction.
+// Stats for a prefetched read are recorded at claim time on the owner
+// thread (never from the worker), so I/O accounting stays deterministic.
+// The cache itself remains single-owner: every method below must be called
+// from the owner thread; only the raw store read runs on the worker pool.
 
 #ifndef LIFERAFT_STORAGE_BUCKET_CACHE_H_
 #define LIFERAFT_STORAGE_BUCKET_CACHE_H_
 
 #include <cstdint>
+#include <future>
 #include <list>
 #include <memory>
 #include <unordered_map>
@@ -15,14 +30,25 @@
 #include "storage/bucket.h"
 #include "storage/bucket_store.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace liferaft::storage {
 
-/// Cache hit/miss counters.
+/// Cache hit/miss counters. A claimed prefetch counts as a miss (the
+/// bucket did come from the store) plus a prefetch_claims tick, so the hit
+/// rate keeps its meaning and the claims count says how many misses the
+/// pipeline (partially) hid.
 struct CacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
+  /// PrefetchAsync calls that started a fetch or pinned a resident bucket.
+  uint64_t prefetch_issued = 0;
+  /// Prefetches consumed by a later Get of the same bucket.
+  uint64_t prefetch_claims = 0;
+  /// Prefetches dropped unused (CancelPrefetch, Clear, or an unsupported
+  /// store).
+  uint64_t prefetch_cancels = 0;
 
   double HitRate() const {
     uint64_t total = hits + misses;
@@ -34,25 +60,66 @@ struct CacheStats {
 /// BucketStore.
 class BucketCache {
  public:
+  /// The eventual outcome of a prefetch: the bucket, or the store's error.
+  using BucketFuture = std::shared_future<Result<std::shared_ptr<const Bucket>>>;
+
   /// @param store    backing store (not owned; must outlive the cache)
   /// @param capacity maximum number of resident buckets (paper: 20)
   BucketCache(BucketStore* store, size_t capacity);
 
+  /// Drains any in-flight prefetches before destruction.
+  ~BucketCache();
+
   /// True if the bucket is resident (phi(i) == 0). Does not affect LRU
   /// order — the metric may interrogate residency without touching
-  /// recency.
+  /// recency. In-flight prefetches are NOT resident until claimed.
   bool Contains(BucketIndex index) const;
 
   /// Returns the bucket, reading it from the store on a miss; promotes to
-  /// most-recently-used either way.
+  /// most-recently-used either way. Claims (and unpins) an outstanding
+  /// prefetch of the same bucket, recording its deferred I/O stats.
   Result<std::shared_ptr<const Bucket>> Get(BucketIndex index);
 
-  /// Drops everything (used between experiment phases).
+  /// Starts fetching `index` ahead of need and pins it until the next
+  /// Get(index) or CancelPrefetch(index). Returns a future that yields the
+  /// bucket (callers typically ignore it and claim through Get). The read
+  /// runs on the attached thread pool when one is set, synchronously on
+  /// the caller otherwise — accounting is identical either way. For a
+  /// store without SupportsConcurrentReads() the prefetch resolves to
+  /// Unimplemented and the eventual Get degrades to a plain miss, again
+  /// identically at every thread count. Idempotent while a prefetch of the
+  /// same bucket is outstanding.
+  BucketFuture PrefetchAsync(BucketIndex index);
+
+  /// Drops an unclaimed prefetch: unpins a resident bucket, or waits out
+  /// and discards an in-flight read (no stats are recorded for it).
+  /// No-op if no prefetch of `index` is outstanding.
+  void CancelPrefetch(BucketIndex index);
+
+  /// True if a prefetch of `index` is outstanding (issued, not yet claimed
+  /// or canceled).
+  bool IsPrefetchPending(BucketIndex index) const;
+
+  /// True if `index` is resident and pinned by an unclaimed prefetch.
+  bool IsPinned(BucketIndex index) const;
+
+  /// Drops everything, including unclaimed prefetches (used between
+  /// experiment phases).
   void Clear();
+
+  /// Attaches the worker pool used for asynchronous prefetch reads (not
+  /// owned; may be null to force synchronous prefetching). The pool must
+  /// outlive the cache's last in-flight prefetch.
+  void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
 
   /// The backing store (for metadata queries; reads should go through
   /// Get so residency stays coherent).
   const BucketStore& store() const { return *store_; }
+
+  /// The backing store, mutable: the per-query NoShare path reads buckets
+  /// directly (no shared cache, by definition) and needs the
+  /// stats-recording ReadBucket.
+  BucketStore* mutable_store() { return store_; }
 
   size_t capacity() const { return capacity_; }
   size_t size() const { return map_.size(); }
@@ -63,14 +130,30 @@ class BucketCache {
   struct Entry {
     BucketIndex index;
     std::shared_ptr<const Bucket> bucket;
+    /// Unclaimed prefetches holding this entry in place (0 = evictable).
+    uint32_t pins = 0;
+  };
+
+  /// One issued, unclaimed prefetch.
+  struct Inflight {
+    BucketFuture future;
+    /// True if the bucket was already resident at issue (claim = unpin).
+    bool pinned_resident = false;
   };
 
   void Touch(std::list<Entry>::iterator it);
+  /// Inserts `bucket` most-recently-used and evicts down to capacity,
+  /// skipping pinned entries (so residency may transiently exceed
+  /// capacity while pins are held).
+  void InsertMru(BucketIndex index, std::shared_ptr<const Bucket> bucket);
+  void EvictOverCapacity();
 
   BucketStore* store_;
   size_t capacity_;
+  util::ThreadPool* pool_ = nullptr;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<BucketIndex, std::list<Entry>::iterator> map_;
+  std::unordered_map<BucketIndex, Inflight> inflight_;
   CacheStats stats_;
 };
 

@@ -24,8 +24,12 @@ struct StoreStats {
 
 /// Abstract bucket-granularity storage engine.
 ///
-/// Not thread-safe; LifeRaft's scheduler loop is single-threaded by design
-/// (the paper's system schedules one bucket batch at a time).
+/// Threading contract: the store has a single owner thread — LifeRaft's
+/// scheduler loop — and ReadBucket/stats are owner-thread-only. The one
+/// concession to the prefetch pipeline is ReadBucketForPrefetch, which a
+/// cache worker may call concurrently with owner-thread reads; it never
+/// touches the stats counters (the owner records the I/O at claim time via
+/// RecordPrefetchedRead, keeping accounting deterministic).
 class BucketStore {
  public:
   virtual ~BucketStore() = default;
@@ -42,9 +46,40 @@ class BucketStore {
   virtual size_t BucketObjectCount(BucketIndex index) const = 0;
 
   /// Reads bucket `index` in full. Returned buckets are immutable and
-  /// shareable (the cache hands out the same pointer).
+  /// shareable (the cache hands out the same pointer). Owner thread only.
   virtual Result<std::shared_ptr<const Bucket>> ReadBucket(
       BucketIndex index) = 0;
+
+  /// True if ReadBucketForPrefetch is implemented and safe to call
+  /// concurrently with owner-thread reads. When false, cache prefetching
+  /// and worker-side NoShare reads degrade gracefully (and identically at
+  /// every thread count) to owner-thread ReadBucket traffic.
+  virtual bool SupportsConcurrentReads() const { return false; }
+
+  /// Reads bucket `index` WITHOUT recording I/O stats. Must be safe to
+  /// call from a worker thread concurrently with owner-thread ReadBucket
+  /// calls whenever SupportsConcurrentReads() is true. The owner accounts
+  /// the read via RecordPrefetchedRead(s) when it consumes the bucket.
+  virtual Result<std::shared_ptr<const Bucket>> ReadBucketForPrefetch(
+      BucketIndex index) {
+    (void)index;
+    return Status::Unimplemented("store does not support prefetch reads");
+  }
+
+  /// Deferred accounting for a bucket obtained via ReadBucketForPrefetch;
+  /// call exactly once per prefetched read, on the owner thread.
+  void RecordPrefetchedRead(const Bucket& b) {
+    RecordPrefetchedReads(1, b.EstimatedBytes(), b.size());
+  }
+
+  /// Aggregate form of RecordPrefetchedRead for batched deferred
+  /// accounting (owner thread).
+  void RecordPrefetchedReads(uint64_t reads, uint64_t bytes,
+                             uint64_t objects) {
+    stats_.bucket_reads += reads;
+    stats_.bytes_read += bytes;
+    stats_.objects_read += objects;
+  }
 
   const StoreStats& stats() const { return stats_; }
   void ResetStats() { stats_ = StoreStats{}; }

@@ -34,8 +34,10 @@ class Catalog {
   static Result<std::unique_ptr<Catalog>> Build(
       std::vector<CatalogObject> objects, const CatalogOptions& options);
 
+  /// The archive's bucket store (in-memory; owned by the catalog).
   BucketStore* store() { return store_.get(); }
   const BucketStore* store() const { return store_.get(); }
+  /// The HTM-curve partitioning the store was built with.
   const BucketMap& bucket_map() const { return store_->bucket_map(); }
   size_t num_buckets() const { return store_->num_buckets(); }
   size_t num_objects() const { return num_objects_; }

@@ -180,9 +180,23 @@ Result<std::unique_ptr<FileStore>> FileStore::Open(const std::string& path) {
 
 Result<std::shared_ptr<const Bucket>> FileStore::ReadBucket(
     BucketIndex index) {
+  LIFERAFT_ASSIGN_OR_RETURN(std::shared_ptr<const Bucket> bucket,
+                            ReadBucketPage(index));
+  RecordRead(*bucket);
+  return bucket;
+}
+
+Result<std::shared_ptr<const Bucket>> FileStore::ReadBucketForPrefetch(
+    BucketIndex index) {
+  return ReadBucketPage(index);
+}
+
+Result<std::shared_ptr<const Bucket>> FileStore::ReadBucketPage(
+    BucketIndex index) {
   if (index >= offsets_.size()) {
     return Status::OutOfRange("bucket index out of range");
   }
+  std::lock_guard<std::mutex> lock(io_mu_);
   char page_header[kBucketHeaderBytes];
   LIFERAFT_RETURN_IF_ERROR(
       ReadExact(file_, offsets_[index], page_header, sizeof(page_header)));
@@ -206,10 +220,7 @@ Result<std::shared_ptr<const Bucket>> FileStore::ReadBucket(
   for (uint32_t i = 0; i < count; ++i, p += kRecordBytes) {
     objects.push_back(ParseRecord(p));
   }
-  auto bucket = std::make_shared<const Bucket>(index, range,
-                                               std::move(objects));
-  RecordRead(*bucket);
-  return std::shared_ptr<const Bucket>(bucket);
+  return std::make_shared<const Bucket>(index, range, std::move(objects));
 }
 
 }  // namespace liferaft::storage

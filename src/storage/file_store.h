@@ -20,6 +20,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -53,12 +54,23 @@ class FileStore : public BucketStore {
     return index < counts_.size() ? counts_[index] : 0;
   }
   Result<std::shared_ptr<const Bucket>> ReadBucket(BucketIndex index) override;
+  /// Page reads share one FILE handle, so prefetch reads serialize against
+  /// owner reads on an internal mutex (still overlapping with the owner's
+  /// join compute, which is the point of the pipeline).
+  bool SupportsConcurrentReads() const override { return true; }
+  Result<std::shared_ptr<const Bucket>> ReadBucketForPrefetch(
+      BucketIndex index) override;
 
  private:
   FileStore(std::FILE* file, std::vector<uint64_t> offsets,
             std::vector<uint32_t> counts,
             std::shared_ptr<const BucketMap> map);
 
+  /// The raw seek+read+checksum+decode of one bucket page, serialized on
+  /// io_mu_; records no stats.
+  Result<std::shared_ptr<const Bucket>> ReadBucketPage(BucketIndex index);
+
+  std::mutex io_mu_;
   std::FILE* file_;
   std::vector<uint64_t> offsets_;
   std::vector<uint32_t> counts_;

@@ -18,4 +18,13 @@ Result<std::shared_ptr<const Bucket>> MemStore::ReadBucket(BucketIndex index) {
   return buckets_[index];
 }
 
+Result<std::shared_ptr<const Bucket>> MemStore::ReadBucketForPrefetch(
+    BucketIndex index) {
+  if (index >= buckets_.size()) {
+    return Status::OutOfRange("bucket index " + std::to_string(index) +
+                              " >= " + std::to_string(buckets_.size()));
+  }
+  return buckets_[index];
+}
+
 }  // namespace liferaft::storage

@@ -24,6 +24,11 @@ class MemStore : public BucketStore {
     return index < buckets_.size() ? buckets_[index]->size() : 0;
   }
   Result<std::shared_ptr<const Bucket>> ReadBucket(BucketIndex index) override;
+  /// Materialized buckets are immutable shared pointers, so a prefetch
+  /// worker can hand one out with no synchronization at all.
+  bool SupportsConcurrentReads() const override { return true; }
+  Result<std::shared_ptr<const Bucket>> ReadBucketForPrefetch(
+      BucketIndex index) override;
 
  private:
   std::shared_ptr<const BucketMap> map_;

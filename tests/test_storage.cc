@@ -17,6 +17,7 @@
 #include "storage/mem_store.h"
 #include "storage/partitioner.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace liferaft::storage {
 namespace {
@@ -466,6 +467,79 @@ TEST_F(CacheTestFixture, ClearEmptiesCache) {
   cache.Clear();
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_FALSE(cache.Contains(0));
+}
+
+// ------------------------------------------------------- Cache prefetch --
+
+TEST_F(CacheTestFixture, PrefetchAsyncClaimsThroughGet) {
+  BucketCache cache(store_.get(), 3);
+  BucketCache::BucketFuture future = cache.PrefetchAsync(2);
+  EXPECT_TRUE(cache.IsPrefetchPending(2));
+  // In flight, not resident: phi still charges T_b until the claim.
+  EXPECT_FALSE(cache.Contains(2));
+  // I/O accounting is deferred to the claim on the owner thread.
+  EXPECT_EQ(store_->stats().bucket_reads, 0u);
+
+  auto claimed = cache.Get(2);
+  ASSERT_TRUE(claimed.ok());
+  EXPECT_EQ((*claimed)->index(), 2u);
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_FALSE(cache.IsPrefetchPending(2));
+  EXPECT_EQ(cache.stats().prefetch_issued, 1u);
+  EXPECT_EQ(cache.stats().prefetch_claims, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);  // the bucket did come from the store
+  EXPECT_EQ(store_->stats().bucket_reads, 1u);
+
+  auto fetched = future.get();
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ((*fetched)->index(), 2u);
+}
+
+TEST_F(CacheTestFixture, PrefetchPinsResidentBucketAgainstEviction) {
+  BucketCache cache(store_.get(), 2);
+  ASSERT_TRUE(cache.Get(0).ok());
+  ASSERT_TRUE(cache.Get(1).ok());  // LRU order: 0 is the eviction victim
+  cache.PrefetchAsync(0);          // pins the resident LRU entry
+  EXPECT_TRUE(cache.IsPinned(0));
+  ASSERT_TRUE(cache.Get(2).ok());  // must evict 1, skipping the pinned 0
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_FALSE(cache.Contains(1));
+  ASSERT_TRUE(cache.Get(0).ok());  // claim = hit + unpin + promote
+  EXPECT_FALSE(cache.IsPinned(0));
+  EXPECT_EQ(cache.stats().prefetch_claims, 1u);
+}
+
+TEST_F(CacheTestFixture, CancelPrefetchDropsUnusedFetch) {
+  BucketCache cache(store_.get(), 2);
+  cache.PrefetchAsync(4);
+  cache.CancelPrefetch(4);
+  EXPECT_FALSE(cache.Contains(4));
+  EXPECT_FALSE(cache.IsPrefetchPending(4));
+  EXPECT_EQ(cache.stats().prefetch_cancels, 1u);
+  EXPECT_EQ(store_->stats().bucket_reads, 0u);  // never claimed → never billed
+
+  // Canceling a resident pin re-enables eviction of the true LRU.
+  ASSERT_TRUE(cache.Get(0).ok());
+  ASSERT_TRUE(cache.Get(1).ok());
+  cache.PrefetchAsync(0);
+  cache.CancelPrefetch(0);
+  EXPECT_FALSE(cache.IsPinned(0));
+  ASSERT_TRUE(cache.Get(2).ok());
+  EXPECT_FALSE(cache.Contains(0));
+}
+
+TEST_F(CacheTestFixture, PrefetchOnWorkerDefersStatsToClaim) {
+  util::ThreadPool pool(2);
+  BucketCache cache(store_.get(), 2);
+  cache.set_thread_pool(&pool);
+  BucketCache::BucketFuture future = cache.PrefetchAsync(1);
+  auto fetched = future.get();  // wait for the worker's read
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(store_->stats().bucket_reads, 0u);  // still unrecorded
+  auto claimed = cache.Get(1);
+  ASSERT_TRUE(claimed.ok());
+  EXPECT_EQ(store_->stats().bucket_reads, 1u);  // billed at claim
+  EXPECT_EQ(*claimed, *fetched);  // the very same shared bucket
 }
 
 // --------------------------------------------------------------- Catalog --

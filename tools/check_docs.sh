@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Fails if any file under src/ is not mentioned in docs/ARCHITECTURE.md,
+# keeping the architecture map from rotting as the tree grows. A file
+# src/<dir>/<name>.<ext> counts as mentioned if the string "<dir>/<name>"
+# appears in the doc (so one row covers a .h/.cc pair).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DOC=docs/ARCHITECTURE.md
+[ -f "$DOC" ] || { echo "missing $DOC" >&2; exit 1; }
+
+missing=0
+while IFS= read -r f; do
+  rel="${f#src/}"
+  stem="${rel%.*}"
+  if ! grep -qF "$stem" "$DOC"; then
+    echo "undocumented source file: $f (add '$stem' to $DOC)" >&2
+    missing=1
+  fi
+done < <(find src -type f | sort)
+
+if [ "$missing" -ne 0 ]; then
+  echo "docs check FAILED: update $DOC" >&2
+  exit 1
+fi
+echo "docs check OK: every src/ file is mapped in $DOC"

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# CI entry point: runs the tier-1 verify command verbatim (ROADMAP.md).
-# Mirrors .github/workflows/ci.yml for hosts without Actions.
+# CI entry point: runs the docs check plus the tier-1 verify command
+# verbatim (ROADMAP.md). Mirrors .github/workflows/ci.yml for hosts
+# without Actions.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+tools/check_docs.sh
 
 cmake -B build -S . && cmake --build build -j && cd build && \
   ctest --output-on-failure -j
