@@ -19,6 +19,7 @@
 #include "storage/mem_store.h"
 #include "storage/partitioner.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 #include "workload/catalog_gen.h"
 #include "workload/trace_gen.h"
 
@@ -146,6 +147,45 @@ void BM_BucketCacheGet(benchmark::State& state) {
 }
 BENCHMARK(BM_BucketCacheGet);
 
+/// Concurrent Get throughput against the sharded cache: four workers each
+/// stream Zipf-skewed buckets through one shared cache at shard count
+/// `arg`. At 1 shard every Get serializes on a single mutex; higher shard
+/// counts split the lock (and the LRU) so wall time per iteration is the
+/// contention signal. MemStore reads are thread-safe, so this measures the
+/// cache layer alone.
+void BM_BucketCacheShardedGet(benchmark::State& state) {
+  constexpr size_t kWorkers = 4;
+  constexpr size_t kGetsPerWorker = 2048;
+  auto partition = storage::PartitionCatalog(BenchObjects(50'000), 1000);
+  storage::MemStore store(std::move(*partition));
+  storage::BucketCache cache(&store, 20,
+                             static_cast<size_t>(state.range(0)));
+  util::ThreadPool pool(kWorkers);
+  for (auto _ : state) {
+    std::vector<std::future<uint64_t>> futures;
+    futures.reserve(kWorkers);
+    for (size_t t = 0; t < kWorkers; ++t) {
+      futures.push_back(pool.Submit([&cache, &store, t] {
+        Rng rng(41 + static_cast<uint64_t>(t));
+        ZipfDistribution zipf(store.num_buckets(), 1.1);
+        uint64_t objects = 0;
+        for (size_t i = 0; i < kGetsPerWorker; ++i) {
+          auto b = cache.Get(
+              static_cast<storage::BucketIndex>(zipf.Sample(&rng)));
+          if (b.ok()) objects += (*b)->size();
+        }
+        return objects;
+      }));
+    }
+    uint64_t total = 0;
+    for (auto& f : futures) total += f.get();
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kWorkers * kGetsPerWorker));
+}
+BENCHMARK(BM_BucketCacheShardedGet)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 // ------------------------------------------------- Engine-level benches --
 // Wall-clock cost of whole simulated runs. Virtual quantities (the
 // makespan the paper's figures report) are attached as counters so the
@@ -176,11 +216,14 @@ struct EngineFixture {
 };
 
 /// Shared-mode drain with the cross-batch prefetch pipeline off (arg 0) or
-/// on (arg 1); virtual_makespan_ms is the paper-visible effect.
+/// on at prediction depth arg; virtual_makespan_ms is the paper-visible
+/// effect and prefetch_hidden_ms the fetch latency hidden behind compute.
 void BM_EngineSharedPrefetch(benchmark::State& state) {
   auto fx = EngineFixture::Make(30'000, 24);
   sim::EngineConfig config;
   config.enable_prefetch = state.range(0) != 0;
+  config.prefetch_depth =
+      state.range(0) > 0 ? static_cast<size_t>(state.range(0)) : 1;
   double makespan = 0.0;
   double hidden = 0.0;
   for (auto _ : state) {
@@ -198,7 +241,7 @@ void BM_EngineSharedPrefetch(benchmark::State& state) {
   state.counters["virtual_makespan_ms"] = makespan;
   state.counters["prefetch_hidden_ms"] = hidden;
 }
-BENCHMARK(BM_EngineSharedPrefetch)->Arg(0)->Arg(1);
+BENCHMARK(BM_EngineSharedPrefetch)->Arg(0)->Arg(1)->Arg(2);
 
 /// NoShare drain at 1 vs 4 worker threads: per-query fan-out wall-clock
 /// speedup (virtual results are byte-identical by construction).

@@ -20,13 +20,15 @@ Result<std::unique_ptr<LifeRaft>> LifeRaft::Create(
       storage::Catalog::Build(std::move(catalog_objects), catalog_options));
 
   system->cache_ = std::make_unique<storage::BucketCache>(
-      system->catalog_->store(), options.cache_capacity);
+      system->catalog_->store(), options.cache_capacity,
+      options.cache_shards);
   system->evaluator_ = std::make_unique<join::JoinEvaluator>(
       system->cache_.get(), system->catalog_->index(),
       storage::DiskModel(options.disk), options.hybrid);
   if (options.num_threads > 1) {
     system->pool_ = std::make_unique<util::ThreadPool>(options.num_threads);
     system->evaluator_->set_thread_pool(system->pool_.get());
+    system->cache_->set_thread_pool(system->pool_.get());
   }
   system->manager_ = std::make_unique<query::WorkloadManager>(
       system->catalog_->num_buckets());
@@ -38,6 +40,14 @@ Result<std::unique_ptr<LifeRaft>> LifeRaft::Create(
   system->scheduler_ = std::make_unique<sched::LifeRaftScheduler>(
       system->catalog_->store(), storage::DiskModel(options.disk),
       sched_config);
+
+  exec::PipelineConfig pipeline_config;
+  pipeline_config.enable_prefetch = options.enable_prefetch;
+  pipeline_config.prefetch_depth = options.prefetch_depth;
+  pipeline_config.cancel_on_mispredict = options.cancel_on_mispredict;
+  system->pipeline_ = std::make_unique<exec::BatchPipeline>(
+      system->scheduler_.get(), system->manager_.get(),
+      system->evaluator_.get(), pipeline_config);
   return system;
 }
 
@@ -62,26 +72,19 @@ Status LifeRaft::Submit(const query::CrossMatchQuery& query) {
 
 Result<std::optional<BatchOutcome>> LifeRaft::ProcessNextBatch(
     bool collect_matches) {
-  auto cached = [this](storage::BucketIndex b) {
-    return cache_->Contains(b);
-  };
-  std::optional<storage::BucketIndex> pick =
-      scheduler_->PickBucket(*manager_, clock_.NowMs(), cached);
-  if (!pick.has_value()) return std::optional<BatchOutcome>{};
+  pipeline_->set_collect_matches(collect_matches);
+  LIFERAFT_ASSIGN_OR_RETURN(std::optional<exec::StepOutcome> step,
+                            pipeline_->Step(clock_.NowMs()));
+  if (!step.has_value()) return std::optional<BatchOutcome>{};
+  clock_.Advance(step->TotalAdvanceMs());
 
   BatchOutcome outcome;
-  outcome.bucket = *pick;
-  std::vector<query::WorkloadEntry> entries =
-      manager_->TakeBucket(*pick, &outcome.completed);
-  LIFERAFT_ASSIGN_OR_RETURN(
-      join::BatchResult result,
-      evaluator_->EvaluateBucket(*pick, entries, collect_matches));
-  clock_.Advance(result.cost_ms);
-
-  outcome.strategy = result.strategy;
-  outcome.cache_hit = result.cache_hit;
-  outcome.cost_ms = result.cost_ms;
-  outcome.matches = std::move(result.matches);
+  outcome.bucket = step->bucket;
+  outcome.strategy = step->strategy;
+  outcome.cache_hit = step->cache_hit;
+  outcome.cost_ms = step->TotalAdvanceMs();
+  outcome.completed = std::move(step->completed);
+  outcome.matches = std::move(step->matches);
 
   for (query::QueryId id : outcome.completed) {
     auto it = arrivals_.find(id);
@@ -101,6 +104,10 @@ Result<std::vector<QueryCompletion>> LifeRaft::Drain(
     if (!outcome.has_value()) break;
     if (on_batch != nullptr) on_batch(*outcome);
   }
+  // The queues are empty: any prefetch bet still pending targets a bucket
+  // with no work, so the bet cannot pay off until new queries arrive —
+  // drop it rather than holding its pin across an idle period.
+  pipeline_->CancelOutstandingPrefetches();
   return std::vector<QueryCompletion>(completions_.begin() + first_new,
                                       completions_.end());
 }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/options.h"
+#include "exec/batch_pipeline.h"
 #include "join/evaluator.h"
 #include "query/query.h"
 #include "query/workload.h"
@@ -39,6 +40,8 @@ struct BatchOutcome {
   storage::BucketIndex bucket = 0;
   join::JoinStrategy strategy = join::JoinStrategy::kScan;
   bool cache_hit = false;
+  /// Virtual time the batch consumed: the evaluator's io+cpu cost plus,
+  /// under prefetching, the un-hidden residual of a claimed fetch.
   TimeMs cost_ms = 0.0;
   /// Queries whose last outstanding sub-query was in this batch.
   std::vector<query::QueryId> completed;
@@ -68,7 +71,9 @@ class LifeRaft {
   /// is empty.
   Status Submit(const query::CrossMatchQuery& query);
 
-  /// Schedules and evaluates one bucket batch. Returns nullopt when no
+  /// Schedules and evaluates one bucket batch through the unified
+  /// exec::BatchPipeline (the same loop the simulation engine runs, so
+  /// prefetch pipelining works identically here). Returns nullopt when no
   /// work is pending.
   Result<std::optional<BatchOutcome>> ProcessNextBatch(
       bool collect_matches = true);
@@ -88,7 +93,9 @@ class LifeRaft {
 
   size_t pending_queries() const { return manager_->pending_queries(); }
   const storage::Catalog& catalog() const { return *catalog_; }
-  const storage::CacheStats& cache_stats() const { return cache_->stats(); }
+  storage::CacheStats cache_stats() const { return cache_->stats(); }
+  /// Virtual fetch time hidden behind compute by claimed prefetches.
+  TimeMs prefetch_hidden_ms() const { return pipeline_->prefetch_hidden_ms(); }
   const join::EvaluatorStats& evaluator_stats() const {
     return evaluator_->stats();
   }
@@ -108,6 +115,7 @@ class LifeRaft {
   std::unique_ptr<join::JoinEvaluator> evaluator_;
   std::unique_ptr<query::WorkloadManager> manager_;
   std::unique_ptr<sched::LifeRaftScheduler> scheduler_;
+  std::unique_ptr<exec::BatchPipeline> pipeline_;
   std::unordered_map<query::QueryId, TimeMs> arrivals_;
   std::vector<QueryCompletion> completions_;
 };

@@ -21,6 +21,12 @@ Status LifeRaftOptions::Validate() const {
   if (num_threads == 0) {
     return Status::InvalidArgument("num_threads must be >= 1");
   }
+  if (cache_shards == 0) {
+    return Status::InvalidArgument("cache_shards must be >= 1");
+  }
+  if (prefetch_depth == 0) {
+    return Status::InvalidArgument("prefetch_depth must be >= 1");
+  }
   return disk.Validate();
 }
 

@@ -21,6 +21,9 @@ struct LifeRaftOptions {
   size_t objects_per_bucket = 1000;
   /// Bucket cache capacity in buckets (paper: 20).
   size_t cache_capacity = 20;
+  /// Lock/LRU shards of the bucket cache (clamped to [1, cache_capacity]);
+  /// 1 reproduces the unsharded cache exactly.
+  size_t cache_shards = 1;
   /// Age bias alpha in [0, 1]: 0 = greedy most-contentious-first,
   /// 1 = arrival order.
   double alpha = 0.25;
@@ -39,6 +42,17 @@ struct LifeRaftOptions {
   /// produces results identical to serial mode (see join::JoinEvaluator);
   /// scheduling and the virtual clock stay deterministic.
   size_t num_threads = 1;
+  /// Cross-batch prefetch pipelining through exec::BatchPipeline: while a
+  /// batch joins, start fetching the buckets the scheduler is predicted to
+  /// pick next, hiding their T_b behind matching compute on the virtual
+  /// clock. Deterministic; changes the schedule (prefetched buckets count
+  /// as resident for phi), so enable it consistently across compared runs.
+  bool enable_prefetch = false;
+  /// Predicted picks kept in flight when prefetching (>= 1).
+  size_t prefetch_depth = 1;
+  /// Drop prefetch bets that leave the scheduler's prediction window
+  /// instead of holding them pinned until claimed.
+  bool cancel_on_mispredict = false;
 
   Status Validate() const;
 };

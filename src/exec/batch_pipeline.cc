@@ -1,0 +1,194 @@
+#include "exec/batch_pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "join/hybrid.h"
+#include "storage/bucket.h"
+
+namespace liferaft::exec {
+
+BatchPipeline::BatchPipeline(sched::Scheduler* scheduler,
+                             query::WorkloadManager* manager,
+                             join::JoinEvaluator* evaluator,
+                             PipelineConfig config)
+    : scheduler_(scheduler),
+      manager_(manager),
+      evaluator_(evaluator),
+      cache_(evaluator != nullptr ? evaluator->cache() : nullptr),
+      config_(config) {
+  assert(scheduler_ != nullptr);
+  assert(manager_ != nullptr);
+  assert(evaluator_ != nullptr);
+  assert(cache_ != nullptr);
+  if (config_.prefetch_depth == 0) config_.prefetch_depth = 1;
+}
+
+sched::CacheProbe BatchPipeline::MakeCacheProbe(TimeMs now) const {
+  return [this, now](storage::BucketIndex b) {
+    if (cache_->Contains(b)) return true;
+    // A prefetched bucket whose modeled fetch has completed is as good as
+    // resident for the metric's phi term.
+    for (const PendingPrefetch& p : prefetches_) {
+      if (p.bucket == b && p.done_ms <= now) return true;
+    }
+    return false;
+  };
+}
+
+bool BatchPipeline::WillScan(storage::BucketIndex bucket,
+                             uint64_t queue_objects) const {
+  if (evaluator_->index() == nullptr) return true;
+  return join::ChooseStrategy(evaluator_->hybrid_config(), queue_objects,
+                              cache_->store().BucketObjectCount(bucket),
+                              /*bucket_cached=*/true) ==
+         join::JoinStrategy::kScan;
+}
+
+Result<std::optional<StepOutcome>> BatchPipeline::Step(TimeMs now) {
+  const sched::CacheProbe cached = MakeCacheProbe(now);
+  std::optional<storage::BucketIndex> pick =
+      scheduler_->PickBucket(*manager_, now, cached);
+  if (!pick.has_value()) return std::optional<StepOutcome>{};
+
+  StepOutcome outcome;
+  outcome.bucket = *pick;
+  uint64_t restored_bytes = 0;
+  std::vector<query::WorkloadEntry> entries =
+      manager_->TakeBucket(*pick, &outcome.completed, &restored_bytes);
+
+  // Claim the outstanding bet on this bucket if the batch is the one it
+  // bet on: the bucket becomes resident (the evaluator sees a hit,
+  // charging no T_b) and the clock is charged only the un-hidden tail of
+  // the fetch. A bet on a different bucket stays pinned until its bucket
+  // is scheduled (or, under cancel_on_mispredict, until it leaves the
+  // prediction window below). Claim only when the evaluator will actually
+  // scan — an index-probing batch would never touch the fetched bucket.
+  // At depth > 1 a bet can still be queued behind the disk arm when its
+  // bucket comes up (modeled residual >= its full T_b); waiting out that
+  // whole queue would cost more than a plain foreground read, so the
+  // charge is capped at T_b — as if the arm preempted the backlog and
+  // fetched the bucket fresh — while the claim still reuses the physical
+  // read. A capped claim hides nothing. (At depth 1 the residual is at
+  // most T_b minus the previous batch's matching time, so the cap never
+  // binds and PR 2 accounting is reproduced exactly.)
+  auto bet = std::find_if(
+      prefetches_.begin(), prefetches_.end(),
+      [&](const PendingPrefetch& p) { return p.bucket == *pick; });
+  if (bet != prefetches_.end()) {
+    uint64_t queue_objects = 0;
+    for (const query::WorkloadEntry& e : entries) {
+      queue_objects += e.objects.size();
+    }
+    if (WillScan(*pick, queue_objects)) {
+      outcome.fetch_residual_ms =
+          std::min(std::max(0.0, bet->done_ms - now), bet->fetch_ms);
+      prefetch_hidden_ms_ += bet->fetch_ms - outcome.fetch_residual_ms;
+      LIFERAFT_RETURN_IF_ERROR(cache_->Get(*pick).status());
+      prefetches_.erase(bet);
+    }
+  }
+
+  // Predict the next picks and start their physical reads now, overlapping
+  // the join below; their modeled fetch times are assigned after the
+  // evaluation, when this batch's disk phase is known.
+  std::vector<storage::BucketIndex> newly_predicted;
+  if (config_.enable_prefetch &&
+      (config_.cancel_on_mispredict ||
+       prefetches_.size() < config_.prefetch_depth)) {
+    std::vector<storage::BucketIndex> predicted = scheduler_->PeekNextBuckets(
+        *manager_, now, cached, config_.prefetch_depth);
+    if (config_.cancel_on_mispredict) {
+      // Drop bets that fell out of the prediction window: unpin so the
+      // cache may evict them. The arm time already modeled for them is
+      // not refunded — the bet was placed and lost.
+      for (auto it = prefetches_.begin(); it != prefetches_.end();) {
+        if (std::find(predicted.begin(), predicted.end(), it->bucket) ==
+            predicted.end()) {
+          cache_->CancelPrefetch(it->bucket);
+          it = prefetches_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (storage::BucketIndex b : predicted) {
+      if (prefetches_.size() + newly_predicted.size() >=
+          config_.prefetch_depth) {
+        break;
+      }
+      if (cache_->Contains(b)) continue;
+      const bool already_queued =
+          std::any_of(prefetches_.begin(), prefetches_.end(),
+                      [&](const PendingPrefetch& p) { return p.bucket == b; });
+      if (already_queued) continue;
+      (void)cache_->PrefetchAsync(b);
+      newly_predicted.push_back(b);
+    }
+  }
+
+  Result<join::BatchResult> evaluated =
+      evaluator_->EvaluateBucket(*pick, entries, config_.collect_matches);
+  if (!evaluated.ok()) {
+    // The bets issued above are not in prefetches_ yet (their modeled
+    // times need this batch's disk phase); cancel them before surfacing
+    // the error so no pin or inflight read is orphaned.
+    for (storage::BucketIndex b : newly_predicted) {
+      cache_->CancelPrefetch(b);
+    }
+    return evaluated.status();
+  }
+  join::BatchResult result = std::move(*evaluated);
+  const storage::DiskModel& model = evaluator_->disk_model();
+  // Fetching spilled workload segments back from disk is sequential I/O —
+  // part of this batch's disk phase, so it also delays a prefetch's start.
+  outcome.restore_ms =
+      restored_bytes > 0 ? model.SequentialReadMs(restored_bytes) : 0.0;
+
+  // Single disk arm: bets still in flight yield the arm to this batch's
+  // foreground I/O — their completion slips by however long the arm was
+  // busy here — and new fetches queue behind both the foreground phase and
+  // every earlier bet, so fetches never overlap fetches on the clock.
+  // The claimed residual does NOT slip the survivors: a bet queued behind
+  // the claimed fetch already counted that fetch in its own done time
+  // (slipping it again would double-charge the arm), and a bet queued
+  // ahead of it finishes within the residual wait by construction. Only
+  // the batch's own disk phase (scan I/O + spill restores) is arm time
+  // the queue never anticipated. (Sums run left-to-right from `now`,
+  // matching the pre-exec loop's expressions bit for bit.)
+  const TimeMs unanticipated_disk_ms = result.io_ms + outcome.restore_ms;
+  TimeMs arm_free_ms =
+      now + outcome.fetch_residual_ms + result.io_ms + outcome.restore_ms;
+  for (PendingPrefetch& p : prefetches_) {
+    if (p.done_ms > now + outcome.fetch_residual_ms) {
+      p.done_ms += unanticipated_disk_ms;
+    }
+    arm_free_ms = std::max(arm_free_ms, p.done_ms);
+  }
+  for (storage::BucketIndex b : newly_predicted) {
+    const uint64_t bytes =
+        static_cast<uint64_t>(cache_->store().BucketObjectCount(b)) *
+        storage::Bucket::kBytesPerObject;
+    const TimeMs fetch_ms = model.SequentialReadMs(bytes);
+    arm_free_ms += fetch_ms;
+    prefetches_.push_back(PendingPrefetch{b, arm_free_ms, fetch_ms});
+  }
+
+  outcome.strategy = result.strategy;
+  outcome.cache_hit = result.cache_hit;
+  outcome.cost_ms = result.cost_ms;
+  outcome.io_ms = result.io_ms;
+  outcome.cpu_ms = result.cpu_ms;
+  outcome.counters = result.counters;
+  outcome.matches = std::move(result.matches);
+  return std::optional<StepOutcome>(std::move(outcome));
+}
+
+void BatchPipeline::CancelOutstandingPrefetches() {
+  for (const PendingPrefetch& p : prefetches_) {
+    cache_->CancelPrefetch(p.bucket);
+  }
+  prefetches_.clear();
+}
+
+}  // namespace liferaft::exec

@@ -1,0 +1,162 @@
+// The unified batch-execution pipeline: the paper's core scheduling loop —
+// pick a bucket, prefetch the predicted next picks, claim a completed
+// prefetch, evaluate the bucket's whole workload queue, account the
+// virtual-clock I/O — extracted into one place so both virtual-time
+// drivers (core::LifeRaft::ProcessNextBatch and sim::SimEngine's shared
+// mode) execute the identical loop. Before this layer existed the loop was
+// duplicated per driver and only the simulator had PR 2's prefetch
+// pipelining; now every feature of the loop lands in both drivers for
+// free.
+//
+// Depth-K prefetch: with prefetching enabled the pipeline keeps up to
+// `prefetch_depth` predicted buckets in flight (Scheduler::PeekNextBuckets
+// supplies the predicted service order). Physical reads start immediately
+// on the worker pool, overlapping the current batch's join compute; the
+// *modeled* fetches serialize on a single disk arm — a prefetch's virtual
+// completion time queues behind the current batch's disk phase and behind
+// every earlier prefetch, so the virtual clock never overlaps two fetches.
+// A batch that claims its predicted bucket pays only the un-hidden
+// residual max(0, fetch_done - now), capped at the bucket's full T_b — a
+// bet queued so deep behind the arm that waiting would exceed a fresh
+// foreground read is charged as exactly that read (and hides nothing),
+// though the physical bytes are still reused. The full fetch minus the
+// charged residual is credited to prefetch_hidden_ms. At prefetch_depth
+// == 1 with cancel-on-mispredict off this reproduces the PR 2 engine
+// pipeline tick-for-tick.
+//
+// Mispredictions: by default an unclaimed prefetch is held (pinned) until
+// its bucket is eventually scheduled, its modeled completion slipping
+// whenever the foreground batch needs the disk arm. With
+// `cancel_on_mispredict` the pipeline instead drops queued prefetches that
+// have fallen out of the scheduler's current prediction window, unpinning
+// their buckets so the cache can evict them (the arm time already modeled
+// for them is not refunded — the bet was placed and lost).
+
+#ifndef LIFERAFT_EXEC_BATCH_PIPELINE_H_
+#define LIFERAFT_EXEC_BATCH_PIPELINE_H_
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "join/evaluator.h"
+#include "query/workload.h"
+#include "sched/scheduler.h"
+#include "storage/bucket_cache.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace liferaft::exec {
+
+/// Knobs of the unified loop.
+struct PipelineConfig {
+  /// Cross-batch prefetch pipelining (see file comment). Changes the
+  /// schedule (prefetched buckets count as resident for phi) but stays
+  /// deterministic and thread-count independent.
+  bool enable_prefetch = false;
+  /// Predicted picks kept in flight (>= 1). Depth 1 is the PR 2 pipeline.
+  size_t prefetch_depth = 1;
+  /// Drop queued prefetches that leave the scheduler's prediction window
+  /// instead of holding them pinned until claimed.
+  bool cancel_on_mispredict = false;
+  /// Materialize match tuples (disable for scheduling-scale experiments).
+  bool collect_matches = true;
+};
+
+/// Everything one pipeline step produced; the driver advances its clock by
+/// TotalAdvanceMs() and owns completion/match bookkeeping.
+struct StepOutcome {
+  storage::BucketIndex bucket = 0;
+  join::JoinStrategy strategy = join::JoinStrategy::kScan;
+  /// True if the scan path found the bucket resident (phi(i) == 0).
+  bool cache_hit = false;
+  /// Evaluator cost of the batch (io_ms + cpu_ms).
+  TimeMs cost_ms = 0.0;
+  TimeMs io_ms = 0.0;
+  TimeMs cpu_ms = 0.0;
+  /// Un-hidden tail of a claimed prefetch, charged before the batch.
+  TimeMs fetch_residual_ms = 0.0;
+  /// Sequential I/O for workload segments restored from the spill file.
+  TimeMs restore_ms = 0.0;
+  join::JoinCounters counters;
+  /// Queries whose last outstanding sub-query was in this batch.
+  std::vector<query::QueryId> completed;
+  /// Matches produced by this batch (all batch queries interleaved).
+  std::vector<query::Match> matches;
+
+  /// Total virtual time this step consumes.
+  TimeMs TotalAdvanceMs() const {
+    return fetch_residual_ms + cost_ms + restore_ms;
+  }
+};
+
+/// One archive's pick→prefetch→claim→evaluate→account loop. The pipeline
+/// borrows every component (nothing is owned) and keeps only the prefetch
+/// bookkeeping as state; drivers own the clock and call Step with their
+/// current virtual time.
+class BatchPipeline {
+ public:
+  /// @param scheduler bucket scheduling policy (not owned)
+  /// @param manager   workload queues (not owned)
+  /// @param evaluator join evaluator layered over the bucket cache (not
+  ///                  owned; supplies the cache, disk model, and hybrid
+  ///                  config)
+  BatchPipeline(sched::Scheduler* scheduler, query::WorkloadManager* manager,
+                join::JoinEvaluator* evaluator, PipelineConfig config);
+
+  /// Runs one scheduling step at virtual time `now`. Returns nullopt when
+  /// no queue has pending work (outstanding prefetch bets stay pending —
+  /// work may still arrive for them).
+  Result<std::optional<StepOutcome>> Step(TimeMs now);
+
+  /// Drops every outstanding prefetch bet (end of run / drain).
+  void CancelOutstandingPrefetches();
+
+  /// Virtual fetch time hidden behind compute by claimed prefetches.
+  TimeMs prefetch_hidden_ms() const { return prefetch_hidden_ms_; }
+
+  /// Residency probe for the scheduler's phi term at time `now`: resident
+  /// in cache, or bet on by a prefetch whose modeled fetch has completed —
+  /// which steers the metric toward the bucket we bet on, making the
+  /// prediction self-fulfilling.
+  sched::CacheProbe MakeCacheProbe(TimeMs now) const;
+
+  /// Per-call match materialization (core::LifeRaft's ProcessNextBatch
+  /// exposes this per batch).
+  void set_collect_matches(bool collect) { config_.collect_matches = collect; }
+
+  size_t pending_prefetches() const { return prefetches_.size(); }
+
+ private:
+  /// One outstanding prefetch bet.
+  struct PendingPrefetch {
+    storage::BucketIndex bucket;
+    /// Virtual time at which the modeled fetch completes (single disk
+    /// arm: queued behind foreground I/O and earlier prefetches).
+    TimeMs done_ms;
+    /// Full modeled fetch cost (T_b of the bucket), for hidden-time stats.
+    TimeMs fetch_ms;
+  };
+
+  /// True if the evaluator would take the scan path for this batch with
+  /// the bucket resident — i.e. claiming the prefetch will actually be
+  /// consumed. Under prefer_scan_when_cached=false a small batch probes
+  /// the index and would never touch the fetched bucket (ChooseStrategy
+  /// ignores residency in that config, so the evaluator reaches the same
+  /// strategy whether or not we claim).
+  bool WillScan(storage::BucketIndex bucket, uint64_t queue_objects) const;
+
+  sched::Scheduler* scheduler_;
+  query::WorkloadManager* manager_;
+  join::JoinEvaluator* evaluator_;
+  storage::BucketCache* cache_;
+  PipelineConfig config_;
+
+  /// Outstanding bets in predicted service order (= disk-arm order).
+  std::deque<PendingPrefetch> prefetches_;
+  TimeMs prefetch_hidden_ms_ = 0.0;
+};
+
+}  // namespace liferaft::exec
+
+#endif  // LIFERAFT_EXEC_BATCH_PIPELINE_H_

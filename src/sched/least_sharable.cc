@@ -1,16 +1,16 @@
 #include "sched/least_sharable.h"
 
+#include <algorithm>
+
 namespace liferaft::sched {
 
-std::optional<storage::BucketIndex> LeastSharableScheduler::PickBucket(
-    const query::WorkloadManager& manager, TimeMs now,
-    const CacheProbe& cached) {
-  return PeekNextBucket(manager, now, cached);
-}
+namespace {
 
-std::optional<storage::BucketIndex> LeastSharableScheduler::PeekNextBucket(
-    const query::WorkloadManager& manager, TimeMs /*now*/,
-    const CacheProbe& /*cached*/) const {
+/// The single-pick min-scan: smallest queue, ties toward the lower bucket
+/// index (active_buckets() iterates ascending, strict less keeps the
+/// first).
+std::optional<storage::BucketIndex> SmallestQueue(
+    const query::WorkloadManager& manager) {
   const auto& active = manager.active_buckets();
   if (active.empty()) return std::nullopt;
   storage::BucketIndex best = *active.begin();
@@ -23,6 +23,41 @@ std::optional<storage::BucketIndex> LeastSharableScheduler::PeekNextBucket(
     }
   }
   return best;
+}
+
+}  // namespace
+
+std::optional<storage::BucketIndex> LeastSharableScheduler::PickBucket(
+    const query::WorkloadManager& manager, TimeMs /*now*/,
+    const CacheProbe& /*cached*/) {
+  return SmallestQueue(manager);
+}
+
+std::vector<storage::BucketIndex> LeastSharableScheduler::PeekNextBuckets(
+    const query::WorkloadManager& manager, TimeMs /*now*/,
+    const CacheProbe& /*cached*/, size_t k) const {
+  std::vector<storage::BucketIndex> predicted;
+  if (k == 0) return predicted;
+  if (k == 1) {
+    // Keep every pick (and single-bucket preview) an allocation-free
+    // linear scan.
+    std::optional<storage::BucketIndex> best = SmallestQueue(manager);
+    if (best.has_value()) predicted.push_back(*best);
+    return predicted;
+  }
+  const auto& active = manager.active_buckets();
+  if (active.empty()) return predicted;
+  // Service order is ascending queue size; active_buckets() iterates in
+  // ascending bucket order, so a stable sort on size preserves the
+  // lower-index tie-break of the single-pick scan.
+  std::vector<storage::BucketIndex> order(active.begin(), active.end());
+  std::stable_sort(order.begin(), order.end(),
+                   [&manager](storage::BucketIndex a, storage::BucketIndex b) {
+                     return manager.queue(a).total_objects() <
+                            manager.queue(b).total_objects();
+                   });
+  order.resize(std::min(k, order.size()));
+  return order;
 }
 
 }  // namespace liferaft::sched

@@ -26,10 +26,12 @@ class LeastSharableScheduler : public Scheduler {
       const query::WorkloadManager& manager, TimeMs now,
       const CacheProbe& cached) override;
 
-  /// The smallest-queue ranking is stateless, so the preview is exact.
-  std::optional<storage::BucketIndex> PeekNextBucket(
+  /// The smallest-queue ranking is stateless, so the preview is exact:
+  /// the k smallest queues in service order (ascending size, ties toward
+  /// the lower bucket index).
+  std::vector<storage::BucketIndex> PeekNextBuckets(
       const query::WorkloadManager& manager, TimeMs now,
-      const CacheProbe& cached) const override;
+      const CacheProbe& cached, size_t k) const override;
 };
 
 }  // namespace liferaft::sched

@@ -1,5 +1,6 @@
 #include "sched/liferaft_scheduler.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <vector>
@@ -39,18 +40,30 @@ double LifeRaftScheduler::EffectiveAge(const query::WorkloadQueue& queue,
 std::optional<storage::BucketIndex> LifeRaftScheduler::PickBucket(
     const query::WorkloadManager& manager, TimeMs now,
     const CacheProbe& cached) {
-  return RankBest(manager, now, cached);
+  return RankBest(manager, now, cached, {});
 }
 
-std::optional<storage::BucketIndex> LifeRaftScheduler::PeekNextBucket(
+std::vector<storage::BucketIndex> LifeRaftScheduler::PeekNextBuckets(
     const query::WorkloadManager& manager, TimeMs now,
-    const CacheProbe& cached) const {
-  return RankBest(manager, now, cached);
+    const CacheProbe& cached, size_t k) const {
+  // Rank iteratively: each prediction assumes the previous ones were
+  // served (queue drained → no longer a candidate) and re-normalizes the
+  // metric over the survivors, exactly as PickBucket would see them.
+  std::vector<storage::BucketIndex> predicted;
+  predicted.reserve(k);
+  while (predicted.size() < k) {
+    std::optional<storage::BucketIndex> next =
+        RankBest(manager, now, cached, predicted);
+    if (!next.has_value()) break;
+    predicted.push_back(*next);
+  }
+  return predicted;
 }
 
 std::optional<storage::BucketIndex> LifeRaftScheduler::RankBest(
     const query::WorkloadManager& manager, TimeMs now,
-    const CacheProbe& cached) const {
+    const CacheProbe& cached,
+    const std::vector<storage::BucketIndex>& excluded) const {
   const auto& active = manager.active_buckets();
   if (active.empty()) return std::nullopt;
 
@@ -65,6 +78,9 @@ std::optional<storage::BucketIndex> LifeRaftScheduler::RankBest(
   double ut_max = 0.0;
   double age_max = 0.0;
   for (storage::BucketIndex b : active) {
+    if (std::find(excluded.begin(), excluded.end(), b) != excluded.end()) {
+      continue;
+    }
     const query::WorkloadQueue& queue = manager.queue(b);
     uint64_t bytes = static_cast<uint64_t>(store_->BucketObjectCount(b)) *
                      storage::Bucket::kBytesPerObject;
@@ -75,6 +91,8 @@ std::optional<storage::BucketIndex> LifeRaftScheduler::RankBest(
     age_max = std::max(age_max, age);
     candidates.push_back(Candidate{b, ut, age});
   }
+
+  if (candidates.empty()) return std::nullopt;  // everything excluded
 
   // Pass 2: rank by U_a. Ties break toward the lower bucket index so runs
   // are deterministic.

@@ -43,11 +43,14 @@ class LifeRaftScheduler : public Scheduler {
       const query::WorkloadManager& manager, TimeMs now,
       const CacheProbe& cached) override;
 
-  /// The metric ranking is stateless, so the preview is exact: it returns
-  /// precisely what PickBucket would pick for the same queues/clock/cache.
-  std::optional<storage::BucketIndex> PeekNextBucket(
+  /// The metric ranking is stateless, so the preview is exact at depth 1:
+  /// element 0 is precisely what PickBucket would pick for the same
+  /// queues/clock/cache. Deeper elements re-rank the remaining buckets
+  /// with the earlier predictions excluded (their queues assumed drained),
+  /// re-normalizing U_t and age maxima over the survivors each round.
+  std::vector<storage::BucketIndex> PeekNextBuckets(
       const query::WorkloadManager& manager, TimeMs now,
-      const CacheProbe& cached) const override;
+      const CacheProbe& cached, size_t k) const override;
 
   /// Adjusts alpha at runtime (used by the adaptive controller).
   void set_alpha(double alpha) { config_.alpha = alpha; }
@@ -61,10 +64,13 @@ class LifeRaftScheduler : public Scheduler {
                       const query::WorkloadManager& manager,
                       TimeMs now) const;
 
-  /// The shared const ranking behind PickBucket and PeekNextBucket.
+  /// The shared const ranking behind PickBucket and PeekNextBuckets:
+  /// the best-scoring active bucket not in `excluded` (ascending, may be
+  /// empty), with maxima normalized over the non-excluded candidates.
   std::optional<storage::BucketIndex> RankBest(
       const query::WorkloadManager& manager, TimeMs now,
-      const CacheProbe& cached) const;
+      const CacheProbe& cached,
+      const std::vector<storage::BucketIndex>& excluded) const;
 
   const storage::BucketStore* store_;
   storage::DiskModel model_;

@@ -1,5 +1,7 @@
 #include "sched/round_robin.h"
 
+#include <algorithm>
+
 namespace liferaft::sched {
 
 std::optional<storage::BucketIndex> RoundRobinScheduler::PickBucket(
@@ -11,14 +13,22 @@ std::optional<storage::BucketIndex> RoundRobinScheduler::PickBucket(
   return pick;
 }
 
-std::optional<storage::BucketIndex> RoundRobinScheduler::PeekNextBucket(
+std::vector<storage::BucketIndex> RoundRobinScheduler::PeekNextBuckets(
     const query::WorkloadManager& manager, TimeMs /*now*/,
-    const CacheProbe& /*cached*/) const {
+    const CacheProbe& /*cached*/, size_t k) const {
   const auto& active = manager.active_buckets();
-  if (active.empty()) return std::nullopt;
+  std::vector<storage::BucketIndex> predicted;
+  if (active.empty() || k == 0) return predicted;
+  // Walk the cyclic sweep from the cursor; a full lap visits every active
+  // bucket exactly once, so the prediction depth caps there.
+  predicted.reserve(std::min(k, active.size()));
   auto it = active.lower_bound(cursor_);
   if (it == active.end()) it = active.begin();  // wrap the sweep
-  return *it;
+  while (predicted.size() < std::min(k, active.size())) {
+    predicted.push_back(*it);
+    if (++it == active.end()) it = active.begin();
+  }
+  return predicted;
 }
 
 }  // namespace liferaft::sched

@@ -24,11 +24,11 @@ class RoundRobinScheduler : public Scheduler {
       const query::WorkloadManager& manager, TimeMs now,
       const CacheProbe& cached) override;
 
-  /// The sweep position the next PickBucket would serve, without advancing
-  /// the cursor.
-  std::optional<storage::BucketIndex> PeekNextBucket(
+  /// The next `k` sweep positions from the cursor (wrapping, distinct),
+  /// without advancing the cursor: element 0 is the next PickBucket.
+  std::vector<storage::BucketIndex> PeekNextBuckets(
       const query::WorkloadManager& manager, TimeMs now,
-      const CacheProbe& cached) const override;
+      const CacheProbe& cached, size_t k) const override;
 
  private:
   /// Next sweep position: the first active bucket >= cursor_ is served.

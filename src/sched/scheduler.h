@@ -10,6 +10,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "query/workload.h"
 #include "storage/bucket.h"
@@ -35,19 +36,38 @@ class Scheduler {
       const query::WorkloadManager& manager, TimeMs now,
       const CacheProbe& cached) = 0;
 
-  /// Previews the bucket PickBucket would choose for the given state
-  /// WITHOUT mutating any scheduler state — the prediction hook of the
-  /// cross-batch prefetch pipeline (the engine peeks at the likely next
-  /// bucket while the current batch computes and starts its fetch early).
+  /// Previews the next `k` picks for the given state WITHOUT mutating any
+  /// scheduler state — the prediction hook of the depth-K cross-batch
+  /// prefetch pipeline (exec::BatchPipeline peeks at the likely next
+  /// buckets while the current batch computes and starts their fetches
+  /// early). The contract:
+  ///  * element 0, when present, is exactly what PickBucket would return
+  ///    for the same queues/clock/cache;
+  ///  * element j predicts the pick after the first j predictions have
+  ///    been served (their queues drained), so elements are distinct and
+  ///    ordered by predicted service order;
+  ///  * fewer than `k` elements are returned when fewer buckets have
+  ///    pending work.
   /// The default declines to predict, which disables pipelining for the
   /// policy.
-  virtual std::optional<storage::BucketIndex> PeekNextBucket(
+  virtual std::vector<storage::BucketIndex> PeekNextBuckets(
       const query::WorkloadManager& manager, TimeMs now,
-      const CacheProbe& cached) const {
+      const CacheProbe& cached, size_t k) const {
     (void)manager;
     (void)now;
     (void)cached;
-    return std::nullopt;
+    (void)k;
+    return {};
+  }
+
+  /// Depth-1 convenience wrapper over PeekNextBuckets.
+  std::optional<storage::BucketIndex> PeekNextBucket(
+      const query::WorkloadManager& manager, TimeMs now,
+      const CacheProbe& cached) const {
+    std::vector<storage::BucketIndex> peek =
+        PeekNextBuckets(manager, now, cached, 1);
+    if (peek.empty()) return std::nullopt;
+    return peek.front();
   }
 };
 

@@ -39,100 +39,25 @@ void SimEngine::RecordCompletion(query::QueryId id, TimeMs completion) {
 }
 
 Result<bool> SimEngine::SharedStep() {
-  auto cached = [this](storage::BucketIndex b) {
-    if (cache_->Contains(b)) return true;
-    // A prefetched bucket whose modeled fetch has completed is as good as
-    // resident for the metric's phi term — which also steers the scheduler
-    // toward the bucket we bet on, making the prediction self-fulfilling.
-    return prefetch_.has_value() && prefetch_->bucket == b &&
-           prefetch_->done_ms <= clock_;
-  };
-  std::optional<storage::BucketIndex> pick =
-      scheduler_->PickBucket(*manager_, clock_, cached);
-  if (!pick.has_value()) return false;
-
-  std::vector<query::QueryId> completed;
-  uint64_t restored_bytes = 0;
-  std::vector<query::WorkloadEntry> entries =
-      manager_->TakeBucket(*pick, &completed, &restored_bytes);
-
-  // Claim the outstanding prefetch if this batch is the one it bet on: the
-  // bucket becomes resident (the evaluator sees a hit, charging no T_b)
-  // and the clock is charged only the un-hidden tail of the fetch. A
-  // prefetch for a different bucket stays pinned until its bucket is
-  // scheduled. Claim only when the evaluator will actually scan: under
-  // prefer_scan_when_cached=false a small batch probes the index and would
-  // never touch the fetched bucket (ChooseStrategy ignores residency in
-  // that config, so the evaluator reaches the same strategy whether or not
-  // we claim here).
-  TimeMs fetch_residual = 0.0;
-  if (prefetch_.has_value() && prefetch_->bucket == *pick) {
-    uint64_t queue_objects = 0;
-    for (const query::WorkloadEntry& e : entries) {
-      queue_objects += e.objects.size();
-    }
-    const bool will_scan =
-        catalog_->index() == nullptr ||
-        join::ChooseStrategy(config_.hybrid, queue_objects,
-                             cache_->store().BucketObjectCount(*pick),
-                             /*bucket_cached=*/true) ==
-            join::JoinStrategy::kScan;
-    if (will_scan) {
-      fetch_residual = std::max(0.0, prefetch_->done_ms - clock_);
-      prefetch_hidden_ms_ += prefetch_->fetch_ms - fetch_residual;
-      LIFERAFT_RETURN_IF_ERROR(cache_->Get(*pick).status());
-      prefetch_.reset();
-    }
-  }
-
-  // Predict the next pick and start its physical read now, overlapping the
-  // join below. The modeled fetch starts only when this batch's disk phase
-  // ends (one disk arm): done = now + residual + io + T_b(next).
-  bool has_predicted = false;
-  storage::BucketIndex predicted = 0;
-  if (config_.enable_prefetch && !prefetch_.has_value()) {
-    std::optional<storage::BucketIndex> peek =
-        scheduler_->PeekNextBucket(*manager_, clock_, cached);
-    if (peek.has_value() && !cache_->Contains(*peek)) {
-      (void)cache_->PrefetchAsync(*peek);
-      has_predicted = true;
-      predicted = *peek;
-    }
-  }
-
-  LIFERAFT_ASSIGN_OR_RETURN(
-      join::BatchResult result,
-      evaluator_->EvaluateBucket(*pick, entries, config_.collect_matches));
-  // Fetching spilled workload segments back from disk is sequential I/O —
-  // part of this batch's disk phase, so it also delays a prefetch's start.
-  const TimeMs restore_ms =
-      restored_bytes > 0 ? model_.SequentialReadMs(restored_bytes) : 0.0;
-  if (has_predicted) {
-    uint64_t bytes =
-        static_cast<uint64_t>(cache_->store().BucketObjectCount(predicted)) *
-        storage::Bucket::kBytesPerObject;
-    TimeMs fetch_ms = model_.SequentialReadMs(bytes);
-    prefetch_ = PendingPrefetch{
-        predicted,
-        clock_ + fetch_residual + result.io_ms + restore_ms + fetch_ms,
-        fetch_ms};
-  } else if (prefetch_.has_value() && prefetch_->done_ms > clock_) {
-    // A still-in-flight prefetch (mispredicted earlier, or unclaimed by an
-    // index-only batch) yields the single disk arm to this batch's
-    // foreground I/O: its completion slips by however long the arm was
-    // busy here, so fetches never overlap fetches on the virtual clock.
-    prefetch_->done_ms += fetch_residual + result.io_ms + restore_ms;
-  }
-  clock_ += fetch_residual + result.cost_ms;
-  clock_ += restore_ms;
-  total_matches_ += result.counters.output_matches;
+  // The pick→prefetch→claim→evaluate→account loop lives in
+  // exec::BatchPipeline (shared with core::LifeRaft); the engine only owns
+  // the clock and the per-query outcome bookkeeping.
+  LIFERAFT_ASSIGN_OR_RETURN(std::optional<exec::StepOutcome> outcome,
+                            pipeline_->Step(clock_));
+  if (!outcome.has_value()) return false;
+  // Two additions, exactly as the pre-exec loop advanced the clock, so
+  // makespans stay bit-identical across the refactor (FP addition is not
+  // associative).
+  clock_ += outcome->fetch_residual_ms + outcome->cost_ms;
+  clock_ += outcome->restore_ms;
+  total_matches_ += outcome->counters.output_matches;
   if (config_.collect_matches) {
-    for (const query::Match& m : result.matches) {
+    for (const query::Match& m : outcome->matches) {
       auto it = pending_outcomes_.find(m.query_id);
       if (it != pending_outcomes_.end()) ++it->second.matches;
     }
   }
-  for (query::QueryId id : completed) RecordCompletion(id, clock_);
+  for (query::QueryId id : outcome->completed) RecordCompletion(id, clock_);
   return true;
 }
 
@@ -223,13 +148,13 @@ Result<RunMetrics> SimEngine::Run(
   outcomes_.clear();
   outcomes_.reserve(queries.size());
   total_matches_ = 0;
-  prefetch_.reset();
-  prefetch_hidden_ms_ = 0.0;
+  pipeline_.reset();
   catalog_->store()->ResetStats();
   // The old cache (and any in-flight prefetch it still holds) is drained
   // here, while the pool it may reference is still alive.
   cache_ = std::make_unique<storage::BucketCache>(
-      catalog_->store(), std::max<size_t>(config_.cache_capacity, 1));
+      catalog_->store(), std::max<size_t>(config_.cache_capacity, 1),
+      config_.cache_shards);
   evaluator_ = std::make_unique<join::JoinEvaluator>(
       cache_.get(), catalog_->index(), model_, config_.hybrid);
   if (config_.num_threads > 1) {
@@ -247,6 +172,15 @@ Result<RunMetrics> SimEngine::Run(
       config_.mode == ExecutionMode::kShared) {
     LIFERAFT_RETURN_IF_ERROR(manager_->EnableSpill(
         config_.spill_path, config_.workload_memory_budget));
+  }
+  if (config_.mode == ExecutionMode::kShared) {
+    exec::PipelineConfig pipeline_config;
+    pipeline_config.enable_prefetch = config_.enable_prefetch;
+    pipeline_config.prefetch_depth = config_.prefetch_depth;
+    pipeline_config.cancel_on_mispredict = config_.cancel_on_mispredict;
+    pipeline_config.collect_matches = config_.collect_matches;
+    pipeline_ = std::make_unique<exec::BatchPipeline>(
+        scheduler_.get(), manager_.get(), evaluator_.get(), pipeline_config);
   }
 
   // Adaptive alpha plumbing (shared mode with a LifeRaft scheduler only).
@@ -318,10 +252,9 @@ Result<RunMetrics> SimEngine::Run(
       clock_ = std::max(clock_, arrivals_ms[next_arrival]);
     }
   }
-  if (prefetch_.has_value()) {
-    // A final prediction whose bucket was never scheduled again.
-    cache_->CancelPrefetch(prefetch_->bucket);
-    prefetch_.reset();
+  if (pipeline_ != nullptr) {
+    // Final predictions whose buckets were never scheduled again.
+    pipeline_->CancelOutstandingPrefetches();
   }
 
   // Assemble metrics.
@@ -349,7 +282,8 @@ Result<RunMetrics> SimEngine::Run(
   metrics.peak_pending_objects = peak_pending_objects_;
   metrics.spill = manager_ != nullptr ? manager_->spill_stats()
                                       : query::SpillStats{};
-  metrics.prefetch_hidden_ms = prefetch_hidden_ms_;
+  metrics.prefetch_hidden_ms =
+      pipeline_ != nullptr ? pipeline_->prefetch_hidden_ms() : 0.0;
   return metrics;
 }
 

@@ -23,6 +23,7 @@
 #include <optional>
 #include <vector>
 
+#include "exec/batch_pipeline.h"
 #include "join/evaluator.h"
 #include "query/workload.h"
 #include "sched/adaptive.h"
@@ -44,6 +45,12 @@ struct EngineConfig {
   ExecutionMode mode = ExecutionMode::kShared;
   /// Bucket cache capacity in buckets (paper: 20). Shared mode only.
   size_t cache_capacity = 20;
+  /// Lock/LRU shards of the bucket cache (clamped to [1, cache_capacity]).
+  /// 1 reproduces the unsharded cache exactly; higher values split the
+  /// capacity into independent LRU domains, which changes eviction
+  /// patterns (and with them modeled timings) deterministically while
+  /// join results stay exact.
+  size_t cache_shards = 1;
   join::HybridConfig hybrid;
   storage::DiskModelParams disk;
   /// Keep match tuples (disable for scheduling-scale experiments).
@@ -64,8 +71,15 @@ struct EngineConfig {
   /// max(0, fetch_done - now). Changes the schedule (prefetched buckets
   /// count as resident for phi), so results are NOT comparable to
   /// non-prefetch runs; they are still deterministic and independent of
-  /// num_threads.
+  /// num_threads. The loop itself lives in exec::BatchPipeline, shared
+  /// with core::LifeRaft.
   bool enable_prefetch = false;
+  /// Predicted picks kept in flight when prefetching (>= 1); depth 1 is
+  /// the PR 2 single-bet pipeline.
+  size_t prefetch_depth = 1;
+  /// Drop prefetch bets that leave the scheduler's prediction window
+  /// instead of holding them pinned until claimed.
+  bool cancel_on_mispredict = false;
   /// Optional workload-adaptive alpha: when set and the scheduler is a
   /// LifeRaftScheduler, the engine re-selects alpha from the observed
   /// arrival rate after every admission.
@@ -119,8 +133,9 @@ class SimEngine {
     TimeMs arrival_ms;
   };
 
-  // One scheduling step in shared mode; advances the clock. Returns false
-  // if there was no pending work.
+  // One scheduling step in shared mode (delegates to the unified
+  // exec::BatchPipeline); advances the clock. Returns false if there was
+  // no pending work.
   Result<bool> SharedStep();
   // Serves the FIFO-front query in a per-query mode (serial path), or the
   // whole ready window in parallel. `admit_ready` admits every arrival at
@@ -140,20 +155,11 @@ class SimEngine {
   std::unique_ptr<storage::BucketCache> cache_;
   std::unique_ptr<join::JoinEvaluator> evaluator_;
   std::unique_ptr<query::WorkloadManager> manager_;
+  /// The unified pick→prefetch→claim→evaluate→account loop (shared mode).
+  std::unique_ptr<exec::BatchPipeline> pipeline_;
   std::vector<AdmittedQuery> fifo_;  // per-query modes; front = next
   size_t fifo_head_ = 0;
   TimeMs clock_ = 0.0;
-
-  /// The one outstanding cross-batch prefetch (shared mode, opt-in).
-  struct PendingPrefetch {
-    storage::BucketIndex bucket;
-    /// Virtual time at which the modeled fetch completes.
-    TimeMs done_ms;
-    /// Full modeled fetch cost (T_b of the bucket), for hidden-time stats.
-    TimeMs fetch_ms;
-  };
-  std::optional<PendingPrefetch> prefetch_;
-  TimeMs prefetch_hidden_ms_ = 0.0;
 
   std::unordered_map<query::QueryId, QueryOutcome> pending_outcomes_;
   std::vector<QueryOutcome> outcomes_;

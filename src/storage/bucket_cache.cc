@@ -15,114 +15,172 @@ BucketCache::BucketFuture ReadyFuture(Result<std::shared_ptr<const Bucket>> r) {
 
 }  // namespace
 
-BucketCache::BucketCache(BucketStore* store, size_t capacity)
+BucketCache::BucketCache(BucketStore* store, size_t capacity,
+                         size_t num_shards)
     : store_(store), capacity_(capacity) {
   assert(store_ != nullptr);
   assert(capacity_ > 0);
+  // Every shard must hold at least one bucket, so the shard count is capped
+  // by the capacity; the remainder goes to the low shards.
+  num_shards = std::max<size_t>(1, std::min(num_shards, capacity_));
+  shards_.reserve(num_shards);
+  const size_t base = capacity_ / num_shards;
+  const size_t rem = capacity_ % num_shards;
+  for (size_t i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = base + (i < rem ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
 }
 
 BucketCache::~BucketCache() {
   // Drain workers still reading on our behalf; they reference the store.
-  for (auto& [index, inflight] : inflight_) {
-    if (inflight.future.valid()) inflight.future.wait();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto& [index, inflight] : shard->inflight) {
+      if (inflight.future.valid()) inflight.future.wait();
+    }
   }
 }
 
 bool BucketCache::Contains(BucketIndex index) const {
-  return map_.find(index) != map_.end();
+  const Shard& shard = ShardFor(index);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.map.find(index) != shard.map.end();
 }
 
 bool BucketCache::IsPrefetchPending(BucketIndex index) const {
-  return inflight_.find(index) != inflight_.end();
+  const Shard& shard = ShardFor(index);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.inflight.find(index) != shard.inflight.end();
 }
 
 bool BucketCache::IsPinned(BucketIndex index) const {
-  auto it = map_.find(index);
-  return it != map_.end() && it->second->pins > 0;
+  const Shard& shard = ShardFor(index);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(index);
+  return it != shard.map.end() && it->second->pins > 0;
 }
 
-void BucketCache::Touch(std::list<Entry>::iterator it) {
-  lru_.splice(lru_.begin(), lru_, it);
+size_t BucketCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->map.size();
+  }
+  return total;
 }
 
-void BucketCache::EvictOverCapacity() {
-  while (map_.size() > capacity_) {
+CacheStats BucketCache::stats() const {
+  CacheStats snapshot;
+  snapshot.hits = stats_.hits.load(std::memory_order_relaxed);
+  snapshot.misses = stats_.misses.load(std::memory_order_relaxed);
+  snapshot.evictions = stats_.evictions.load(std::memory_order_relaxed);
+  snapshot.prefetch_issued =
+      stats_.prefetch_issued.load(std::memory_order_relaxed);
+  snapshot.prefetch_claims =
+      stats_.prefetch_claims.load(std::memory_order_relaxed);
+  snapshot.prefetch_cancels =
+      stats_.prefetch_cancels.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void BucketCache::ResetStats() {
+  stats_.hits.store(0, std::memory_order_relaxed);
+  stats_.misses.store(0, std::memory_order_relaxed);
+  stats_.evictions.store(0, std::memory_order_relaxed);
+  stats_.prefetch_issued.store(0, std::memory_order_relaxed);
+  stats_.prefetch_claims.store(0, std::memory_order_relaxed);
+  stats_.prefetch_cancels.store(0, std::memory_order_relaxed);
+}
+
+void BucketCache::Touch(Shard& shard, std::list<Entry>::iterator it) {
+  shard.lru.splice(shard.lru.begin(), shard.lru, it);
+}
+
+void BucketCache::EvictOverCapacity(Shard& shard) {
+  while (shard.map.size() > shard.capacity) {
     // Evict the least-recently-used unpinned entry; if every entry is
     // pinned, stay over capacity until a pin is released.
-    auto victim = lru_.end();
-    for (auto it = std::prev(lru_.end());; --it) {
+    auto victim = shard.lru.end();
+    for (auto it = std::prev(shard.lru.end());; --it) {
       if (it->pins == 0) {
         victim = it;
         break;
       }
-      if (it == lru_.begin()) break;
+      if (it == shard.lru.begin()) break;
     }
-    if (victim == lru_.end()) return;
-    ++stats_.evictions;
-    map_.erase(victim->index);
-    lru_.erase(victim);
+    if (victim == shard.lru.end()) return;
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    shard.map.erase(victim->index);
+    shard.lru.erase(victim);
   }
 }
 
-void BucketCache::InsertMru(BucketIndex index,
+void BucketCache::InsertMru(Shard& shard, BucketIndex index,
                             std::shared_ptr<const Bucket> bucket) {
-  lru_.push_front(Entry{index, std::move(bucket), /*pins=*/0});
-  map_[index] = lru_.begin();
-  EvictOverCapacity();
+  shard.lru.push_front(Entry{index, std::move(bucket), /*pins=*/0});
+  shard.map[index] = shard.lru.begin();
+  EvictOverCapacity(shard);
 }
 
 Result<std::shared_ptr<const Bucket>> BucketCache::Get(BucketIndex index) {
-  auto pending = inflight_.find(index);
-  if (pending != inflight_.end()) {
+  Shard& shard = ShardFor(index);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto pending = shard.inflight.find(index);
+  if (pending != shard.inflight.end()) {
     if (pending->second.pinned_resident) {
       // The prefetch merely pinned a bucket that was already here.
-      auto it = map_.find(index);
-      assert(it != map_.end() && it->second->pins > 0);
+      auto it = shard.map.find(index);
+      assert(it != shard.map.end() && it->second->pins > 0);
       --it->second->pins;
-      ++stats_.hits;
-      ++stats_.prefetch_claims;
-      Touch(it->second);
-      inflight_.erase(pending);
+      stats_.hits.fetch_add(1, std::memory_order_relaxed);
+      stats_.prefetch_claims.fetch_add(1, std::memory_order_relaxed);
+      Touch(shard, it->second);
+      shard.inflight.erase(pending);
       std::shared_ptr<const Bucket> bucket = it->second->bucket;
-      EvictOverCapacity();  // the unpin may re-enable a deferred eviction
+      EvictOverCapacity(shard);  // the unpin may re-enable an eviction
       return bucket;
     }
     Result<std::shared_ptr<const Bucket>> fetched = pending->second.future.get();
-    inflight_.erase(pending);
+    shard.inflight.erase(pending);
     if (fetched.ok()) {
-      ++stats_.misses;  // the bucket did come from the store
-      ++stats_.prefetch_claims;
+      // The bucket did come from the store.
+      stats_.misses.fetch_add(1, std::memory_order_relaxed);
+      stats_.prefetch_claims.fetch_add(1, std::memory_order_relaxed);
       store_->RecordPrefetchedRead(**fetched);
-      InsertMru(index, *fetched);
+      InsertMru(shard, index, *fetched);
       return *fetched;
     }
     if (fetched.status().code() != StatusCode::kUnimplemented) {
       return fetched.status();
     }
     // Store without prefetch-read support: degrade to a plain miss below.
-    ++stats_.prefetch_cancels;
+    stats_.prefetch_cancels.fetch_add(1, std::memory_order_relaxed);
   }
-  auto it = map_.find(index);
-  if (it != map_.end()) {
-    ++stats_.hits;
-    Touch(it->second);
+  auto it = shard.map.find(index);
+  if (it != shard.map.end()) {
+    stats_.hits.fetch_add(1, std::memory_order_relaxed);
+    Touch(shard, it->second);
     return it->second->bucket;
   }
-  ++stats_.misses;
+  stats_.misses.fetch_add(1, std::memory_order_relaxed);
   LIFERAFT_ASSIGN_OR_RETURN(std::shared_ptr<const Bucket> bucket,
                             store_->ReadBucket(index));
-  InsertMru(index, bucket);
+  InsertMru(shard, index, bucket);
   return bucket;
 }
 
 BucketCache::BucketFuture BucketCache::PrefetchAsync(BucketIndex index) {
-  auto pending = inflight_.find(index);
-  if (pending != inflight_.end()) return pending->second.future;
-  ++stats_.prefetch_issued;
+  Shard& shard = ShardFor(index);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto pending = shard.inflight.find(index);
+  if (pending != shard.inflight.end()) return pending->second.future;
+  stats_.prefetch_issued.fetch_add(1, std::memory_order_relaxed);
 
   Inflight inflight;
-  auto resident = map_.find(index);
-  if (resident != map_.end()) {
+  auto resident = shard.map.find(index);
+  if (resident != shard.map.end()) {
     ++resident->second->pins;
     inflight.pinned_resident = true;
     inflight.future = ReadyFuture(resident->second->bucket);
@@ -142,33 +200,38 @@ BucketCache::BucketFuture BucketCache::PrefetchAsync(BucketIndex index) {
     inflight.future = ReadyFuture(store_->ReadBucketForPrefetch(index));
   }
   BucketFuture future = inflight.future;
-  inflight_.emplace(index, std::move(inflight));
+  shard.inflight.emplace(index, std::move(inflight));
   return future;
 }
 
 void BucketCache::CancelPrefetch(BucketIndex index) {
-  auto pending = inflight_.find(index);
-  if (pending == inflight_.end()) return;
+  Shard& shard = ShardFor(index);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto pending = shard.inflight.find(index);
+  if (pending == shard.inflight.end()) return;
   if (pending->second.pinned_resident) {
-    auto it = map_.find(index);
-    assert(it != map_.end() && it->second->pins > 0);
+    auto it = shard.map.find(index);
+    assert(it != shard.map.end() && it->second->pins > 0);
     --it->second->pins;
-    EvictOverCapacity();  // the unpin may re-enable a deferred eviction
+    EvictOverCapacity(shard);  // the unpin may re-enable an eviction
   } else if (pending->second.future.valid()) {
     pending->second.future.wait();  // discard the fetched bucket unrecorded
   }
-  ++stats_.prefetch_cancels;
-  inflight_.erase(pending);
+  stats_.prefetch_cancels.fetch_add(1, std::memory_order_relaxed);
+  shard.inflight.erase(pending);
 }
 
 void BucketCache::Clear() {
-  for (auto& [index, inflight] : inflight_) {
-    if (inflight.future.valid()) inflight.future.wait();
-    ++stats_.prefetch_cancels;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (auto& [index, inflight] : shard->inflight) {
+      if (inflight.future.valid()) inflight.future.wait();
+      stats_.prefetch_cancels.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard->inflight.clear();
+    shard->lru.clear();
+    shard->map.clear();
   }
-  inflight_.clear();
-  lru_.clear();
-  map_.clear();
 }
 
 }  // namespace liferaft::storage

@@ -1,8 +1,17 @@
-// LRU bucket cache (paper §4): LifeRaft manages bucket caching itself,
-// independently of the database server's buffer pool. The cache's residency
-// predicate is the phi(i) term of the workload throughput metric — cached
-// buckets cost no T_b — so the greedy scheduler naturally gravitates toward
-// cached, contentious buckets.
+// Sharded LRU bucket cache (paper §4): LifeRaft manages bucket caching
+// itself, independently of the database server's buffer pool. The cache's
+// residency predicate is the phi(i) term of the workload throughput metric
+// — cached buckets cost no T_b — so the greedy scheduler naturally
+// gravitates toward cached, contentious buckets.
+//
+// Sharding: the bucket id hashes (modulo) to one of N shards, each with its
+// own mutex, LRU list, and pin/prefetch state, so worker threads touching
+// different shards never contend on a single cache-wide lock. Capacity is
+// split as evenly as possible across shards; at num_shards == 1 every code
+// path, eviction decision, and counter is byte-identical to the pre-shard
+// cache. Hit/miss/eviction/prefetch statistics are aggregated atomically
+// across shards (std::atomic counters), so stats() reports identical
+// numbers at num_shards == 1 as the unsharded cache did.
 //
 // Prefetch contract (cross-batch pipelining): PrefetchAsync(i) starts
 // pulling bucket i toward the cache ahead of need, overlapping the
@@ -15,17 +24,32 @@
 //    eviction.
 // Stats for a prefetched read are recorded at claim time on the owner
 // thread (never from the worker), so I/O accounting stays deterministic.
-// The cache itself remains single-owner: every method below must be called
-// from the owner thread; only the raw store read runs on the worker pool.
+//
+// Threading: every method is safe to call from any thread — per-bucket
+// operations serialize on the bucket's shard mutex only, and the store
+// contract (bucket_store.h) requires ReadBucket to tolerate the resulting
+// cross-shard concurrency. The virtual-clock drivers still funnel all
+// modeled accounting through one owner thread (see exec::BatchPipeline);
+// the shard locks exist for the physical layer: concurrent prefetch
+// issue/claim/cancel across shards and the stress paths exercised in
+// tests/test_storage.cc. Known limitation: a Get miss (store read) and a
+// CancelPrefetch of an in-flight read block while HOLDING the shard lock,
+// stalling that shard for the duration — fine for MemStore's pointer
+// handouts, but a store with real read latency serializes its shard; a
+// placeholder-entry protocol that drops the lock across the read is the
+// upgrade path if that ever bites.
 
 #ifndef LIFERAFT_STORAGE_BUCKET_CACHE_H_
 #define LIFERAFT_STORAGE_BUCKET_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <future>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "storage/bucket.h"
 #include "storage/bucket_store.h"
@@ -56,16 +80,19 @@ struct CacheStats {
   }
 };
 
-/// Fixed-capacity LRU cache of immutable buckets, layered over a
+/// Fixed-capacity sharded LRU cache of immutable buckets, layered over a
 /// BucketStore.
 class BucketCache {
  public:
   /// The eventual outcome of a prefetch: the bucket, or the store's error.
   using BucketFuture = std::shared_future<Result<std::shared_ptr<const Bucket>>>;
 
-  /// @param store    backing store (not owned; must outlive the cache)
-  /// @param capacity maximum number of resident buckets (paper: 20)
-  BucketCache(BucketStore* store, size_t capacity);
+  /// @param store      backing store (not owned; must outlive the cache)
+  /// @param capacity   maximum number of resident buckets (paper: 20)
+  /// @param num_shards lock/LRU shards; clamped to [1, capacity] so every
+  ///                   shard holds at least one bucket. 1 reproduces the
+  ///                   unsharded cache exactly.
+  BucketCache(BucketStore* store, size_t capacity, size_t num_shards = 1);
 
   /// Drains any in-flight prefetches before destruction.
   ~BucketCache();
@@ -122,9 +149,12 @@ class BucketCache {
   BucketStore* mutable_store() { return store_; }
 
   size_t capacity() const { return capacity_; }
-  size_t size() const { return map_.size(); }
-  const CacheStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = CacheStats{}; }
+  size_t num_shards() const { return shards_.size(); }
+  /// Resident buckets across all shards.
+  size_t size() const;
+  /// Atomic cross-shard snapshot of the aggregated counters.
+  CacheStats stats() const;
+  void ResetStats();
 
  private:
   struct Entry {
@@ -141,20 +171,47 @@ class BucketCache {
     bool pinned_resident = false;
   };
 
-  void Touch(std::list<Entry>::iterator it);
-  /// Inserts `bucket` most-recently-used and evicts down to capacity,
-  /// skipping pinned entries (so residency may transiently exceed
-  /// capacity while pins are held).
-  void InsertMru(BucketIndex index, std::shared_ptr<const Bucket> bucket);
-  void EvictOverCapacity();
+  /// One lock domain: an independent LRU over its slice of the capacity.
+  struct Shard {
+    mutable std::mutex mu;
+    size_t capacity = 0;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<BucketIndex, std::list<Entry>::iterator> map;
+    std::unordered_map<BucketIndex, Inflight> inflight;
+  };
+
+  /// Monotonically aggregated counters, incremented under shard locks but
+  /// readable lock-free from any thread.
+  struct AtomicStats {
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> prefetch_issued{0};
+    std::atomic<uint64_t> prefetch_claims{0};
+    std::atomic<uint64_t> prefetch_cancels{0};
+  };
+
+  Shard& ShardFor(BucketIndex index) {
+    return *shards_[static_cast<size_t>(index) % shards_.size()];
+  }
+  const Shard& ShardFor(BucketIndex index) const {
+    return *shards_[static_cast<size_t>(index) % shards_.size()];
+  }
+
+  // Shard-local helpers; the shard's mutex must be held.
+  static void Touch(Shard& shard, std::list<Entry>::iterator it);
+  /// Inserts `bucket` most-recently-used and evicts down to the shard's
+  /// capacity, skipping pinned entries (so residency may transiently
+  /// exceed capacity while pins are held).
+  void InsertMru(Shard& shard, BucketIndex index,
+                 std::shared_ptr<const Bucket> bucket);
+  void EvictOverCapacity(Shard& shard);
 
   BucketStore* store_;
   size_t capacity_;
   util::ThreadPool* pool_ = nullptr;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<BucketIndex, std::list<Entry>::iterator> map_;
-  std::unordered_map<BucketIndex, Inflight> inflight_;
-  CacheStats stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  AtomicStats stats_;
 };
 
 }  // namespace liferaft::storage

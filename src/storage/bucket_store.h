@@ -6,6 +6,7 @@
 #ifndef LIFERAFT_STORAGE_BUCKET_STORE_H_
 #define LIFERAFT_STORAGE_BUCKET_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 
@@ -24,12 +25,18 @@ struct StoreStats {
 
 /// Abstract bucket-granularity storage engine.
 ///
-/// Threading contract: the store has a single owner thread — LifeRaft's
-/// scheduler loop — and ReadBucket/stats are owner-thread-only. The one
-/// concession to the prefetch pipeline is ReadBucketForPrefetch, which a
-/// cache worker may call concurrently with owner-thread reads; it never
-/// touches the stats counters (the owner records the I/O at claim time via
-/// RecordPrefetchedRead, keeping accounting deterministic).
+/// Threading contract: the virtual-clock drivers funnel all reads through
+/// one owner thread — LifeRaft's scheduler loop. Beyond that, the sharded
+/// BucketCache may invoke ReadBucket from whichever thread holds the
+/// bucket's shard lock, so an implementation MUST make ReadBucket safe to
+/// call concurrently with itself and with ReadBucketForPrefetch (MemStore
+/// serves immutable materialized buckets; FileStore serializes page I/O
+/// on an internal mutex). ReadBucketForPrefetch exists for the prefetch
+/// pipeline: a cache worker calls it concurrently with other reads, and
+/// it never touches the stats counters — the owner records the I/O at
+/// claim time via RecordPrefetchedRead, keeping accounting deterministic.
+/// The counters themselves are atomic, so stats recording is never the
+/// race.
 class BucketStore {
  public:
   virtual ~BucketStore() = default;
@@ -73,25 +80,41 @@ class BucketStore {
   }
 
   /// Aggregate form of RecordPrefetchedRead for batched deferred
-  /// accounting (owner thread).
+  /// accounting.
   void RecordPrefetchedReads(uint64_t reads, uint64_t bytes,
                              uint64_t objects) {
-    stats_.bucket_reads += reads;
-    stats_.bytes_read += bytes;
-    stats_.objects_read += objects;
+    stats_.bucket_reads.fetch_add(reads, std::memory_order_relaxed);
+    stats_.bytes_read.fetch_add(bytes, std::memory_order_relaxed);
+    stats_.objects_read.fetch_add(objects, std::memory_order_relaxed);
   }
 
-  const StoreStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = StoreStats{}; }
+  /// Atomic snapshot of the read counters.
+  StoreStats stats() const {
+    StoreStats snapshot;
+    snapshot.bucket_reads = stats_.bucket_reads.load(std::memory_order_relaxed);
+    snapshot.bytes_read = stats_.bytes_read.load(std::memory_order_relaxed);
+    snapshot.objects_read =
+        stats_.objects_read.load(std::memory_order_relaxed);
+    return snapshot;
+  }
+  void ResetStats() {
+    stats_.bucket_reads.store(0, std::memory_order_relaxed);
+    stats_.bytes_read.store(0, std::memory_order_relaxed);
+    stats_.objects_read.store(0, std::memory_order_relaxed);
+  }
 
  protected:
   void RecordRead(const Bucket& b) {
-    ++stats_.bucket_reads;
-    stats_.bytes_read += b.EstimatedBytes();
-    stats_.objects_read += b.size();
+    RecordPrefetchedReads(1, b.EstimatedBytes(), b.size());
   }
 
-  StoreStats stats_;
+  /// Atomic mirror of StoreStats (see the threading contract above).
+  struct AtomicStoreStats {
+    std::atomic<uint64_t> bucket_reads{0};
+    std::atomic<uint64_t> bytes_read{0};
+    std::atomic<uint64_t> objects_read{0};
+  };
+  AtomicStoreStats stats_;
 };
 
 }  // namespace liferaft::storage

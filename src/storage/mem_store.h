@@ -23,9 +23,12 @@ class MemStore : public BucketStore {
   size_t BucketObjectCount(BucketIndex index) const override {
     return index < buckets_.size() ? buckets_[index]->size() : 0;
   }
+  /// Materialized buckets are immutable shared pointers and the stats
+  /// counters are atomic, so ReadBucket is safe from any thread with no
+  /// locking at all — the sharded-cache stress tests lean on this.
   Result<std::shared_ptr<const Bucket>> ReadBucket(BucketIndex index) override;
-  /// Materialized buckets are immutable shared pointers, so a prefetch
-  /// worker can hand one out with no synchronization at all.
+  /// A prefetch worker hands a materialized bucket out with no
+  /// synchronization at all.
   bool SupportsConcurrentReads() const override { return true; }
   Result<std::shared_ptr<const Bucket>> ReadBucketForPrefetch(
       BucketIndex index) override;

@@ -1,18 +1,42 @@
 #include "util/thread_pool.h"
 
 #include <cassert>
+#include <stdexcept>
 
 namespace liferaft::util {
 
 ThreadPool::ThreadPool(size_t num_threads) : num_threads_(num_threads) {
   assert(num_threads >= 1);
+  queues_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      throw std::runtime_error("ThreadPool::Submit after Shutdown");
+    }
+    const size_t target =
+        next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+    {
+      std::lock_guard<std::mutex> queue_lock(queues_[target]->mu);
+      queues_[target]->tasks.push_back(std::move(task));
+    }
+    // Publish under mu_ so a worker checking the sleep predicate cannot
+    // miss the wakeup.
+    pending_.fetch_add(1, std::memory_order_release);
+  }
+  wake_.notify_one();
+}
 
 void ThreadPool::Shutdown() {
   {
@@ -27,15 +51,42 @@ void ThreadPool::Shutdown() {
   workers_.clear();
 }
 
-void ThreadPool::WorkerLoop() {
-  for (;;) {
+std::function<void()> ThreadPool::TakeTask(size_t self) {
+  const size_t n = queues_.size();
+  for (size_t i = 0; i < n; ++i) {
+    const size_t idx = (self + i) % n;
+    WorkerQueue& q = *queues_[idx];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (q.tasks.empty()) continue;
     std::function<void()> task;
-    {
+    if (idx == self) {
+      // Own queue: FIFO from the front.
+      task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+    } else {
+      // Sibling queue: steal from the tail, leaving the victim its
+      // cache-warm front work.
+      task = std::move(q.tasks.back());
+      q.tasks.pop_back();
+    }
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+    return task;
+  }
+  return {};
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
+  for (;;) {
+    std::function<void()> task = TakeTask(self);
+    if (!task) {
       std::unique_lock<std::mutex> lock(mu_);
-      wake_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutdown_ and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      wake_.wait(lock, [this] {
+        return shutdown_ || pending_.load(std::memory_order_acquire) > 0;
+      });
+      if (shutdown_ && pending_.load(std::memory_order_acquire) == 0) {
+        return;  // drained
+      }
+      continue;  // retake with the lock released
     }
     task();  // packaged_task captures exceptions into the future
   }

@@ -1,21 +1,29 @@
-// A fixed-size worker pool for data-parallel batch work.
+// A fixed-size worker pool for data-parallel batch work, with work
+// stealing.
 //
-// The pool owns `num_threads` workers that drain a FIFO task queue. Submit()
-// returns a std::future for the task's result; exceptions thrown by a task
-// are captured and rethrown from future::get(), so callers see worker
-// failures exactly as they would see their own. Destruction (or an explicit
-// Shutdown()) finishes every task already queued, then joins the workers —
-// no task is ever dropped.
+// The pool owns `num_threads` workers, each with its own task deque;
+// Submit() distributes tasks round-robin across the deques. A worker pops
+// from the FRONT of its own deque (FIFO for its assigned work) and, when
+// that runs dry, steals from the TAIL of a sibling's deque — so a skewed
+// distribution (one worker handed a few huge entry slices, the rest
+// finishing early) no longer stalls the batch on a single queue while idle
+// workers spin down. Stealing from the tail keeps the victim's cache-warm
+// front work with the victim.
 //
-// The pool is deliberately dumb: no work stealing, no priorities. LifeRaft
-// uses it to fan a bucket batch's independent workload-entry joins across
-// cores and then merges the slices back in submission order, which keeps
-// parallel results byte-identical to the single-threaded path (see
-// join::JoinEvaluator).
+// Submit() returns a std::future for the task's result; exceptions thrown
+// by a task are captured and rethrown from future::get(), so callers see
+// worker failures exactly as they would see their own. Destruction (or an
+// explicit Shutdown()) finishes every task already queued, then joins the
+// workers — no task is ever dropped.
+//
+// Determinism note: which thread runs a task (and in what interleaving)
+// is unspecified; LifeRaft's callers merge results in submission order
+// (see join::JoinEvaluator), so stealing never changes any result.
 
 #ifndef LIFERAFT_UTIL_THREAD_POOL_H_
 #define LIFERAFT_UTIL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -35,7 +43,7 @@ class ThreadPool {
   /// Starts `num_threads` workers immediately. `num_threads` must be >= 1.
   explicit ThreadPool(size_t num_threads);
 
-  /// Drains the queue and joins all workers.
+  /// Drains the queues and joins all workers.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -53,14 +61,7 @@ class ThreadPool {
           return std::invoke(std::move(fn), std::move(args)...);
         });
     std::future<R> result = task->get_future();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (shutdown_) {
-        throw std::runtime_error("ThreadPool::Submit after Shutdown");
-      }
-      queue_.emplace_back([task]() mutable { (*task)(); });
-    }
-    wake_.notify_one();
+    Enqueue([task]() mutable { (*task)(); });
     return result;
   }
 
@@ -72,13 +73,30 @@ class ThreadPool {
   size_t num_threads() const { return num_threads_; }
 
  private:
-  void WorkerLoop();
+  /// One worker's deque: own pops come off the front, thieves take the
+  /// tail.
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
 
-  std::mutex mu_;
+  void Enqueue(std::function<void()> task);
+  /// Pops the front of queue `self`, or steals the tail of the first
+  /// non-empty sibling (scanning from self+1, wrapping). Returns an empty
+  /// function when every queue is dry.
+  std::function<void()> TakeTask(size_t self);
+  void WorkerLoop(size_t self);
+
+  std::mutex mu_;  // guards shutdown_ and sleep/wake coordination
   std::condition_variable wake_;
-  std::deque<std::function<void()>> queue_;
   bool shutdown_ = false;
+  /// Tasks enqueued but not yet taken, across all queues. Guarded by mu_
+  /// for the sleep predicate, atomic so TakeTask can decrement under its
+  /// queue lock only.
+  std::atomic<size_t> pending_{0};
+  std::atomic<size_t> next_queue_{0};  // round-robin submission cursor
   size_t num_threads_ = 0;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,264 @@
+// Tests for exec::BatchPipeline, the unified pick→prefetch→claim→
+// evaluate→account loop shared by core::LifeRaft and sim::SimEngine's
+// shared mode. The key contracts:
+//  * join results (per-query match counts) are invariant across the whole
+//    feature matrix — shard counts, prefetch depths, cancel heuristics —
+//    because scheduling only reorders work, never changes matching;
+//  * depth-K prefetching hides at least as much fetch latency as the
+//    depth-1 (PR 2) pipeline on a saturated drain;
+//  * the core facade, now routed through the same pipeline, gets working
+//    prefetch for free.
+
+#include "exec/batch_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/liferaft.h"
+#include "join/evaluator.h"
+#include "query/workload.h"
+#include "sched/liferaft_scheduler.h"
+#include "sim/engine.h"
+#include "storage/bucket_cache.h"
+#include "storage/catalog.h"
+#include "workload/catalog_gen.h"
+#include "workload/trace_gen.h"
+
+namespace liferaft::exec {
+namespace {
+
+TEST(BatchPipelineTest, EmptyManagerYieldsNoStep) {
+  workload::CatalogGenConfig gen;
+  gen.num_objects = 2000;
+  gen.seed = 7;
+  auto objects = workload::GenerateCatalog(gen);
+  ASSERT_TRUE(objects.ok());
+  storage::CatalogOptions options;
+  options.objects_per_bucket = 500;
+  auto catalog = storage::Catalog::Build(std::move(*objects), options);
+  ASSERT_TRUE(catalog.ok());
+
+  storage::BucketCache cache((*catalog)->store(), 4);
+  join::JoinEvaluator evaluator(&cache, (*catalog)->index(),
+                                storage::DiskModel{}, join::HybridConfig{});
+  query::WorkloadManager manager((*catalog)->num_buckets());
+  sched::LifeRaftScheduler scheduler((*catalog)->store(),
+                                     storage::DiskModel{},
+                                     sched::LifeRaftConfig{});
+  PipelineConfig config;
+  config.enable_prefetch = true;
+  BatchPipeline pipeline(&scheduler, &manager, &evaluator, config);
+
+  auto step = pipeline.Step(0.0);
+  ASSERT_TRUE(step.ok()) << step.status().ToString();
+  EXPECT_FALSE(step->has_value());
+  EXPECT_EQ(pipeline.pending_prefetches(), 0u);
+  EXPECT_EQ(pipeline.prefetch_hidden_ms(), 0.0);
+  pipeline.CancelOutstandingPrefetches();  // no-op on an idle pipeline
+}
+
+// ------------------------------------------------ engine-level fixtures --
+
+class PipelineDrainFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::CatalogGenConfig gen;
+    gen.num_objects = 30'000;
+    gen.seed = 21;
+    auto objects = workload::GenerateCatalog(gen);
+    ASSERT_TRUE(objects.ok());
+    catalog_objects_ = std::move(*objects);
+
+    storage::CatalogOptions options;
+    options.objects_per_bucket = 1000;  // 30 buckets
+    auto catalog = storage::Catalog::Build(catalog_objects_, options);
+    ASSERT_TRUE(catalog.ok());
+    catalog_ = std::move(*catalog);
+
+    workload::TraceConfig tc;
+    tc.num_queries = 40;
+    tc.max_objects_per_query = 1200;
+    tc.match_radius_arcsec = 900.0;
+    tc.seed = 23;
+    auto trace = workload::GenerateTrace(tc);
+    ASSERT_TRUE(trace.ok());
+    trace_ = std::move(*trace);
+    arrivals_.assign(trace_.size(), 0.0);  // saturated drain
+  }
+
+  std::unique_ptr<sched::Scheduler> LifeRaftSched() {
+    sched::LifeRaftConfig config;
+    config.alpha = 0.25;
+    return std::make_unique<sched::LifeRaftScheduler>(
+        catalog_->store(), storage::DiskModel{}, config);
+  }
+
+  /// Runs a shared-mode drain and returns (metrics, per-query matches).
+  sim::RunMetrics Drain(const sim::EngineConfig& config,
+                        std::map<query::QueryId, uint64_t>* matches) {
+    sim::SimEngine engine(catalog_.get(), LifeRaftSched(), config);
+    auto metrics = engine.Run(trace_, arrivals_);
+    EXPECT_TRUE(metrics.ok()) << metrics.status().ToString();
+    if (matches != nullptr) {
+      matches->clear();
+      for (const sim::QueryOutcome& o : engine.outcomes()) {
+        (*matches)[o.id] = o.matches;
+      }
+    }
+    return metrics.ok() ? *metrics : sim::RunMetrics{};
+  }
+
+  std::vector<storage::CatalogObject> catalog_objects_;
+  std::unique_ptr<storage::Catalog> catalog_;
+  std::vector<query::CrossMatchQuery> trace_;
+  std::vector<TimeMs> arrivals_;
+};
+
+// The acceptance matrix: a drain at num_shards ∈ {1,4} × prefetch_depth ∈
+// {1,2} must produce byte-identical join results (every query's match
+// count) to the serial non-prefetch baseline, while each prefetch config
+// hides fetch latency and shrinks the saturated-drain makespan.
+TEST_F(PipelineDrainFixture, ResultsInvariantAcrossShardsAndDepth) {
+  sim::EngineConfig base_config;
+  base_config.collect_matches = true;
+  std::map<query::QueryId, uint64_t> base_matches;
+  sim::RunMetrics base = Drain(base_config, &base_matches);
+  ASSERT_EQ(base.queries_completed, trace_.size());
+
+  for (size_t shards : {size_t{1}, size_t{4}}) {
+    for (size_t depth : {size_t{1}, size_t{2}}) {
+      SCOPED_TRACE("shards=" + std::to_string(shards) +
+                   " depth=" + std::to_string(depth));
+      sim::EngineConfig config = base_config;
+      config.cache_shards = shards;
+      config.enable_prefetch = true;
+      config.prefetch_depth = depth;
+      std::map<query::QueryId, uint64_t> matches;
+      sim::RunMetrics metrics = Drain(config, &matches);
+      EXPECT_EQ(metrics.queries_completed, base.queries_completed);
+      EXPECT_EQ(metrics.total_matches, base.total_matches);
+      EXPECT_EQ(matches, base_matches)
+          << "per-query match counts must not depend on sharding/prefetch";
+      EXPECT_GT(metrics.prefetch_hidden_ms, 0.0);
+      EXPECT_GT(metrics.cache.prefetch_claims, 0u);
+      EXPECT_LT(metrics.makespan_ms, base.makespan_ms)
+          << "hidden fetch latency must shrink a saturated drain";
+    }
+  }
+}
+
+// Identical config -> identical run, shard count included: the sharded
+// cache is deterministic, so two depth-2/4-shard drains agree on every
+// virtual quantity.
+TEST_F(PipelineDrainFixture, ShardedPrefetchDrainIsDeterministic) {
+  sim::EngineConfig config;
+  config.collect_matches = true;
+  config.cache_shards = 4;
+  config.enable_prefetch = true;
+  config.prefetch_depth = 2;
+  std::map<query::QueryId, uint64_t> a_matches;
+  std::map<query::QueryId, uint64_t> b_matches;
+  sim::RunMetrics a = Drain(config, &a_matches);
+  sim::RunMetrics b = Drain(config, &b_matches);
+  EXPECT_EQ(a.makespan_ms, b.makespan_ms);
+  EXPECT_EQ(a.prefetch_hidden_ms, b.prefetch_hidden_ms);
+  EXPECT_EQ(a.cache.hits, b.cache.hits);
+  EXPECT_EQ(a.cache.misses, b.cache.misses);
+  EXPECT_EQ(a.cache.evictions, b.cache.evictions);
+  EXPECT_EQ(a_matches, b_matches);
+}
+
+// Depth 2 keeps two bets in flight, so on a saturated drain it must hide
+// at least as much fetch latency as the single-bet PR 2 pipeline.
+TEST_F(PipelineDrainFixture, DepthTwoHidesAtLeastDepthOne) {
+  sim::EngineConfig config;
+  config.enable_prefetch = true;
+  config.prefetch_depth = 1;
+  sim::RunMetrics d1 = Drain(config, nullptr);
+  config.prefetch_depth = 2;
+  sim::RunMetrics d2 = Drain(config, nullptr);
+  EXPECT_GT(d1.prefetch_hidden_ms, 0.0);
+  EXPECT_GE(d2.prefetch_hidden_ms, d1.prefetch_hidden_ms);
+  EXPECT_LE(d2.makespan_ms, d1.makespan_ms);
+}
+
+// Cancel-on-mispredict drops stale bets instead of pinning them; results
+// stay exact and the prefetch ledger reconciles (every issue is claimed or
+// canceled by the end of the run).
+TEST_F(PipelineDrainFixture, CancelOnMispredictReconcilesAndStaysExact) {
+  sim::EngineConfig base_config;
+  base_config.collect_matches = true;
+  std::map<query::QueryId, uint64_t> base_matches;
+  sim::RunMetrics base = Drain(base_config, &base_matches);
+
+  sim::EngineConfig config = base_config;
+  config.enable_prefetch = true;
+  config.prefetch_depth = 2;
+  config.cancel_on_mispredict = true;
+  std::map<query::QueryId, uint64_t> matches;
+  sim::RunMetrics metrics = Drain(config, &matches);
+  EXPECT_EQ(metrics.queries_completed, base.queries_completed);
+  EXPECT_EQ(matches, base_matches);
+  EXPECT_EQ(metrics.cache.prefetch_issued,
+            metrics.cache.prefetch_claims + metrics.cache.prefetch_cancels);
+}
+
+// The core facade routes ProcessNextBatch through the same pipeline, so
+// enabling prefetch there now works: same completions and matches, fetch
+// latency hidden, a faster virtual drain.
+TEST_F(PipelineDrainFixture, CoreFacadePrefetchHidesFetchLatency) {
+  core::LifeRaftOptions options;
+  options.objects_per_bucket = 1000;
+  auto plain = core::LifeRaft::Create(catalog_objects_, options);
+  ASSERT_TRUE(plain.ok());
+
+  options.enable_prefetch = true;
+  options.prefetch_depth = 2;
+  options.cache_shards = 4;
+  auto pipelined = core::LifeRaft::Create(catalog_objects_, options);
+  ASSERT_TRUE(pipelined.ok());
+
+  for (const auto& q : trace_) {
+    ASSERT_TRUE((*plain)->Submit(q).ok());
+    ASSERT_TRUE((*pipelined)->Submit(q).ok());
+  }
+
+  uint64_t plain_matches = 0;
+  uint64_t pipelined_matches = 0;
+  auto count_plain = [&](const core::BatchOutcome& b) {
+    plain_matches += b.matches.size();
+  };
+  auto count_pipelined = [&](const core::BatchOutcome& b) {
+    pipelined_matches += b.matches.size();
+  };
+  auto plain_done = (*plain)->Drain(count_plain);
+  ASSERT_TRUE(plain_done.ok());
+  auto pipelined_done = (*pipelined)->Drain(count_pipelined);
+  ASSERT_TRUE(pipelined_done.ok());
+
+  // Same queries served, same join output; the schedule (and with it the
+  // completion order) may differ — that is the prefetch steering.
+  ASSERT_EQ(plain_done->size(), pipelined_done->size());
+  std::set<query::QueryId> plain_ids;
+  std::set<query::QueryId> pipelined_ids;
+  for (const auto& c : *plain_done) plain_ids.insert(c.id);
+  for (const auto& c : *pipelined_done) pipelined_ids.insert(c.id);
+  EXPECT_EQ(plain_ids, pipelined_ids);
+  EXPECT_EQ(plain_matches, pipelined_matches);
+
+  EXPECT_GT((*pipelined)->prefetch_hidden_ms(), 0.0);
+  EXPECT_GT((*pipelined)->cache_stats().prefetch_claims, 0u);
+  EXPECT_LT((*pipelined)->now_ms(), (*plain)->now_ms())
+      << "hidden fetch latency must shrink the virtual drain";
+  // The drain canceled any leftover bets: the ledger reconciles.
+  storage::CacheStats stats = (*pipelined)->cache_stats();
+  EXPECT_EQ(stats.prefetch_issued,
+            stats.prefetch_claims + stats.prefetch_cancels);
+}
+
+}  // namespace
+}  // namespace liferaft::exec

@@ -238,6 +238,104 @@ TEST_F(SchedulerFixture, SetAlphaTakesEffect) {
   EXPECT_EQ(*sched.PickBucket(*manager_, now, NothingCached()), 9u);
 }
 
+// ------------------------------------------------ PeekNextBuckets depth --
+
+TEST_F(SchedulerFixture, LifeRaftPeekHeadMatchesPick) {
+  Place(1, 3, 50, 0.0);
+  Place(2, 7, 400, 0.0);
+  Place(3, 11, 120, 0.0);
+  auto sched = MakeScheduler(0.25);
+  for (size_t k = 1; k <= 4; ++k) {
+    auto peek = sched.PeekNextBuckets(*manager_, 1000.0, NothingCached(), k);
+    ASSERT_FALSE(peek.empty());
+    EXPECT_EQ(peek.front(),
+              *sched.PickBucket(*manager_, 1000.0, NothingCached()))
+        << "element 0 must be exactly the pick at k=" << k;
+  }
+}
+
+TEST_F(SchedulerFixture, LifeRaftPeekDepthKPredictsServiceOrder) {
+  // Greedy (alpha=0) ranks purely by contention, so the predicted order is
+  // descending queue size; serving each prediction then re-picking must
+  // reproduce the same sequence.
+  Place(1, 3, 50, 0.0);
+  Place(2, 7, 400, 0.0);
+  Place(3, 11, 120, 0.0);
+  auto sched = MakeScheduler(0.0);
+  auto peek = sched.PeekNextBuckets(*manager_, 1000.0, NothingCached(), 5);
+  ASSERT_EQ(peek.size(), 3u) << "depth caps at the active bucket count";
+  EXPECT_EQ(peek[0], 7u);
+  EXPECT_EQ(peek[1], 11u);
+  EXPECT_EQ(peek[2], 3u);
+  // Replay: every prediction comes true when the queues drain in turn.
+  for (storage::BucketIndex predicted : peek) {
+    auto pick = sched.PickBucket(*manager_, 1000.0, NothingCached());
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(*pick, predicted);
+    manager_->TakeBucket(*pick, nullptr);
+  }
+}
+
+TEST_F(SchedulerFixture, LifeRaftPeekElementsAreDistinct) {
+  for (BucketIndex b = 0; b < 8; ++b) {
+    Place(100 + b, b, 10 * (b + 1), static_cast<TimeMs>(b) * 50.0);
+  }
+  auto sched = MakeScheduler(0.5);
+  auto peek = sched.PeekNextBuckets(*manager_, 5000.0, NothingCached(), 8);
+  ASSERT_EQ(peek.size(), 8u);
+  std::set<BucketIndex> distinct(peek.begin(), peek.end());
+  EXPECT_EQ(distinct.size(), peek.size());
+}
+
+TEST_F(SchedulerFixture, RoundRobinPeekDepthKFollowsSweep) {
+  Place(1, 5, 10, 0.0);
+  Place(2, 12, 10, 0.0);
+  Place(3, 2, 10, 0.0);
+  RoundRobinScheduler rr;
+  auto peek = rr.PeekNextBuckets(*manager_, 0.0, NothingCached(), 3);
+  ASSERT_EQ(peek.size(), 3u);
+  EXPECT_EQ(peek[0], 2u);
+  EXPECT_EQ(peek[1], 5u);
+  EXPECT_EQ(peek[2], 12u);
+  // Depth beyond the active set stops after one full lap.
+  EXPECT_EQ(rr.PeekNextBuckets(*manager_, 0.0, NothingCached(), 9).size(),
+            3u);
+  // After serving one bucket the sweep advances; the preview follows the
+  // cursor and wraps.
+  auto p1 = rr.PickBucket(*manager_, 0.0, NothingCached());
+  ASSERT_TRUE(p1.has_value());
+  manager_->TakeBucket(*p1, nullptr);
+  peek = rr.PeekNextBuckets(*manager_, 0.0, NothingCached(), 2);
+  ASSERT_EQ(peek.size(), 2u);
+  EXPECT_EQ(peek[0], 5u);
+  EXPECT_EQ(peek[1], 12u);
+}
+
+TEST_F(SchedulerFixture, LeastSharablePeekDepthKOrdersBySize) {
+  Place(1, 3, 50, 0.0);
+  Place(2, 7, 400, 0.0);
+  Place(3, 11, 5, 0.0);
+  Place(4, 13, 5, 0.0);  // same size as 11: tie breaks to lower index
+  LeastSharableScheduler ls;
+  auto peek = ls.PeekNextBuckets(*manager_, 0.0, NothingCached(), 4);
+  ASSERT_EQ(peek.size(), 4u);
+  EXPECT_EQ(peek[0], 11u);
+  EXPECT_EQ(peek[1], 13u);
+  EXPECT_EQ(peek[2], 3u);
+  EXPECT_EQ(peek[3], 7u);
+  EXPECT_EQ(peek.front(), *ls.PickBucket(*manager_, 0.0, NothingCached()));
+}
+
+TEST_F(SchedulerFixture, PeekOnEmptyManagerIsEmpty) {
+  auto sched = MakeScheduler(0.25);
+  RoundRobinScheduler rr;
+  LeastSharableScheduler ls;
+  EXPECT_TRUE(
+      sched.PeekNextBuckets(*manager_, 0.0, NothingCached(), 3).empty());
+  EXPECT_TRUE(rr.PeekNextBuckets(*manager_, 0.0, NothingCached(), 3).empty());
+  EXPECT_TRUE(ls.PeekNextBuckets(*manager_, 0.0, NothingCached(), 3).empty());
+}
+
 // ------------------------------------------------------------------- QoS --
 
 TEST(QosTest, WeightShape) {

@@ -88,6 +88,46 @@ TEST(ThreadPoolTest, SubmitAfterShutdownThrows) {
   EXPECT_THROW(pool.Submit([] {}), std::runtime_error);
 }
 
+TEST(ThreadPoolTest, IdleWorkerStealsFromBlockedSiblingQueue) {
+  // Submit distributes round-robin across per-worker queues, so with two
+  // workers half of these tasks land in the queue of the worker that is
+  // parked on the gate task. They can only complete while the gate is
+  // held if the idle sibling steals them — this deadline-free wait is the
+  // stealing assertion.
+  ThreadPool pool(2);
+  std::promise<void> gate;
+  std::shared_future<void> opened = gate.get_future().share();
+  auto blocked = pool.Submit([opened] { opened.wait(); });
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> rest;
+  for (int i = 0; i < 16; ++i) {
+    rest.push_back(pool.Submit([&ran] { ++ran; }));
+  }
+  for (auto& f : rest) f.get();  // completes only if stealing works
+  EXPECT_EQ(ran.load(), 16);
+  gate.set_value();
+  blocked.get();
+}
+
+TEST(ThreadPoolTest, SkewedTaskSizesAllComplete) {
+  // A few huge tasks next to many tiny ones (the skewed-entry-slice shape
+  // work stealing exists for): everything runs exactly once, results keyed
+  // by submission slot.
+  ThreadPool pool(4);
+  std::vector<std::future<uint64_t>> futures;
+  for (int i = 0; i < 64; ++i) {
+    const uint64_t spin = (i % 16 == 0) ? 200'000 : 100;
+    futures.push_back(pool.Submit([spin] {
+      uint64_t acc = 1;
+      for (uint64_t k = 0; k < spin; ++k) acc = acc * 6364136223846793005ull + 1;
+      return acc;
+    }));
+  }
+  for (auto& f : futures) {
+    EXPECT_NE(f.get(), 0u);
+  }
+}
+
 // ------------------------------------------------- Parallel determinism --
 
 bool SameMatch(const query::Match& a, const query::Match& b) {

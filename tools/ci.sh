@@ -2,8 +2,29 @@
 # CI entry point: runs the docs check plus the tier-1 verify command
 # verbatim (ROADMAP.md). Mirrors .github/workflows/ci.yml for hosts
 # without Actions.
+#
+#   tools/ci.sh          # docs check + tier-1 build & test
+#   tools/ci.sh --tsan   # ThreadSanitizer smoke: builds test_thread_pool
+#                        # and test_storage with -fsanitize=thread and runs
+#                        # them (work stealing + sharded-cache races)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--tsan" ]; then
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -g" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
+    -DLIFERAFT_BUILD_BENCH=OFF \
+    -DLIFERAFT_BUILD_EXAMPLES=OFF \
+    -DLIFERAFT_BUILD_TOOLS=OFF
+  cmake --build build-tsan -j --target test_thread_pool test_storage
+  # halt_on_error so a reported race fails the job, not just the log.
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/test_thread_pool
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/test_storage
+  echo "tsan smoke OK"
+  exit 0
+fi
 
 tools/check_docs.sh
 
