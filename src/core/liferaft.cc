@@ -25,6 +25,7 @@ Result<std::unique_ptr<LifeRaft>> LifeRaft::Create(
   system->evaluator_ = std::make_unique<join::JoinEvaluator>(
       system->cache_.get(), system->catalog_->index(),
       storage::DiskModel(options.disk), options.hybrid);
+  system->evaluator_->set_use_match_arenas(options.match_arenas);
   if (options.num_threads > 1) {
     system->pool_ = std::make_unique<util::ThreadPool>(options.num_threads);
     system->evaluator_->set_thread_pool(system->pool_.get());
@@ -45,6 +46,9 @@ Result<std::unique_ptr<LifeRaft>> LifeRaft::Create(
   pipeline_config.enable_prefetch = options.enable_prefetch;
   pipeline_config.prefetch_depth = options.prefetch_depth;
   pipeline_config.cancel_on_mispredict = options.cancel_on_mispredict;
+  pipeline_config.adaptive_prefetch = options.adaptive_prefetch;
+  pipeline_config.controller.max_depth = options.max_prefetch_depth;
+  pipeline_config.prefetch_aware_eviction = options.prefetch_aware_eviction;
   system->pipeline_ = std::make_unique<exec::BatchPipeline>(
       system->scheduler_.get(), system->manager_.get(),
       system->evaluator_.get(), pipeline_config);

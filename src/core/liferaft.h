@@ -96,6 +96,11 @@ class LifeRaft {
   storage::CacheStats cache_stats() const { return cache_->stats(); }
   /// Virtual fetch time hidden behind compute by claimed prefetches.
   TimeMs prefetch_hidden_ms() const { return pipeline_->prefetch_hidden_ms(); }
+  /// The adaptive prefetch controller (null unless
+  /// LifeRaftOptions::adaptive_prefetch).
+  const exec::PrefetchController* prefetch_controller() const {
+    return pipeline_->controller();
+  }
   const join::EvaluatorStats& evaluator_stats() const {
     return evaluator_->stats();
   }

@@ -27,6 +27,14 @@ Status LifeRaftOptions::Validate() const {
   if (prefetch_depth == 0) {
     return Status::InvalidArgument("prefetch_depth must be >= 1");
   }
+  if (max_prefetch_depth == 0) {
+    return Status::InvalidArgument("max_prefetch_depth must be >= 1");
+  }
+  if (adaptive_prefetch && prefetch_depth > max_prefetch_depth) {
+    return Status::InvalidArgument(
+        "prefetch_depth (adaptive starting depth) must be <= "
+        "max_prefetch_depth");
+  }
   return disk.Validate();
 }
 

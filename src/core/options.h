@@ -48,11 +48,25 @@ struct LifeRaftOptions {
   /// clock. Deterministic; changes the schedule (prefetched buckets count
   /// as resident for phi), so enable it consistently across compared runs.
   bool enable_prefetch = false;
-  /// Predicted picks kept in flight when prefetching (>= 1).
+  /// Predicted picks kept in flight when prefetching (>= 1). Under
+  /// adaptive_prefetch this only seeds the controller's starting depth.
   size_t prefetch_depth = 1;
   /// Drop prefetch bets that leave the scheduler's prediction window
   /// instead of holding them pinned until claimed.
   bool cancel_on_mispredict = false;
+  /// Feedback-driven prefetch depth between 0 and max_prefetch_depth:
+  /// shrink on mispredict bursts, grow while hidden latency per claim
+  /// stays positive (exec::PrefetchController). Implies window-based bet
+  /// cancelation and enables the prefetch pipeline.
+  bool adaptive_prefetch = false;
+  /// Depth ceiling for the adaptive controller (>= 1).
+  size_t max_prefetch_depth = 4;
+  /// Demote buckets inside the scheduler's prediction window last on
+  /// eviction; off restores plain LRU.
+  bool prefetch_aware_eviction = true;
+  /// Per-worker bump arenas for parallel match collection (no effect at
+  /// num_threads == 1); results are byte-identical on or off.
+  bool match_arenas = true;
 
   Status Validate() const;
 };

@@ -22,6 +22,16 @@ BatchPipeline::BatchPipeline(sched::Scheduler* scheduler,
   assert(evaluator_ != nullptr);
   assert(cache_ != nullptr);
   if (config_.prefetch_depth == 0) config_.prefetch_depth = 1;
+  if (config_.adaptive_prefetch) {
+    // The fixed depth seeds the controller; from there the feedback loop
+    // owns it. The controller's documented precondition: the config must
+    // validate (the engine/facade layers sanitize theirs; direct
+    // PipelineConfig users get the same check here).
+    config_.controller.initial_depth = config_.prefetch_depth;
+    if (config_.controller.max_depth == 0) config_.controller.max_depth = 1;
+    assert(config_.controller.Validate().ok());
+    controller_ = std::make_unique<PrefetchController>(config_.controller);
+  }
 }
 
 sched::CacheProbe BatchPipeline::MakeCacheProbe(TimeMs now) const {
@@ -46,6 +56,16 @@ bool BatchPipeline::WillScan(storage::BucketIndex bucket,
 }
 
 Result<std::optional<StepOutcome>> BatchPipeline::Step(TimeMs now) {
+  // Adaptive mode reads the depth from the controller each step (0 = off
+  // for now) and always drops bets that leave the prediction window — the
+  // drop doubles as the controller's mispredict signal.
+  const bool prefetch_on =
+      config_.enable_prefetch || config_.adaptive_prefetch;
+  const size_t depth = current_prefetch_depth();
+  const bool drop_stale =
+      config_.cancel_on_mispredict || config_.adaptive_prefetch;
+  PrefetchFeedback feedback;
+
   const sched::CacheProbe cached = MakeCacheProbe(now);
   std::optional<storage::BucketIndex> pick =
       scheduler_->PickBucket(*manager_, now, cached);
@@ -83,7 +103,13 @@ Result<std::optional<StepOutcome>> BatchPipeline::Step(TimeMs now) {
     if (WillScan(*pick, queue_objects)) {
       outcome.fetch_residual_ms =
           std::min(std::max(0.0, bet->done_ms - now), bet->fetch_ms);
-      prefetch_hidden_ms_ += bet->fetch_ms - outcome.fetch_residual_ms;
+      const TimeMs hidden = bet->fetch_ms - outcome.fetch_residual_ms;
+      prefetch_hidden_ms_ += hidden;
+      ++feedback.claims;
+      feedback.hidden_ms += hidden;
+      // A capped claim (residual == full fetch) reused the physical read
+      // but hid nothing — the bet was queued too deep: stale by depth.
+      if (hidden <= 0.0) ++feedback.stale_claims;
       LIFERAFT_RETURN_IF_ERROR(cache_->Get(*pick).status());
       prefetches_.erase(bet);
     }
@@ -91,14 +117,28 @@ Result<std::optional<StepOutcome>> BatchPipeline::Step(TimeMs now) {
 
   // Predict the next picks and start their physical reads now, overlapping
   // the join below; their modeled fetch times are assigned after the
-  // evaluation, when this batch's disk phase is known.
+  // evaluation, when this batch's disk phase is known. The prediction is
+  // refreshed every live step — the window drives stale-bet cancelation
+  // and eviction protection, and a stale window would protect yesterday's
+  // predictions — and peeks deep enough to judge every outstanding bet
+  // (after a controller shrink more bets can be pending than the depth
+  // admits new ones, and a still-predicted bet must not read as a
+  // mispredict just because the window got smaller).
   std::vector<storage::BucketIndex> newly_predicted;
-  if (config_.enable_prefetch &&
-      (config_.cancel_on_mispredict ||
-       prefetches_.size() < config_.prefetch_depth)) {
-    std::vector<storage::BucketIndex> predicted = scheduler_->PeekNextBuckets(
-        *manager_, now, cached, config_.prefetch_depth);
-    if (config_.cancel_on_mispredict) {
+  if (prefetch_on) {
+    const size_t window_k = std::max(depth, prefetches_.size());
+    std::vector<storage::BucketIndex> predicted =
+        window_k > 0
+            ? scheduler_->PeekNextBuckets(*manager_, now, cached, window_k)
+            : std::vector<storage::BucketIndex>{};
+    // Publish the window so eviction demotes predicted buckets last (an
+    // empty window — depth scaled to 0 — restores plain LRU). Skipped
+    // when unchanged: the cache locks every shard to swap windows.
+    if (config_.prefetch_aware_eviction && predicted != last_window_) {
+      cache_->SetPredictionWindow(predicted);
+      last_window_ = predicted;
+    }
+    if (drop_stale) {
       // Drop bets that fell out of the prediction window: unpin so the
       // cache may evict them. The arm time already modeled for them is
       // not refunded — the bet was placed and lost.
@@ -107,14 +147,14 @@ Result<std::optional<StepOutcome>> BatchPipeline::Step(TimeMs now) {
             predicted.end()) {
           cache_->CancelPrefetch(it->bucket);
           it = prefetches_.erase(it);
+          ++feedback.cancels;
         } else {
           ++it;
         }
       }
     }
     for (storage::BucketIndex b : predicted) {
-      if (prefetches_.size() + newly_predicted.size() >=
-          config_.prefetch_depth) {
+      if (prefetches_.size() + newly_predicted.size() >= depth) {
         break;
       }
       if (cache_->Contains(b)) continue;
@@ -181,6 +221,9 @@ Result<std::optional<StepOutcome>> BatchPipeline::Step(TimeMs now) {
   outcome.cpu_ms = result.cpu_ms;
   outcome.counters = result.counters;
   outcome.matches = std::move(result.matches);
+  // Feed the controller exactly once per completed step — steps that
+  // resolved no bets still advance its probe/adjustment timers.
+  if (controller_ != nullptr) controller_->Observe(feedback);
   return std::optional<StepOutcome>(std::move(outcome));
 }
 
@@ -189,6 +232,11 @@ void BatchPipeline::CancelOutstandingPrefetches() {
     cache_->CancelPrefetch(p.bucket);
   }
   prefetches_.clear();
+  // End of run: no prediction is live, so stop protecting anything.
+  if (config_.prefetch_aware_eviction) {
+    cache_->SetPredictionWindow({});
+    last_window_.clear();
+  }
 }
 
 }  // namespace liferaft::exec

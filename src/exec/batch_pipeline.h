@@ -31,14 +31,32 @@
 // have fallen out of the scheduler's current prediction window, unpinning
 // their buckets so the cache can evict them (the arm time already modeled
 // for them is not refunded — the bet was placed and lost).
+//
+// Adaptive depth (PR 4): with `adaptive_prefetch` the fixed
+// `prefetch_depth` becomes only the starting point — a PrefetchController
+// tracks the stale-claim rate and the hidden-ms per claim (EWMAs over the
+// virtual clock) and walks the depth between 0 and `controller.max_depth`:
+// shrink on mispredict bursts, grow while deeper bets keep hiding latency.
+// Adaptive mode implies window-based cancelation (a shrunken window drops
+// the now-out-of-scope bets, which is both the drain mechanism and the
+// controller's mispredict signal). Still deterministic: the controller
+// sees only virtual quantities and step counts.
+//
+// Prefetch-aware eviction: each time the pipeline peeks the prediction
+// window it publishes it to the cache (BucketCache::SetPredictionWindow),
+// so eviction demotes predicted buckets last and the prefetcher stops
+// evicting what it is about to fetch or claim. Opt out with
+// `prefetch_aware_eviction = false` for A/B comparison.
 
 #ifndef LIFERAFT_EXEC_BATCH_PIPELINE_H_
 #define LIFERAFT_EXEC_BATCH_PIPELINE_H_
 
 #include <deque>
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "exec/prefetch_controller.h"
 #include "join/evaluator.h"
 #include "query/workload.h"
 #include "sched/scheduler.h"
@@ -59,6 +77,15 @@ struct PipelineConfig {
   /// Drop queued prefetches that leave the scheduler's prediction window
   /// instead of holding them pinned until claimed.
   bool cancel_on_mispredict = false;
+  /// Feedback-driven depth scaling between 0 and controller.max_depth
+  /// (see file comment); prefetch_depth seeds the controller's starting
+  /// depth. Implies window-based cancelation of stale bets.
+  bool adaptive_prefetch = false;
+  /// Tuning of the adaptive controller (used when adaptive_prefetch).
+  PrefetchControllerConfig controller;
+  /// Publish the prediction window to the cache so eviction demotes
+  /// predicted buckets last (BucketCache::SetPredictionWindow).
+  bool prefetch_aware_eviction = true;
   /// Materialize match tuples (disable for scheduling-scale experiments).
   bool collect_matches = true;
 };
@@ -115,6 +142,16 @@ class BatchPipeline {
   /// Virtual fetch time hidden behind compute by claimed prefetches.
   TimeMs prefetch_hidden_ms() const { return prefetch_hidden_ms_; }
 
+  /// The adaptive controller, or null when adaptive_prefetch is off.
+  const PrefetchController* controller() const { return controller_.get(); }
+
+  /// The depth the next Step will prefetch to (the controller's current
+  /// depth in adaptive mode, the fixed config depth otherwise).
+  size_t current_prefetch_depth() const {
+    return controller_ != nullptr ? controller_->depth()
+                                  : config_.prefetch_depth;
+  }
+
   /// Residency probe for the scheduler's phi term at time `now`: resident
   /// in cache, or bet on by a prefetch whose modeled fetch has completed —
   /// which steers the metric toward the bucket we bet on, making the
@@ -155,6 +192,11 @@ class BatchPipeline {
   /// Outstanding bets in predicted service order (= disk-arm order).
   std::deque<PendingPrefetch> prefetches_;
   TimeMs prefetch_hidden_ms_ = 0.0;
+  /// Last window published to the cache (skip republishing unchanged
+  /// windows — the cache locks every shard to swap them).
+  std::vector<storage::BucketIndex> last_window_;
+  /// Non-null iff config_.adaptive_prefetch.
+  std::unique_ptr<PrefetchController> controller_;
 };
 
 }  // namespace liferaft::exec

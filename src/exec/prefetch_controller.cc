@@ -1,0 +1,87 @@
+#include "exec/prefetch_controller.h"
+
+#include <algorithm>
+
+namespace liferaft::exec {
+
+Status PrefetchControllerConfig::Validate() const {
+  if (max_depth == 0) {
+    return Status::InvalidArgument("controller max_depth must be >= 1");
+  }
+  if (ewma_alpha <= 0.0 || ewma_alpha > 1.0) {
+    return Status::InvalidArgument("controller ewma_alpha must be in (0, 1]");
+  }
+  if (shrink_threshold < grow_threshold) {
+    return Status::InvalidArgument(
+        "controller shrink_threshold must be >= grow_threshold");
+  }
+  if (shrink_threshold > 1.0 || grow_threshold < 0.0) {
+    return Status::InvalidArgument(
+        "controller thresholds must be within [0, 1]");
+  }
+  if (adjust_period == 0 || probe_period == 0) {
+    return Status::InvalidArgument("controller periods must be >= 1");
+  }
+  return Status::OK();
+}
+
+PrefetchController::PrefetchController(PrefetchControllerConfig config)
+    : config_(config),
+      depth_(std::min(config.initial_depth, config.max_depth)) {}
+
+void PrefetchController::Observe(const PrefetchFeedback& feedback) {
+  ++stats_.steps;
+  ++steps_since_change_;
+
+  const uint32_t resolved = feedback.claims + feedback.cancels;
+  const uint32_t stale = feedback.stale_claims + feedback.cancels;
+  if (resolved > 0) {
+    const double rate = static_cast<double>(stale) / resolved;
+    stale_ewma_ = saw_resolution_
+                      ? (1.0 - config_.ewma_alpha) * stale_ewma_ +
+                            config_.ewma_alpha * rate
+                      : rate;
+    saw_resolution_ = true;
+  }
+  if (feedback.claims > 0) {
+    const double hidden_per_claim = feedback.hidden_ms / feedback.claims;
+    hidden_ewma_ = (1.0 - config_.ewma_alpha) * hidden_ewma_ +
+                   config_.ewma_alpha * hidden_per_claim;
+  }
+
+  if (depth_ == 0) {
+    // Fully off: nothing resolves, so no EWMA can recover on its own.
+    // Periodically probe at depth 1; a still-bad predictor sends the probe
+    // straight back down, a recovered one lets the grow rule climb.
+    if (steps_since_change_ >= config_.probe_period) {
+      depth_ = 1;
+      // A probe starts from a clean slate — the evidence that sent depth
+      // to 0 is from a regime the probe exists to re-test.
+      stale_ewma_ = 0.0;
+      saw_resolution_ = false;
+      steps_since_change_ = 0;
+      ++stats_.probes;
+    }
+    return;
+  }
+
+  // Burst rule: a step whose every resolved bet (2+) was stale is a
+  // mispredict burst — shrink immediately, bypassing the damping period.
+  const bool burst = resolved >= 2 && stale == resolved;
+  if (!burst && steps_since_change_ < config_.adjust_period) return;
+
+  if (saw_resolution_ && (burst || stale_ewma_ >= config_.shrink_threshold)) {
+    --depth_;
+    steps_since_change_ = 0;
+    ++stats_.shrinks;
+    return;
+  }
+  if (saw_resolution_ && depth_ < config_.max_depth &&
+      stale_ewma_ <= config_.grow_threshold && hidden_ewma_ > 0.0) {
+    ++depth_;
+    steps_since_change_ = 0;
+    ++stats_.grows;
+  }
+}
+
+}  // namespace liferaft::exec

@@ -4,8 +4,22 @@
 #include <future>
 #include <span>
 
+#include "util/arena.h"
+
 namespace liferaft::join {
 namespace {
+
+/// Match storage of one parallel slice: arena-backed when the executing
+/// worker's arena is enabled for this batch, shared-heap otherwise (same
+/// type either way, so the kernels instantiate once).
+using SliceMatches = util::ArenaVector<query::Match>;
+
+/// The allocator for a slice task running on the current thread: the
+/// worker's own arena when arenas are on, the heap off-pool or when off.
+util::ArenaAllocator<query::Match> SliceAllocator(bool use_arenas) {
+  return util::ArenaAllocator<query::Match>(
+      use_arenas ? util::ThreadPool::CurrentArena() : nullptr);
+}
 
 uint64_t CountObjects(const std::vector<query::WorkloadEntry>& batch) {
   uint64_t n = 0;
@@ -36,16 +50,20 @@ std::vector<std::span<const query::WorkloadEntry>> SliceBatch(
 /// Fans `kernel(slice, out)` across the pool, one task per contiguous
 /// slice of `batch`, and merges counters and matches in slice (= entry)
 /// order, which makes the result identical to one serial kernel call over
-/// the whole batch. Every task is drained before any exception propagates:
-/// tasks reference stack-owned inputs, so unwinding while a worker still
-/// runs would be a use-after-free.
+/// the whole batch. With `use_arenas` each slice appends its matches into
+/// the executing worker's bump arena (reclaimed by the caller's next
+/// ResetArenas); the in-order merge into `out` copies them to the shared
+/// heap, so nothing arena-backed escapes the call. Every task is drained
+/// before any exception propagates: tasks reference stack-owned inputs, so
+/// unwinding while a worker still runs would be a use-after-free.
 template <typename Counters, typename Kernel>
 Counters ParallelJoin(util::ThreadPool& pool,
                       const std::vector<query::WorkloadEntry>& batch,
-                      std::vector<query::Match>* out, const Kernel& kernel) {
+                      std::vector<query::Match>* out, bool use_arenas,
+                      const Kernel& kernel) {
   struct SliceResult {
     Counters counters{};
-    std::vector<query::Match> matches;
+    SliceMatches matches;
   };
   const bool collect = out != nullptr;
   std::vector<std::future<SliceResult>> futures;
@@ -53,8 +71,8 @@ Counters ParallelJoin(util::ThreadPool& pool,
     auto slices = SliceBatch(batch, pool.num_threads());
     futures.reserve(slices.size());
     for (auto slice : slices) {
-      futures.push_back(pool.Submit([&kernel, slice, collect] {
-        SliceResult r;
+      futures.push_back(pool.Submit([&kernel, slice, collect, use_arenas] {
+        SliceResult r{Counters{}, SliceMatches(SliceAllocator(use_arenas))};
         r.counters = kernel(slice, collect ? &r.matches : nullptr);
         return r;
       }));
@@ -105,6 +123,10 @@ Result<BatchResult> JoinEvaluator::EvaluateBucket(
           : ChooseStrategy(config_, queue_objects, bucket_objects, cached);
 
   const bool parallel = pool_ != nullptr && batch.size() > 1;
+  const bool arenas = use_match_arenas_ && parallel;
+  // Batch boundary: the previous batch's slice vectors are all merged and
+  // destroyed, so every worker arena can be reclaimed in one bump.
+  if (arenas) pool_->ResetArenas();
   std::vector<query::Match>* out = collect_matches ? &result.matches
                                                    : nullptr;
   if (result.strategy == JoinStrategy::kScan) {
@@ -119,10 +141,10 @@ Result<BatchResult> JoinEvaluator::EvaluateBucket(
     result.cost_ms = result.io_ms + result.cpu_ms;
     if (parallel) {
       result.counters = ParallelJoin<JoinCounters>(
-          *pool_, batch, out,
+          *pool_, batch, out, arenas,
           [b](std::span<const query::WorkloadEntry> slice,
-              std::vector<query::Match>* slice_out) {
-            return MergeCrossMatch(*b, slice, slice_out);
+              SliceMatches* slice_out) {
+            return MergeCrossMatchInto(*b, slice, slice_out);
           });
     } else {
       result.counters = MergeCrossMatch(*b, batch, out);
@@ -137,10 +159,10 @@ Result<BatchResult> JoinEvaluator::EvaluateBucket(
     IndexedJoinCounters counters;
     if (parallel) {
       counters = ParallelJoin<IndexedJoinCounters>(
-          *pool_, batch, out,
+          *pool_, batch, out, arenas,
           [this, range](std::span<const query::WorkloadEntry> slice,
-                        std::vector<query::Match>* slice_out) {
-            return IndexedCrossMatch(*index_, range, slice, slice_out);
+                        SliceMatches* slice_out) {
+            return IndexedCrossMatchInto(*index_, range, slice, slice_out);
           });
     } else {
       counters = IndexedCrossMatch(*index_, range, batch, out);
@@ -176,6 +198,9 @@ Result<std::vector<PerQueryResult>> JoinEvaluator::EvaluatePerQueryWindow(
   const bool worker_reads =
       mode == PerQueryMode::kNoShareScan && parallel &&
       cache_->mutable_store()->SupportsConcurrentReads();
+  const bool arenas = use_match_arenas_ && parallel;
+  // Window boundary: every prior task's arena-backed vectors are gone.
+  if (arenas) pool_->ResetArenas();
   std::vector<std::vector<std::shared_ptr<const storage::Bucket>>> buckets;
   if (mode == PerQueryMode::kNoShareScan && !worker_reads) {
     buckets.resize(window.size());
@@ -199,13 +224,15 @@ Result<std::vector<PerQueryResult>> JoinEvaluator::EvaluatePerQueryWindow(
   };
 
   // Deterministic in isolation: reads only this query's (immutable) inputs,
-  // so it computes the same result on any thread at any time.
-  auto evaluate_one = [this, mode, collect_matches, worker_reads, &window,
-                       &buckets](size_t i) -> Result<QueryEval> {
+  // so it computes the same result on any thread at any time. Materialized
+  // matches are per-query scratch (counts are the result), so they go to
+  // the executing worker's arena when arenas are on.
+  auto evaluate_one = [this, mode, collect_matches, worker_reads, arenas,
+                       &window, &buckets](size_t i) -> Result<QueryEval> {
     const PerQueryWork& work = window[i];
     QueryEval eval;
-    std::vector<query::Match> out;
-    std::vector<query::Match>* outp = collect_matches ? &out : nullptr;
+    SliceMatches out(SliceAllocator(arenas));
+    SliceMatches* outp = collect_matches ? &out : nullptr;
     size_t wi = 0;
     for (const query::BucketWorkload& w : *work.workloads) {
       query::WorkloadEntry entry;
@@ -227,7 +254,7 @@ Result<std::vector<PerQueryResult>> JoinEvaluator::EvaluatePerQueryWindow(
           b = buckets[i][wi];
         }
         ++wi;
-        JoinCounters counters = MergeCrossMatch(*b, batch, outp);
+        JoinCounters counters = MergeCrossMatchInto(*b, batch, outp);
         eval.result.matches += counters.output_matches;
         eval.result.cost_ms += model_.ScanJoinMs(b->EstimatedBytes(),
                                                  w.objects.size(),
@@ -241,7 +268,7 @@ Result<std::vector<PerQueryResult>> JoinEvaluator::EvaluatePerQueryWindow(
         const htm::IdRange range = cache_->store().bucket_map().RangeOf(
             w.bucket);
         IndexedJoinCounters counters =
-            IndexedCrossMatch(*index_, range, batch, outp);
+            IndexedCrossMatchInto(*index_, range, batch, outp);
         eval.result.matches += counters.join.output_matches;
         uint64_t ios_per_probe = static_cast<uint64_t>(index_->height()) + 2;
         eval.result.cost_ms +=

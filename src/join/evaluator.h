@@ -82,6 +82,15 @@ struct EvaluatorStats {
 /// modeled cost, counters, and match order are byte-identical to the
 /// single-threaded path, so scheduling and the virtual clock stay
 /// deterministic.
+///
+/// Match arenas: with a pool attached (and use_match_arenas on, the
+/// default), each parallel slice collects its match tuples into the
+/// executing worker's bump arena (util::Arena via ThreadPool::CurrentArena)
+/// instead of the shared heap; the owner merges the slices in order and
+/// resets every arena at the next batch boundary. This removes allocator
+/// contention from the match fan-out without changing a single byte of
+/// output — the off switch exists to prove exactly that (and for A/B
+/// benchmarking).
 class JoinEvaluator {
  public:
   /// @param cache  bucket cache layered over the archive's store (not
@@ -122,6 +131,12 @@ class JoinEvaluator {
   void set_thread_pool(util::ThreadPool* pool) { pool_ = pool; }
   util::ThreadPool* thread_pool() const { return pool_; }
 
+  /// Per-worker match arenas for the parallel paths (no effect without a
+  /// pool). Off = every slice allocates match storage from the shared heap,
+  /// byte-identical results either way.
+  void set_use_match_arenas(bool use) { use_match_arenas_ = use; }
+  bool use_match_arenas() const { return use_match_arenas_; }
+
   const storage::DiskModel& disk_model() const { return model_; }
   const HybridConfig& hybrid_config() const { return config_; }
   /// The spatial index (null forces the scan path); exec::BatchPipeline
@@ -137,6 +152,7 @@ class JoinEvaluator {
   storage::DiskModel model_;
   HybridConfig config_;
   util::ThreadPool* pool_ = nullptr;
+  bool use_match_arenas_ = true;
   EvaluatorStats stats_;
 };
 

@@ -14,32 +14,7 @@ bool WithinRadius(const query::QueryObject& qo,
 JoinCounters MergeCrossMatch(const storage::Bucket& bucket,
                              std::span<const query::WorkloadEntry> batch,
                              std::vector<query::Match>* out) {
-  JoinCounters counters;
-  const htm::IdRange bucket_range = bucket.range();
-  for (const query::WorkloadEntry& entry : batch) {
-    for (const query::QueryObject& qo : entry.objects) {
-      ++counters.workload_objects;
-      for (const htm::IdRange& r : qo.htm_ranges.ranges()) {
-        if (!r.Overlaps(bucket_range)) continue;
-        htm::HtmId lo = std::max(r.lo, bucket_range.lo);
-        htm::HtmId hi = std::min(r.hi, bucket_range.hi);
-        for (const storage::CatalogObject& co :
-             bucket.ObjectsInRange(lo, hi)) {
-          ++counters.candidates_tested;
-          double sep = 0.0;
-          if (!WithinRadius(qo, co, &sep)) continue;
-          ++counters.spatial_matches;
-          if (!entry.predicate.Matches(co)) continue;
-          ++counters.output_matches;
-          if (out != nullptr) {
-            out->push_back(query::Match{entry.query_id, qo.id, co.object_id,
-                                        sep, co.ra_deg, co.dec_deg});
-          }
-        }
-      }
-    }
-  }
-  return counters;
+  return MergeCrossMatchInto(bucket, batch, out);
 }
 
 }  // namespace liferaft::join

@@ -8,6 +8,7 @@
 #ifndef LIFERAFT_JOIN_MERGE_JOIN_H_
 #define LIFERAFT_JOIN_MERGE_JOIN_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -39,18 +40,55 @@ struct JoinCounters {
   }
 };
 
-/// Cross-matches every entry of a bucket's workload batch against the
-/// bucket via sorted-range sweep. Appends matches to `out`. Entries are
-/// processed in order and touch no shared state, so disjoint slices of a
-/// batch may run on different threads and be concatenated in slice order.
-JoinCounters MergeCrossMatch(const storage::Bucket& bucket,
-                             std::span<const query::WorkloadEntry> batch,
-                             std::vector<query::Match>* out);
-
 /// Exact refinement test shared by all join strategies: true iff the
 /// archive object lies within the query object's error radius.
 bool WithinRadius(const query::QueryObject& qo,
                   const storage::CatalogObject& co, double* sep_arcsec);
+
+/// Cross-matches every entry of a bucket's workload batch against the
+/// bucket via sorted-range sweep, appending matches to `*out` (skipped
+/// when null). Entries are processed in order and touch no shared state,
+/// so disjoint slices of a batch may run on different threads and be
+/// concatenated in slice order. Generic over the output vector so the
+/// parallel evaluator can append into per-worker arena-backed vectors
+/// (util::ArenaVector) while every other caller keeps std::vector.
+template <typename MatchVec>
+JoinCounters MergeCrossMatchInto(const storage::Bucket& bucket,
+                                 std::span<const query::WorkloadEntry> batch,
+                                 MatchVec* out) {
+  JoinCounters counters;
+  const htm::IdRange bucket_range = bucket.range();
+  for (const query::WorkloadEntry& entry : batch) {
+    for (const query::QueryObject& qo : entry.objects) {
+      ++counters.workload_objects;
+      for (const htm::IdRange& r : qo.htm_ranges.ranges()) {
+        if (!r.Overlaps(bucket_range)) continue;
+        htm::HtmId lo = std::max(r.lo, bucket_range.lo);
+        htm::HtmId hi = std::min(r.hi, bucket_range.hi);
+        for (const storage::CatalogObject& co :
+             bucket.ObjectsInRange(lo, hi)) {
+          ++counters.candidates_tested;
+          double sep = 0.0;
+          if (!WithinRadius(qo, co, &sep)) continue;
+          ++counters.spatial_matches;
+          if (!entry.predicate.Matches(co)) continue;
+          ++counters.output_matches;
+          if (out != nullptr) {
+            out->push_back(query::Match{entry.query_id, qo.id, co.object_id,
+                                        sep, co.ra_deg, co.dec_deg});
+          }
+        }
+      }
+    }
+  }
+  return counters;
+}
+
+/// The std::vector instantiation of MergeCrossMatchInto (the serial path
+/// and every pre-arena call site).
+JoinCounters MergeCrossMatch(const storage::Bucket& bucket,
+                             std::span<const query::WorkloadEntry> batch,
+                             std::vector<query::Match>* out);
 
 }  // namespace liferaft::join
 

@@ -157,6 +157,7 @@ Result<RunMetrics> SimEngine::Run(
       config_.cache_shards);
   evaluator_ = std::make_unique<join::JoinEvaluator>(
       cache_.get(), catalog_->index(), model_, config_.hybrid);
+  evaluator_->set_use_match_arenas(config_.match_arenas);
   if (config_.num_threads > 1) {
     if (pool_ == nullptr || pool_->num_threads() != config_.num_threads) {
       pool_ = std::make_unique<util::ThreadPool>(config_.num_threads);
@@ -178,6 +179,10 @@ Result<RunMetrics> SimEngine::Run(
     pipeline_config.enable_prefetch = config_.enable_prefetch;
     pipeline_config.prefetch_depth = config_.prefetch_depth;
     pipeline_config.cancel_on_mispredict = config_.cancel_on_mispredict;
+    pipeline_config.adaptive_prefetch = config_.adaptive_prefetch;
+    pipeline_config.controller.max_depth =
+        std::max<size_t>(config_.max_prefetch_depth, 1);
+    pipeline_config.prefetch_aware_eviction = config_.prefetch_aware_eviction;
     pipeline_config.collect_matches = config_.collect_matches;
     pipeline_ = std::make_unique<exec::BatchPipeline>(
         scheduler_.get(), manager_.get(), evaluator_.get(), pipeline_config);
@@ -284,6 +289,10 @@ Result<RunMetrics> SimEngine::Run(
                                       : query::SpillStats{};
   metrics.prefetch_hidden_ms =
       pipeline_ != nullptr ? pipeline_->prefetch_hidden_ms() : 0.0;
+  if (pipeline_ != nullptr && pipeline_->controller() != nullptr) {
+    metrics.prefetch_final_depth = pipeline_->controller()->depth();
+    metrics.prefetch_stale_ewma = pipeline_->controller()->stale_ewma();
+  }
   return metrics;
 }
 

@@ -75,11 +75,26 @@ struct EngineConfig {
   /// with core::LifeRaft.
   bool enable_prefetch = false;
   /// Predicted picks kept in flight when prefetching (>= 1); depth 1 is
-  /// the PR 2 single-bet pipeline.
+  /// the PR 2 single-bet pipeline. Under adaptive_prefetch this is only
+  /// the controller's starting depth.
   size_t prefetch_depth = 1;
   /// Drop prefetch bets that leave the scheduler's prediction window
   /// instead of holding them pinned until claimed.
   bool cancel_on_mispredict = false;
+  /// Feedback-driven prefetch depth: an exec::PrefetchController scales
+  /// the depth between 0 and max_prefetch_depth from the observed
+  /// stale-claim rate and hidden-ms per claim (implies window-based bet
+  /// cancelation; enables the pipeline regardless of enable_prefetch).
+  /// Deterministic, like everything on the virtual clock.
+  bool adaptive_prefetch = false;
+  /// Depth ceiling for the adaptive controller (>= 1).
+  size_t max_prefetch_depth = 4;
+  /// Demote buckets inside the scheduler's prediction window last on
+  /// eviction (BucketCache::SetPredictionWindow); off = plain LRU.
+  bool prefetch_aware_eviction = true;
+  /// Per-worker bump arenas for parallel match collection (no effect at
+  /// num_threads == 1). Results are byte-identical on or off.
+  bool match_arenas = true;
   /// Optional workload-adaptive alpha: when set and the scheduler is a
   /// LifeRaftScheduler, the engine re-selects alpha from the observed
   /// arrival rate after every admission.

@@ -45,9 +45,16 @@ struct RunMetrics {
   /// Workload-overflow activity (zero unless spilling was enabled).
   query::SpillStats spill;
   /// Virtual fetch time hidden behind compute by the cross-batch prefetch
-  /// pipeline (zero unless EngineConfig::enable_prefetch); issue/claim
-  /// counts are in `cache`.
+  /// pipeline (zero unless EngineConfig::enable_prefetch or
+  /// adaptive_prefetch); issue/claim counts (and wasted prefetch bytes)
+  /// are in `cache`.
   TimeMs prefetch_hidden_ms = 0.0;
+  /// Adaptive-prefetch telemetry (meaningful only when
+  /// EngineConfig::adaptive_prefetch): the controller's depth at end of
+  /// run and its stale-claim EWMA — how mispredicted the tail of the run
+  /// looked to the feedback loop.
+  size_t prefetch_final_depth = 0;
+  double prefetch_stale_ewma = 0.0;
 
   /// One-line human-readable summary.
   std::string Summary() const;

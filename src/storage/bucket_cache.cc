@@ -82,6 +82,10 @@ CacheStats BucketCache::stats() const {
       stats_.prefetch_claims.load(std::memory_order_relaxed);
   snapshot.prefetch_cancels =
       stats_.prefetch_cancels.load(std::memory_order_relaxed);
+  snapshot.prefetch_wasted_bytes =
+      stats_.prefetch_wasted_bytes.load(std::memory_order_relaxed);
+  snapshot.evictions_protected =
+      stats_.evictions_protected.load(std::memory_order_relaxed);
   return snapshot;
 }
 
@@ -92,6 +96,8 @@ void BucketCache::ResetStats() {
   stats_.prefetch_issued.store(0, std::memory_order_relaxed);
   stats_.prefetch_claims.store(0, std::memory_order_relaxed);
   stats_.prefetch_cancels.store(0, std::memory_order_relaxed);
+  stats_.prefetch_wasted_bytes.store(0, std::memory_order_relaxed);
+  stats_.evictions_protected.store(0, std::memory_order_relaxed);
 }
 
 void BucketCache::Touch(Shard& shard, std::list<Entry>::iterator it) {
@@ -100,20 +106,72 @@ void BucketCache::Touch(Shard& shard, std::list<Entry>::iterator it) {
 
 void BucketCache::EvictOverCapacity(Shard& shard) {
   while (shard.map.size() > shard.capacity) {
-    // Evict the least-recently-used unpinned entry; if every entry is
-    // pinned, stay over capacity until a pin is released.
+    // Victim order, scanning LRU-to-MRU and never the front entry (the
+    // one the triggering insert/claim just touched) until nothing else
+    // is evictable:
+    //  1. the LRU unpinned entry outside the prediction window;
+    //  2. the LRU unpinned entry inside it — protection demotes, it must
+    //     not starve the cache of evictable space (counted in
+    //     evictions_protected);
+    //  3. the front entry itself, when every other entry is pinned (the
+    //     pre-window degenerate case; with no window this reproduces
+    //     plain LRU exactly).
+    // If everything including the front is pinned, stay over capacity
+    // until a pin is released.
     auto victim = shard.lru.end();
-    for (auto it = std::prev(shard.lru.end());; --it) {
-      if (it->pins == 0) {
+    auto protected_victim = shard.lru.end();
+    for (auto it = std::prev(shard.lru.end()); it != shard.lru.begin();
+         --it) {
+      if (it->pins != 0) continue;
+      if (shard.window.find(it->index) == shard.window.end()) {
         victim = it;
         break;
       }
-      if (it == shard.lru.begin()) break;
+      if (protected_victim == shard.lru.end()) protected_victim = it;
     }
-    if (victim == shard.lru.end()) return;
+    bool victim_protected = false;
+    if (victim == shard.lru.end()) {
+      if (protected_victim != shard.lru.end()) {
+        victim = protected_victim;
+        victim_protected = true;
+      } else if (!shard.lru.empty() && shard.lru.begin()->pins == 0) {
+        victim = shard.lru.begin();
+        victim_protected =
+            shard.window.find(victim->index) != shard.window.end();
+      } else {
+        return;  // all pinned
+      }
+    }
+    if (victim_protected) {
+      stats_.evictions_protected.fetch_add(1, std::memory_order_relaxed);
+    }
     stats_.evictions.fetch_add(1, std::memory_order_relaxed);
     shard.map.erase(victim->index);
     shard.lru.erase(victim);
+  }
+}
+
+void BucketCache::SetPredictionWindow(std::span<const BucketIndex> window) {
+  // Split the window by shard first so each shard is locked exactly once.
+  std::vector<std::vector<BucketIndex>> by_shard(shards_.size());
+  for (BucketIndex b : window) {
+    by_shard[static_cast<size_t>(b) % shards_.size()].push_back(b);
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.window.clear();
+    shard.window.insert(by_shard[i].begin(), by_shard[i].end());
+  }
+}
+
+void BucketCache::RecordWastedPrefetch(const Inflight& inflight) {
+  // The future is resolved by the caller (wait/get); only a successful
+  // physical read counts — an Unimplemented store fetched nothing.
+  const Result<std::shared_ptr<const Bucket>>& r = inflight.future.get();
+  if (r.ok()) {
+    stats_.prefetch_wasted_bytes.fetch_add((*r)->EstimatedBytes(),
+                                           std::memory_order_relaxed);
   }
 }
 
@@ -215,7 +273,10 @@ void BucketCache::CancelPrefetch(BucketIndex index) {
     --it->second->pins;
     EvictOverCapacity(shard);  // the unpin may re-enable an eviction
   } else if (pending->second.future.valid()) {
-    pending->second.future.wait();  // discard the fetched bucket unrecorded
+    // Discard the fetched bucket unrecorded in the I/O ledger, but charge
+    // its bytes to the wasted-prefetch counter — the mispredict's cost.
+    pending->second.future.wait();
+    RecordWastedPrefetch(pending->second);
   }
   stats_.prefetch_cancels.fetch_add(1, std::memory_order_relaxed);
   shard.inflight.erase(pending);
@@ -225,12 +286,16 @@ void BucketCache::Clear() {
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     for (auto& [index, inflight] : shard->inflight) {
-      if (inflight.future.valid()) inflight.future.wait();
+      if (inflight.future.valid()) {
+        inflight.future.wait();
+        if (!inflight.pinned_resident) RecordWastedPrefetch(inflight);
+      }
       stats_.prefetch_cancels.fetch_add(1, std::memory_order_relaxed);
     }
     shard->inflight.clear();
     shard->lru.clear();
     shard->map.clear();
+    shard->window.clear();
   }
 }
 

@@ -25,6 +25,22 @@
 // Stats for a prefetched read are recorded at claim time on the owner
 // thread (never from the worker), so I/O accounting stays deterministic.
 //
+// Prefetch-aware eviction (two LRU tiers per shard): the prefetch pipeline
+// publishes the scheduler's current prediction window via
+// SetPredictionWindow — the buckets it expects to serve (and therefore
+// fetch or reuse) next. Eviction demotes those buckets last: the victim is
+// the least-recently-used unpinned entry OUTSIDE the window, and only when
+// every unpinned entry is inside the window does eviction fall back to the
+// LRU protected entry (counted in evictions_protected). The entry the
+// triggering insert just touched (the front of the LRU) is never the
+// victim while anything else is evictable — protection demotes other
+// buckets, it must not bounce the foreground's own bucket straight back
+// out. This closes the self-defeating loop where inserting a prefetched
+// bucket evicts the very bucket the next prediction wants — generic LRU
+// knows nothing about the predictor. With an empty window (the default,
+// and whenever prefetching is off) eviction is byte-identical to plain
+// LRU.
+//
 // Threading: every method is safe to call from any thread — per-bucket
 // operations serialize on the bucket's shard mutex only, and the store
 // contract (bucket_store.h) requires ReadBucket to tolerate the resulting
@@ -48,7 +64,9 @@
 #include <list>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "storage/bucket.h"
@@ -73,6 +91,14 @@ struct CacheStats {
   /// Prefetches dropped unused (CancelPrefetch, Clear, or an unsupported
   /// store).
   uint64_t prefetch_cancels = 0;
+  /// Bytes physically fetched by prefetches that were then dropped without
+  /// a claim — the direct cost of mispredicted bets. The adaptive prefetch
+  /// controller's stale-claim signal and the bench report both read this.
+  uint64_t prefetch_wasted_bytes = 0;
+  /// Evictions that had to take a bucket inside the current prediction
+  /// window because every unpinned entry was protected (cache pressure
+  /// exceeding what prefetch-aware demotion can absorb).
+  uint64_t evictions_protected = 0;
 
   double HitRate() const {
     uint64_t total = hits + misses;
@@ -122,6 +148,12 @@ class BucketCache {
   /// and discards an in-flight read (no stats are recorded for it).
   /// No-op if no prefetch of `index` is outstanding.
   void CancelPrefetch(BucketIndex index);
+
+  /// Publishes the prefetch predictor's current window: buckets predicted
+  /// to be served next, demoted last by eviction (see file comment).
+  /// Replaces the previous window; an empty span restores plain LRU.
+  /// Typically called once per pipeline step with PeekNextBuckets' output.
+  void SetPredictionWindow(std::span<const BucketIndex> window);
 
   /// True if a prefetch of `index` is outstanding (issued, not yet claimed
   /// or canceled).
@@ -178,6 +210,8 @@ class BucketCache {
     std::list<Entry> lru;  // front = most recently used
     std::unordered_map<BucketIndex, std::list<Entry>::iterator> map;
     std::unordered_map<BucketIndex, Inflight> inflight;
+    /// This shard's slice of the prediction window (protected tier).
+    std::unordered_set<BucketIndex> window;
   };
 
   /// Monotonically aggregated counters, incremented under shard locks but
@@ -189,6 +223,8 @@ class BucketCache {
     std::atomic<uint64_t> prefetch_issued{0};
     std::atomic<uint64_t> prefetch_claims{0};
     std::atomic<uint64_t> prefetch_cancels{0};
+    std::atomic<uint64_t> prefetch_wasted_bytes{0};
+    std::atomic<uint64_t> evictions_protected{0};
   };
 
   Shard& ShardFor(BucketIndex index) {
@@ -200,6 +236,9 @@ class BucketCache {
 
   // Shard-local helpers; the shard's mutex must be held.
   static void Touch(Shard& shard, std::list<Entry>::iterator it);
+  /// Records the physical bytes of a dropped-without-claim prefetch. Call
+  /// with the resolved future of a non-resident inflight entry.
+  void RecordWastedPrefetch(const Inflight& inflight);
   /// Inserts `bucket` most-recently-used and evicts down to the shard's
   /// capacity, skipping pinned entries (so residency may transiently
   /// exceed capacity while pins are held).

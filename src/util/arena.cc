@@ -1,0 +1,64 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace liferaft::util {
+
+namespace {
+
+uintptr_t AlignUp(uintptr_t n, size_t align) {
+  assert(align != 0 && (align & (align - 1)) == 0);
+  return (n + align - 1) & ~(static_cast<uintptr_t>(align) - 1);
+}
+
+}  // namespace
+
+Arena::Block& Arena::AddBlock(size_t at_least) {
+  // Geometric growth keeps the block count logarithmic in the batch's
+  // allocation volume, so Reset()'s keep-the-largest policy converges on a
+  // single block that fits the steady state.
+  size_t size = blocks_.empty() ? min_block_bytes_ : blocks_.back().size * 2;
+  size = std::max(size, at_least);
+  Block block;
+  block.data = std::make_unique<std::byte[]>(size);
+  block.size = size;
+  blocks_.push_back(std::move(block));
+  return blocks_.back();
+}
+
+void* Arena::Allocate(size_t bytes, size_t align) {
+  if (bytes == 0) bytes = 1;
+  // Align the absolute address, not the offset: a block's base comes from
+  // operator new[] and guarantees only fundamental alignment, so for
+  // larger `align` the base itself may need padding.
+  Block* block = blocks_.empty() ? nullptr : &blocks_.back();
+  size_t offset = 0;
+  if (block != nullptr) {
+    const uintptr_t base = reinterpret_cast<uintptr_t>(block->data.get());
+    offset = static_cast<size_t>(AlignUp(base + block->used, align) - base);
+  }
+  if (block == nullptr || offset + bytes > block->size) {
+    block = &AddBlock(bytes + align - 1);  // worst-case base padding
+    const uintptr_t base = reinterpret_cast<uintptr_t>(block->data.get());
+    offset = static_cast<size_t>(AlignUp(base, align) - base);
+  }
+  block->used = offset + bytes;
+  total_allocated_ += bytes;
+  return block->data.get() + offset;
+}
+
+void Arena::Reset() {
+  if (blocks_.empty()) return;
+  // Keep only the largest block; with geometric growth that is the newest,
+  // but pick by size so the policy survives any future growth tweak.
+  auto largest = std::max_element(
+      blocks_.begin(), blocks_.end(),
+      [](const Block& a, const Block& b) { return a.size < b.size; });
+  Block keep = std::move(*largest);
+  keep.used = 0;
+  blocks_.clear();
+  blocks_.push_back(std::move(keep));
+}
+
+}  // namespace liferaft::util

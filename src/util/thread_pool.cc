@@ -5,16 +5,33 @@
 
 namespace liferaft::util {
 
+namespace {
+/// The executing worker's arena; null on any thread that is not a pool
+/// worker (set for the worker's lifetime in WorkerLoop).
+thread_local Arena* current_arena = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(size_t num_threads) : num_threads_(num_threads) {
   assert(num_threads >= 1);
   queues_.reserve(num_threads);
+  arenas_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     queues_.push_back(std::make_unique<WorkerQueue>());
+    arenas_.push_back(std::make_unique<Arena>());
   }
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
+}
+
+Arena* ThreadPool::CurrentArena() { return current_arena; }
+
+void ThreadPool::ResetArenas() {
+  // Batch-boundary contract (see header): no in-flight task references
+  // these arenas, and joining the previous batch's futures ordered its
+  // allocations before this reset.
+  for (auto& arena : arenas_) arena->Reset();
 }
 
 ThreadPool::~ThreadPool() { Shutdown(); }
@@ -76,6 +93,7 @@ std::function<void()> ThreadPool::TakeTask(size_t self) {
 }
 
 void ThreadPool::WorkerLoop(size_t self) {
+  current_arena = arenas_[self].get();
   for (;;) {
     std::function<void()> task = TakeTask(self);
     if (!task) {

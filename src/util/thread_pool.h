@@ -19,6 +19,14 @@
 // Determinism note: which thread runs a task (and in what interleaving)
 // is unspecified; LifeRaft's callers merge results in submission order
 // (see join::JoinEvaluator), so stealing never changes any result.
+//
+// Per-worker match arenas: every worker owns a util::Arena, reachable from
+// inside a task via the static CurrentArena() (null off-pool). Tasks that
+// produce bulk short-lived output — match tuples, most prominently —
+// allocate from their worker's arena instead of the shared heap, removing
+// allocator contention from the join fan-out. The pool never resets the
+// arenas itself: the batch owner calls ResetArenas() at a batch boundary,
+// when every task that used them has been joined.
 
 #ifndef LIFERAFT_UTIL_THREAD_POOL_H_
 #define LIFERAFT_UTIL_THREAD_POOL_H_
@@ -35,6 +43,8 @@
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "util/arena.h"
 
 namespace liferaft::util {
 
@@ -72,6 +82,20 @@ class ThreadPool {
   /// The construction-time worker count (stable across Shutdown).
   size_t num_threads() const { return num_threads_; }
 
+  /// The arena of the worker running the calling thread, or null when the
+  /// caller is not one of this process's pool workers. Tasks use it for
+  /// batch-scoped bulk output (see file comment).
+  static Arena* CurrentArena();
+
+  /// Worker `i`'s arena (introspection/tests).
+  Arena& arena(size_t i) { return *arenas_[i]; }
+
+  /// Resets every worker arena at once. The caller must guarantee no task
+  /// that allocated from them is still running or still owns arena-backed
+  /// containers — i.e. call only at a batch boundary, after joining every
+  /// future of the previous batch.
+  void ResetArenas();
+
  private:
   /// One worker's deque: own pops come off the front, thieves take the
   /// tail.
@@ -97,6 +121,7 @@ class ThreadPool {
   std::atomic<size_t> next_queue_{0};  // round-robin submission cursor
   size_t num_threads_ = 0;
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::unique_ptr<Arena>> arenas_;  // one per worker
   std::vector<std::thread> workers_;
 };
 

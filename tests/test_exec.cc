@@ -13,10 +13,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <set>
 #include <vector>
+
+#include "exec/prefetch_controller.h"
 
 #include "core/liferaft.h"
 #include "join/evaluator.h"
@@ -61,6 +64,102 @@ TEST(BatchPipelineTest, EmptyManagerYieldsNoStep) {
   pipeline.CancelOutstandingPrefetches();  // no-op on an idle pipeline
 }
 
+// ------------------------------------------------- adaptive controller --
+
+PrefetchControllerConfig ScriptedConfig() {
+  PrefetchControllerConfig config;
+  config.max_depth = 3;
+  config.initial_depth = 2;
+  config.adjust_period = 1;  // react every step so the script stays short
+  config.probe_period = 4;
+  return config;
+}
+
+// The scripted mispredict sequence of the issue: bursts drive the depth
+// to zero, quiet steps trigger a probe, clean hidden-latency claims grow
+// it back to the ceiling.
+TEST(PrefetchControllerTest, ScriptedMispredictsShrinkThenRegrow) {
+  PrefetchControllerConfig config = ScriptedConfig();
+  ASSERT_TRUE(config.Validate().ok());
+  PrefetchController controller(config);
+  EXPECT_EQ(controller.depth(), 2u);
+
+  // Mispredict burst: every resolved bet fell out of the window.
+  PrefetchFeedback burst;
+  burst.cancels = 2;
+  controller.Observe(burst);
+  EXPECT_EQ(controller.depth(), 1u) << "burst shrinks immediately";
+  controller.Observe(burst);
+  EXPECT_EQ(controller.depth(), 0u) << "second burst turns prefetch off";
+  EXPECT_EQ(controller.stats().shrinks, 2u);
+
+  // Off: nothing resolves; the probe timer alone can re-enable.
+  PrefetchFeedback idle;
+  for (int i = 0; i < 3; ++i) {
+    controller.Observe(idle);
+    EXPECT_EQ(controller.depth(), 0u);
+  }
+  controller.Observe(idle);
+  EXPECT_EQ(controller.depth(), 1u) << "probe after probe_period quiet steps";
+  EXPECT_EQ(controller.stats().probes, 1u);
+
+  // Recovered predictor: clean claims that hide latency grow to the max.
+  PrefetchFeedback good;
+  good.claims = 1;
+  good.hidden_ms = 500.0;
+  controller.Observe(good);
+  EXPECT_EQ(controller.depth(), 2u);
+  controller.Observe(good);
+  EXPECT_EQ(controller.depth(), 3u);
+  controller.Observe(good);
+  EXPECT_EQ(controller.depth(), 3u) << "capped at max_depth";
+  EXPECT_GE(controller.stats().grows, 2u);
+}
+
+// A claim whose residual was capped at the full fetch reused bytes but
+// hid nothing — it must count as stale, and an all-stale step is a burst.
+TEST(PrefetchControllerTest, CappedClaimsCountAsStale) {
+  PrefetchController controller(ScriptedConfig());
+  PrefetchFeedback capped;
+  capped.claims = 2;
+  capped.stale_claims = 2;
+  capped.hidden_ms = 0.0;
+  controller.Observe(capped);
+  EXPECT_EQ(controller.depth(), 1u);
+  EXPECT_DOUBLE_EQ(controller.stale_ewma(), 1.0);
+}
+
+// Depth never grows while hidden-ms per claim is zero, even with a clean
+// stale rate: a bet that hides nothing is not worth deepening.
+TEST(PrefetchControllerTest, NoGrowthWithoutHiddenLatency) {
+  PrefetchControllerConfig config = ScriptedConfig();
+  config.initial_depth = 1;
+  PrefetchController controller(config);
+  PrefetchFeedback clean_but_useless;
+  clean_but_useless.claims = 1;
+  clean_but_useless.hidden_ms = 0.0;       // capped would also set stale;
+  clean_but_useless.stale_claims = 0;      // pretend a zero-cost fetch
+  for (int i = 0; i < 5; ++i) controller.Observe(clean_but_useless);
+  EXPECT_EQ(controller.depth(), 1u);
+  EXPECT_EQ(controller.stats().grows, 0u);
+}
+
+TEST(PrefetchControllerTest, ConfigValidation) {
+  PrefetchControllerConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  config.max_depth = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = PrefetchControllerConfig{};
+  config.ewma_alpha = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = PrefetchControllerConfig{};
+  config.grow_threshold = 0.6;  // above shrink_threshold
+  EXPECT_FALSE(config.Validate().ok());
+  config = PrefetchControllerConfig{};
+  config.adjust_period = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
 // ------------------------------------------------ engine-level fixtures --
 
 class PipelineDrainFixture : public ::testing::Test {
@@ -97,10 +196,12 @@ class PipelineDrainFixture : public ::testing::Test {
         catalog_->store(), storage::DiskModel{}, config);
   }
 
-  /// Runs a shared-mode drain and returns (metrics, per-query matches).
-  sim::RunMetrics Drain(const sim::EngineConfig& config,
-                        std::map<query::QueryId, uint64_t>* matches) {
-    sim::SimEngine engine(catalog_.get(), LifeRaftSched(), config);
+  /// Runs a shared-mode drain under `scheduler` and returns (metrics,
+  /// per-query matches).
+  sim::RunMetrics DrainWith(std::unique_ptr<sched::Scheduler> scheduler,
+                            const sim::EngineConfig& config,
+                            std::map<query::QueryId, uint64_t>* matches) {
+    sim::SimEngine engine(catalog_.get(), std::move(scheduler), config);
     auto metrics = engine.Run(trace_, arrivals_);
     EXPECT_TRUE(metrics.ok()) << metrics.status().ToString();
     if (matches != nullptr) {
@@ -110,6 +211,12 @@ class PipelineDrainFixture : public ::testing::Test {
       }
     }
     return metrics.ok() ? *metrics : sim::RunMetrics{};
+  }
+
+  /// Runs a shared-mode drain and returns (metrics, per-query matches).
+  sim::RunMetrics Drain(const sim::EngineConfig& config,
+                        std::map<query::QueryId, uint64_t>* matches) {
+    return DrainWith(LifeRaftSched(), config, matches);
   }
 
   std::vector<storage::CatalogObject> catalog_objects_;
@@ -205,6 +312,154 @@ TEST_F(PipelineDrainFixture, CancelOnMispredictReconcilesAndStaysExact) {
   EXPECT_EQ(matches, base_matches);
   EXPECT_EQ(metrics.cache.prefetch_issued,
             metrics.cache.prefetch_claims + metrics.cache.prefetch_cancels);
+}
+
+// ------------------------------------------------- adaptive drains --
+
+// Join results must be invariant under the adaptive controller, like
+// every other scheduling feature, and the prefetch ledger must reconcile
+// (each issued bet is eventually claimed or canceled).
+TEST_F(PipelineDrainFixture, AdaptiveResultsInvariantAndLedgerReconciles) {
+  sim::EngineConfig base_config;
+  base_config.collect_matches = true;
+  std::map<query::QueryId, uint64_t> base_matches;
+  sim::RunMetrics base = Drain(base_config, &base_matches);
+
+  sim::EngineConfig config = base_config;
+  config.adaptive_prefetch = true;
+  config.prefetch_depth = 2;  // the controller's starting depth
+  config.max_prefetch_depth = 4;
+  std::map<query::QueryId, uint64_t> matches;
+  sim::RunMetrics metrics = Drain(config, &matches);
+  EXPECT_EQ(metrics.queries_completed, base.queries_completed);
+  EXPECT_EQ(metrics.total_matches, base.total_matches);
+  EXPECT_EQ(matches, base_matches)
+      << "per-query match counts must not depend on adaptive prefetch";
+  EXPECT_GT(metrics.prefetch_hidden_ms, 0.0);
+  EXPECT_LT(metrics.makespan_ms, base.makespan_ms);
+  EXPECT_EQ(metrics.cache.prefetch_issued,
+            metrics.cache.prefetch_claims + metrics.cache.prefetch_cancels);
+  EXPECT_LE(metrics.prefetch_final_depth, config.max_prefetch_depth);
+}
+
+// Same config, same trajectory: the controller sees only virtual-clock
+// quantities, so adaptive runs are deterministic.
+TEST_F(PipelineDrainFixture, AdaptiveDrainIsDeterministic) {
+  sim::EngineConfig config;
+  config.adaptive_prefetch = true;
+  config.prefetch_depth = 2;
+  config.max_prefetch_depth = 4;
+  sim::RunMetrics a = Drain(config, nullptr);
+  sim::RunMetrics b = Drain(config, nullptr);
+  EXPECT_EQ(a.makespan_ms, b.makespan_ms);
+  EXPECT_EQ(a.prefetch_hidden_ms, b.prefetch_hidden_ms);
+  EXPECT_EQ(a.prefetch_final_depth, b.prefetch_final_depth);
+  EXPECT_EQ(a.prefetch_stale_ewma, b.prefetch_stale_ewma);
+  EXPECT_EQ(a.cache.evictions, b.cache.evictions);
+  EXPECT_EQ(a.cache.prefetch_wasted_bytes, b.cache.prefetch_wasted_bytes);
+}
+
+// With the LifeRaft predictor healthy on a saturated drain, the adaptive
+// controller must hide at least as much fetch latency as the fixed
+// depth-2 pipeline it starts from (it can only deepen from there).
+TEST_F(PipelineDrainFixture, AdaptiveHidesAtLeastFixedDepthTwo) {
+  sim::EngineConfig fixed;
+  fixed.enable_prefetch = true;
+  fixed.prefetch_depth = 2;
+  sim::RunMetrics d2 = Drain(fixed, nullptr);
+
+  sim::EngineConfig adaptive;
+  adaptive.adaptive_prefetch = true;
+  adaptive.prefetch_depth = 2;
+  adaptive.max_prefetch_depth = 4;
+  sim::RunMetrics ad = Drain(adaptive, nullptr);
+  EXPECT_GE(ad.prefetch_hidden_ms, d2.prefetch_hidden_ms);
+  EXPECT_LE(ad.makespan_ms, d2.makespan_ms);
+}
+
+// Decorator that sabotages the prediction hook: it peeks one slot deeper
+// and drops the true next pick, so the window's first element is wrong
+// whenever more than one bucket has pending work. PickBucket is honest —
+// only the predictor misleads the prefetcher.
+class MispredictingScheduler : public sched::Scheduler {
+ public:
+  explicit MispredictingScheduler(std::unique_ptr<sched::Scheduler> inner)
+      : inner_(std::move(inner)) {}
+  std::string name() const override {
+    return "mispredict(" + inner_->name() + ")";
+  }
+  std::optional<storage::BucketIndex> PickBucket(
+      const query::WorkloadManager& manager, TimeMs now,
+      const sched::CacheProbe& cached) override {
+    return inner_->PickBucket(manager, now, cached);
+  }
+  std::vector<storage::BucketIndex> PeekNextBuckets(
+      const query::WorkloadManager& manager, TimeMs now,
+      const sched::CacheProbe& cached, size_t k) const override {
+    std::vector<storage::BucketIndex> real =
+        inner_->PeekNextBuckets(manager, now, cached, k + 1);
+    if (real.size() > 1) real.erase(real.begin());
+    if (real.size() > k) real.resize(k);
+    return real;
+  }
+
+ private:
+  std::unique_ptr<sched::Scheduler> inner_;
+};
+
+// Under injected mispredictions the adaptive controller must never end a
+// drain slower than the fixed depth-1 pipeline handed the same bad
+// predictor — neither the hold-forever variant (whose pinned bets accrue
+// hidden-ms by luck while its schedule pays for the pins) nor the
+// apples-to-apples cancel-on-mispredict variant, which it must beat on
+// hidden latency too: the controller shuts a hopeless predictor off
+// (depth 0) instead of feeding it.
+TEST_F(PipelineDrainFixture, AdaptiveNeverUnderperformsDepthOneOnMispredicts) {
+  sim::EngineConfig fixed;
+  fixed.enable_prefetch = true;
+  fixed.prefetch_depth = 1;
+  sim::RunMetrics d1_hold = DrainWith(
+      std::make_unique<MispredictingScheduler>(LifeRaftSched()), fixed,
+      nullptr);
+  fixed.cancel_on_mispredict = true;
+  sim::RunMetrics d1_cancel = DrainWith(
+      std::make_unique<MispredictingScheduler>(LifeRaftSched()), fixed,
+      nullptr);
+
+  sim::EngineConfig adaptive;
+  adaptive.adaptive_prefetch = true;
+  adaptive.prefetch_depth = 1;
+  adaptive.max_prefetch_depth = 4;
+  sim::RunMetrics ad = DrainWith(
+      std::make_unique<MispredictingScheduler>(LifeRaftSched()), adaptive,
+      nullptr);
+  EXPECT_LE(ad.makespan_ms, d1_hold.makespan_ms);
+  EXPECT_LE(ad.makespan_ms, d1_cancel.makespan_ms);
+  EXPECT_GE(ad.prefetch_hidden_ms, d1_cancel.prefetch_hidden_ms);
+  // The bad predictor's cost is visible to the report: dropped bets whose
+  // bytes were fetched for nothing, and a saturated stale EWMA.
+  EXPECT_GT(ad.cache.prefetch_wasted_bytes, 0u);
+  EXPECT_EQ(ad.cache.prefetch_issued,
+            ad.cache.prefetch_claims + ad.cache.prefetch_cancels);
+}
+
+// Prefetch-aware eviction in vivo: with the window published every step,
+// protected-tier conflicts and wasted bytes are observable and the run
+// stays deterministic; turning protection off is a pure A/B knob.
+TEST_F(PipelineDrainFixture, EvictionProtectionKnobIsDeterministicAB) {
+  sim::EngineConfig config;
+  config.collect_matches = true;
+  config.enable_prefetch = true;
+  config.prefetch_depth = 2;
+  std::map<query::QueryId, uint64_t> with_matches;
+  std::map<query::QueryId, uint64_t> without_matches;
+  sim::RunMetrics with_protection = Drain(config, &with_matches);
+  config.prefetch_aware_eviction = false;
+  sim::RunMetrics without_protection = Drain(config, &without_matches);
+  EXPECT_EQ(with_matches, without_matches)
+      << "eviction policy must never change join results";
+  EXPECT_GT(with_protection.prefetch_hidden_ms, 0.0);
+  EXPECT_GT(without_protection.prefetch_hidden_ms, 0.0);
 }
 
 // The core facade routes ProcessNextBatch through the same pipeline, so

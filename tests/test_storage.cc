@@ -531,6 +531,87 @@ TEST_F(CacheTestFixture, CancelPrefetchDropsUnusedFetch) {
   EXPECT_FALSE(cache.Contains(0));
 }
 
+TEST_F(CacheTestFixture, CancelAfterFetchCountsWastedBytes) {
+  BucketCache cache(store_.get(), 2);
+  cache.PrefetchAsync(4);  // synchronous (no pool): fetched immediately
+  cache.CancelPrefetch(4);
+  // The physical read happened and was dropped unclaimed: its bytes are
+  // the mispredict's direct cost, visible to the adaptive controller.
+  const uint64_t bucket_bytes =
+      static_cast<uint64_t>(store_->BucketObjectCount(4)) *
+      Bucket::kBytesPerObject;
+  EXPECT_EQ(cache.stats().prefetch_wasted_bytes, bucket_bytes);
+  // The I/O ledger still never saw the read (deferred-to-claim contract).
+  EXPECT_EQ(store_->stats().bucket_reads, 0u);
+
+  // A canceled pin of a resident bucket fetched nothing — no waste.
+  ASSERT_TRUE(cache.Get(0).ok());
+  cache.PrefetchAsync(0);
+  cache.CancelPrefetch(0);
+  EXPECT_EQ(cache.stats().prefetch_wasted_bytes, bucket_bytes);
+
+  // Clear() drops in-flight prefetches the same way.
+  cache.PrefetchAsync(5);
+  cache.Clear();
+  EXPECT_GT(cache.stats().prefetch_wasted_bytes, bucket_bytes);
+}
+
+// ------------------------------------------- Prefetch-aware eviction tier --
+
+TEST_F(CacheTestFixture, PredictionWindowBucketSurvivesPressure) {
+  BucketCache cache(store_.get(), 2);
+  ASSERT_TRUE(cache.Get(0).ok());
+  ASSERT_TRUE(cache.Get(1).ok());  // LRU order: 0 is the colder entry
+  // 0 is inside the prediction window: eviction must demote it last, so
+  // the pressure that would have evicted it takes the warmer 1 instead.
+  cache.SetPredictionWindow(std::vector<BucketIndex>{0});
+  ASSERT_TRUE(cache.Get(2).ok());
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_EQ(cache.stats().evictions_protected, 0u);
+}
+
+TEST_F(CacheTestFixture, AllProtectedFallsBackToLruProtectedVictim) {
+  BucketCache cache(store_.get(), 2);
+  ASSERT_TRUE(cache.Get(0).ok());
+  ASSERT_TRUE(cache.Get(1).ok());
+  // Every resident entry is in the window: eviction cannot starve, so it
+  // falls back to the LRU protected entry and records the conflict.
+  cache.SetPredictionWindow(std::vector<BucketIndex>{0, 1});
+  ASSERT_TRUE(cache.Get(2).ok());
+  EXPECT_FALSE(cache.Contains(0));
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_EQ(cache.stats().evictions_protected, 1u);
+}
+
+TEST_F(CacheTestFixture, EmptyWindowRestoresPlainLru) {
+  BucketCache cache(store_.get(), 2);
+  ASSERT_TRUE(cache.Get(0).ok());
+  ASSERT_TRUE(cache.Get(1).ok());
+  cache.SetPredictionWindow(std::vector<BucketIndex>{0});
+  cache.SetPredictionWindow({});  // window replaced: protection gone
+  ASSERT_TRUE(cache.Get(2).ok());
+  EXPECT_FALSE(cache.Contains(0));  // plain LRU victim again
+  EXPECT_EQ(cache.stats().evictions_protected, 0u);
+}
+
+TEST_F(CacheTestFixture, WindowProtectsPerShard) {
+  BucketCache cache(store_.get(), 4, /*num_shards=*/2);
+  // Shard 0 holds even buckets, shard 1 odd; capacity 2 per shard.
+  ASSERT_TRUE(cache.Get(0).ok());
+  ASSERT_TRUE(cache.Get(2).ok());
+  ASSERT_TRUE(cache.Get(1).ok());
+  ASSERT_TRUE(cache.Get(3).ok());
+  cache.SetPredictionWindow(std::vector<BucketIndex>{0, 1});
+  ASSERT_TRUE(cache.Get(4).ok());  // shard 0 pressure: spares 0, evicts 2
+  ASSERT_TRUE(cache.Get(5).ok());  // shard 1 pressure: spares 1, evicts 3
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_FALSE(cache.Contains(3));
+}
+
 TEST_F(CacheTestFixture, PrefetchOnWorkerDefersStatsToClaim) {
   util::ThreadPool pool(2);
   BucketCache cache(store_.get(), 2);

@@ -10,7 +10,9 @@
 #include <atomic>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <numeric>
+#include <set>
 #include <stdexcept>
 #include <vector>
 
@@ -128,6 +130,41 @@ TEST(ThreadPoolTest, SkewedTaskSizesAllComplete) {
   }
 }
 
+TEST(ThreadPoolTest, PerWorkerArenasAreDistinctAndOffPoolIsNull) {
+  // The owner thread is not a worker: no arena.
+  EXPECT_EQ(ThreadPool::CurrentArena(), nullptr);
+  ThreadPool pool(3);
+  // Every worker sees its own arena, and it is one of the pool's.
+  std::set<util::Arena*> seen;
+  std::mutex mu;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 24; ++i) {
+    futures.push_back(pool.Submit([&] {
+      util::Arena* arena = ThreadPool::CurrentArena();
+      ASSERT_NE(arena, nullptr);
+      void* p = arena->Allocate(64, 8);
+      ASSERT_NE(p, nullptr);
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(arena);
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_GE(seen.size(), 1u);
+  EXPECT_LE(seen.size(), 3u);
+  for (util::Arena* arena : seen) {
+    bool owned = false;
+    for (size_t i = 0; i < pool.num_threads(); ++i) {
+      if (arena == &pool.arena(i)) owned = true;
+    }
+    EXPECT_TRUE(owned);
+  }
+  // Batch-boundary reset reclaims every worker's allocations.
+  pool.ResetArenas();
+  for (size_t i = 0; i < pool.num_threads(); ++i) {
+    EXPECT_LE(pool.arena(i).num_blocks(), 1u);
+  }
+}
+
 // ------------------------------------------------- Parallel determinism --
 
 bool SameMatch(const query::Match& a, const query::Match& b) {
@@ -231,6 +268,39 @@ void ExpectIdenticalRuns(const sim::RunMetrics& a, const sim::RunMetrics& b,
     EXPECT_EQ(s.arrival_ms, p.arrival_ms);
     EXPECT_EQ(s.completion_ms, p.completion_ms);
     EXPECT_EQ(s.matches, p.matches);
+  }
+}
+
+// Per-worker match arenas change only where slice matches are stored
+// before the in-order merge; runs with arenas on and off must be
+// byte-identical in every virtual quantity and every outcome, in shared
+// and per-query modes alike.
+TEST_F(ParallelSharedFixture, MatchArenasOnOffAreByteIdentical) {
+  Rng rng(97);
+  auto arrivals = sim::PoissonArrivals(trace_.size(), 2.0, &rng);
+  for (sim::ExecutionMode mode :
+       {sim::ExecutionMode::kShared, sim::ExecutionMode::kNoShare}) {
+    SCOPED_TRACE(sim::ExecutionModeName(mode));
+    sim::EngineConfig config;
+    config.mode = mode;
+    config.collect_matches = true;
+    config.num_threads = 4;
+    config.match_arenas = true;
+    sim::SimEngine with_arenas(
+        catalog_.get(),
+        mode == sim::ExecutionMode::kShared ? LifeRaftSched() : nullptr,
+        config);
+    auto on = with_arenas.Run(trace_, arrivals);
+    ASSERT_TRUE(on.ok()) << on.status().ToString();
+
+    config.match_arenas = false;
+    sim::SimEngine without_arenas(
+        catalog_.get(),
+        mode == sim::ExecutionMode::kShared ? LifeRaftSched() : nullptr,
+        config);
+    auto off = without_arenas.Run(trace_, arrivals);
+    ASSERT_TRUE(off.ok()) << off.status().ToString();
+    ExpectIdenticalRuns(*on, *off, with_arenas, without_arenas);
   }
 }
 

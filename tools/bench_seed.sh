@@ -2,15 +2,24 @@
 # Emits BENCH_<tag>.json (default: seed) from the bench_micro
 # google-benchmark suite — the perf-trajectory anchor successive PRs
 # compare against. Usage: tools/bench_seed.sh [tag] [extra bench args...]
+#
+# Anchors build in a dedicated Release tree (build-bench/) so the numbers
+# a PR records and the numbers CI's bench-regression gate reproduces come
+# from the same build type, independent of whatever configuration the
+# developer's main build/ tree is in.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 TAG="${1:-seed}"
 shift || true
 
-cmake -B build -S . >/dev/null
-cmake --build build -j --target bench_micro >/dev/null
-./build/bench_micro \
+cmake -B build-bench -S . \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DLIFERAFT_BUILD_TESTS=OFF \
+  -DLIFERAFT_BUILD_EXAMPLES=OFF \
+  -DLIFERAFT_BUILD_TOOLS=OFF >/dev/null
+cmake --build build-bench -j --target bench_micro >/dev/null
+./build-bench/bench_micro \
   --benchmark_format=json \
   --benchmark_out="BENCH_${TAG}.json" \
   --benchmark_out_format=json \

@@ -7,8 +7,29 @@
 #   tools/ci.sh --tsan   # ThreadSanitizer smoke: builds test_thread_pool
 #                        # and test_storage with -fsanitize=thread and runs
 #                        # them (work stealing + sharded-cache races)
+#   tools/ci.sh --asan   # ASan+UBSan smoke: builds test_exec and
+#                        # test_storage with -fsanitize=address,undefined
+#                        # and runs them (arena lifetimes, prefetch
+#                        # claim/cancel memory, eviction-tier bookkeeping)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--asan" ]; then
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
+    -DLIFERAFT_BUILD_BENCH=OFF \
+    -DLIFERAFT_BUILD_EXAMPLES=OFF \
+    -DLIFERAFT_BUILD_TOOLS=OFF
+  cmake --build build-asan -j --target test_exec test_storage
+  # Leak checking is on by default under ASan; -fno-sanitize-recover
+  # already turned every UBSan diagnostic into a hard failure.
+  ./build-asan/test_exec
+  ./build-asan/test_storage
+  echo "asan+ubsan smoke OK"
+  exit 0
+fi
 
 if [ "${1:-}" = "--tsan" ]; then
   cmake -B build-tsan -S . \
