@@ -19,13 +19,25 @@ Result<std::unique_ptr<LifeRaft>> LifeRaft::Create(
       system->catalog_,
       storage::Catalog::Build(std::move(catalog_objects), catalog_options));
 
+  LIFERAFT_ASSIGN_OR_RETURN(
+      storage::StorageTopology topology,
+      storage::StorageTopology::Create(system->catalog_->num_buckets(),
+                                       options.topology, options.disk));
+  system->topology_ =
+      std::make_unique<storage::StorageTopology>(std::move(topology));
+  // Volume-aligned cache sharding only with a real multi-volume map (a
+  // single volume would collapse every bucket into shard 0).
   system->cache_ = std::make_unique<storage::BucketCache>(
       system->catalog_->store(), options.cache_capacity,
-      options.cache_shards);
+      options.cache_shards,
+      system->topology_->num_volumes() > 1 ? system->topology_.get()
+                                           : nullptr);
   system->evaluator_ = std::make_unique<join::JoinEvaluator>(
       system->cache_.get(), system->catalog_->index(),
       storage::DiskModel(options.disk), options.hybrid);
   system->evaluator_->set_use_match_arenas(options.match_arenas);
+  system->evaluator_->set_use_io_arenas(options.io_arenas);
+  system->evaluator_->set_topology(system->topology_.get());
   if (options.num_threads > 1) {
     system->pool_ = std::make_unique<util::ThreadPool>(options.num_threads);
     system->evaluator_->set_thread_pool(system->pool_.get());
@@ -33,6 +45,7 @@ Result<std::unique_ptr<LifeRaft>> LifeRaft::Create(
   }
   system->manager_ = std::make_unique<query::WorkloadManager>(
       system->catalog_->num_buckets());
+  system->manager_->set_use_restore_arena(options.io_arenas);
 
   sched::LifeRaftConfig sched_config;
   sched_config.alpha = options.alpha;
@@ -51,7 +64,7 @@ Result<std::unique_ptr<LifeRaft>> LifeRaft::Create(
   pipeline_config.prefetch_aware_eviction = options.prefetch_aware_eviction;
   system->pipeline_ = std::make_unique<exec::BatchPipeline>(
       system->scheduler_.get(), system->manager_.get(),
-      system->evaluator_.get(), pipeline_config);
+      system->evaluator_.get(), pipeline_config, system->topology_.get());
   return system;
 }
 

@@ -94,6 +94,13 @@ class LifeRaft {
   size_t pending_queries() const { return manager_->pending_queries(); }
   const storage::Catalog& catalog() const { return *catalog_; }
   storage::CacheStats cache_stats() const { return cache_->stats(); }
+  /// The multi-volume storage topology (always present; a single volume
+  /// without LifeRaftOptions::topology overrides).
+  const storage::StorageTopology& topology() const { return *topology_; }
+  /// Per-arm I/O telemetry accumulated since creation (index = volume).
+  std::vector<storage::VolumeIoStats> volume_stats() const {
+    return pipeline_->volume_stats();
+  }
   /// Virtual fetch time hidden behind compute by claimed prefetches.
   TimeMs prefetch_hidden_ms() const { return pipeline_->prefetch_hidden_ms(); }
   /// The adaptive prefetch controller (null unless
@@ -116,6 +123,9 @@ class LifeRaft {
   VirtualClock clock_;
   std::unique_ptr<util::ThreadPool> pool_;  // non-null iff num_threads > 1
   std::unique_ptr<storage::Catalog> catalog_;
+  /// Declared before the cache/evaluator that borrow it (destruction
+  /// order).
+  std::unique_ptr<storage::StorageTopology> topology_;
   std::unique_ptr<storage::BucketCache> cache_;
   std::unique_ptr<join::JoinEvaluator> evaluator_;
   std::unique_ptr<query::WorkloadManager> manager_;

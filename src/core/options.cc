@@ -35,6 +35,7 @@ Status LifeRaftOptions::Validate() const {
         "prefetch_depth (adaptive starting depth) must be <= "
         "max_prefetch_depth");
   }
+  LIFERAFT_RETURN_IF_ERROR(topology.Validate());
   return disk.Validate();
 }
 

@@ -10,6 +10,7 @@
 #include "sched/metric.h"
 #include "sched/qos.h"
 #include "storage/disk_model.h"
+#include "storage/topology.h"
 #include "util/status.h"
 
 namespace liferaft::core {
@@ -33,7 +34,15 @@ struct LifeRaftOptions {
   /// Hybrid join configuration (index threshold ~3%).
   join::HybridConfig hybrid;
   /// Disk cost model (defaults calibrated to T_b = 1.2 s, T_m = 0.13 ms).
+  /// With a multi-volume topology this is the default every volume
+  /// inherits unless topology.volume_disk overrides it per volume.
   storage::DiskModelParams disk;
+  /// Multi-volume storage topology: how buckets are spread over
+  /// independent disk arms (num_volumes, range/hash placement, optional
+  /// per-volume disk params). The default single volume reproduces the
+  /// pre-topology system byte for byte; more volumes let the prefetch
+  /// pipeline overlap fetches across arms on the virtual clock.
+  storage::StorageTopologyConfig topology;
   /// Optional QoS age depreciation (paper §6 future work).
   sched::QosConfig qos;
   /// Build the B+tree spatial index (required for the hybrid indexed path).
@@ -67,6 +76,10 @@ struct LifeRaftOptions {
   /// Per-worker bump arenas for parallel match collection (no effect at
   /// num_threads == 1); results are byte-identical on or off.
   bool match_arenas = true;
+  /// Bump arenas for batch-scoped I/O scratch: spill-restore read buffers
+  /// (WorkloadManager) and worker-side bucket page decode buffers; results
+  /// are byte-identical on or off.
+  bool io_arenas = true;
 
   Status Validate() const;
 };

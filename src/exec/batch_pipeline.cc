@@ -11,11 +11,13 @@ namespace liferaft::exec {
 BatchPipeline::BatchPipeline(sched::Scheduler* scheduler,
                              query::WorkloadManager* manager,
                              join::JoinEvaluator* evaluator,
-                             PipelineConfig config)
+                             PipelineConfig config,
+                             const storage::StorageTopology* topology)
     : scheduler_(scheduler),
       manager_(manager),
       evaluator_(evaluator),
       cache_(evaluator != nullptr ? evaluator->cache() : nullptr),
+      topology_(topology),
       config_(config) {
   assert(scheduler_ != nullptr);
   assert(manager_ != nullptr);
@@ -23,14 +25,20 @@ BatchPipeline::BatchPipeline(sched::Scheduler* scheduler,
   assert(cache_ != nullptr);
   if (config_.prefetch_depth == 0) config_.prefetch_depth = 1;
   if (config_.adaptive_prefetch) {
-    // The fixed depth seeds the controller; from there the feedback loop
-    // owns it. The controller's documented precondition: the config must
-    // validate (the engine/facade layers sanitize theirs; direct
-    // PipelineConfig users get the same check here).
+    // The fixed depth seeds every arm's controller; from there each arm's
+    // feedback loop owns its own depth. The controller's documented
+    // precondition: the config must validate (the engine/facade layers
+    // sanitize theirs; direct PipelineConfig users get the same check
+    // here).
     config_.controller.initial_depth = config_.prefetch_depth;
     if (config_.controller.max_depth == 0) config_.controller.max_depth = 1;
     assert(config_.controller.Validate().ok());
-    controller_ = std::make_unique<PrefetchController>(config_.controller);
+  }
+  arms_.resize(topology_ != nullptr ? topology_->num_volumes() : 1);
+  if (config_.adaptive_prefetch) {
+    for (Arm& arm : arms_) {
+      arm.controller = std::make_unique<PrefetchController>(config_.controller);
+    }
   }
 }
 
@@ -38,9 +46,13 @@ sched::CacheProbe BatchPipeline::MakeCacheProbe(TimeMs now) const {
   return [this, now](storage::BucketIndex b) {
     if (cache_->Contains(b)) return true;
     // A prefetched bucket whose modeled fetch has completed is as good as
-    // resident for the metric's phi term.
-    for (const PendingPrefetch& p : prefetches_) {
-      if (p.bucket == b && p.done_ms <= now) return true;
+    // resident for the metric's phi term. A bucket only ever bets on its
+    // own arm, but scanning every arm keeps the probe independent of the
+    // placement map.
+    for (const Arm& arm : arms_) {
+      for (const PendingPrefetch& p : arm.bets) {
+        if (p.bucket == b && p.done_ms <= now) return true;
+      }
     }
     return false;
   };
@@ -55,16 +67,29 @@ bool BatchPipeline::WillScan(storage::BucketIndex bucket,
          join::JoinStrategy::kScan;
 }
 
+size_t BatchPipeline::pending_prefetches() const {
+  size_t total = 0;
+  for (const Arm& arm : arms_) total += arm.bets.size();
+  return total;
+}
+
+std::vector<storage::VolumeIoStats> BatchPipeline::volume_stats() const {
+  std::vector<storage::VolumeIoStats> stats;
+  stats.reserve(arms_.size());
+  for (const Arm& arm : arms_) stats.push_back(arm.stats);
+  return stats;
+}
+
 Result<std::optional<StepOutcome>> BatchPipeline::Step(TimeMs now) {
-  // Adaptive mode reads the depth from the controller each step (0 = off
-  // for now) and always drops bets that leave the prediction window — the
-  // drop doubles as the controller's mispredict signal.
+  // Adaptive mode reads each arm's depth from its controller (0 = off for
+  // now) and always drops bets that leave the prediction window — the
+  // drop doubles as that arm's controller's mispredict signal.
   const bool prefetch_on =
       config_.enable_prefetch || config_.adaptive_prefetch;
-  const size_t depth = current_prefetch_depth();
   const bool drop_stale =
       config_.cancel_on_mispredict || config_.adaptive_prefetch;
-  PrefetchFeedback feedback;
+  const size_t volumes = arms_.size();
+  std::vector<PrefetchFeedback> feedback(volumes);
 
   const sched::CacheProbe cached = MakeCacheProbe(now);
   std::optional<storage::BucketIndex> pick =
@@ -73,6 +98,8 @@ Result<std::optional<StepOutcome>> BatchPipeline::Step(TimeMs now) {
 
   StepOutcome outcome;
   outcome.bucket = *pick;
+  outcome.volume = VolumeOf(*pick);
+  Arm& pick_arm = arms_[outcome.volume];
   uint64_t restored_bytes = 0;
   std::vector<query::WorkloadEntry> entries =
       manager_->TakeBucket(*pick, &outcome.completed, &restored_bytes);
@@ -84,18 +111,19 @@ Result<std::optional<StepOutcome>> BatchPipeline::Step(TimeMs now) {
   // is scheduled (or, under cancel_on_mispredict, until it leaves the
   // prediction window below). Claim only when the evaluator will actually
   // scan — an index-probing batch would never touch the fetched bucket.
-  // At depth > 1 a bet can still be queued behind the disk arm when its
+  // At depth > 1 a bet can still be queued behind its disk arm when its
   // bucket comes up (modeled residual >= its full T_b); waiting out that
   // whole queue would cost more than a plain foreground read, so the
   // charge is capped at T_b — as if the arm preempted the backlog and
   // fetched the bucket fresh — while the claim still reuses the physical
   // read. A capped claim hides nothing. (At depth 1 the residual is at
   // most T_b minus the previous batch's matching time, so the cap never
-  // binds and PR 2 accounting is reproduced exactly.)
+  // binds and PR 2 accounting is reproduced exactly.) A bucket bets only
+  // on its own arm, so only pick_arm's queue can hold the bet.
   auto bet = std::find_if(
-      prefetches_.begin(), prefetches_.end(),
+      pick_arm.bets.begin(), pick_arm.bets.end(),
       [&](const PendingPrefetch& p) { return p.bucket == *pick; });
-  if (bet != prefetches_.end()) {
+  if (bet != pick_arm.bets.end()) {
     uint64_t queue_objects = 0;
     for (const query::WorkloadEntry& e : entries) {
       queue_objects += e.objects.size();
@@ -105,13 +133,15 @@ Result<std::optional<StepOutcome>> BatchPipeline::Step(TimeMs now) {
           std::min(std::max(0.0, bet->done_ms - now), bet->fetch_ms);
       const TimeMs hidden = bet->fetch_ms - outcome.fetch_residual_ms;
       prefetch_hidden_ms_ += hidden;
-      ++feedback.claims;
-      feedback.hidden_ms += hidden;
+      pick_arm.stats.hidden_ms += hidden;
+      ++pick_arm.stats.prefetch_claims;
+      ++feedback[outcome.volume].claims;
+      feedback[outcome.volume].hidden_ms += hidden;
       // A capped claim (residual == full fetch) reused the physical read
       // but hid nothing — the bet was queued too deep: stale by depth.
-      if (hidden <= 0.0) ++feedback.stale_claims;
+      if (hidden <= 0.0) ++feedback[outcome.volume].stale_claims;
       LIFERAFT_RETURN_IF_ERROR(cache_->Get(*pick).status());
-      prefetches_.erase(bet);
+      pick_arm.bets.erase(bet);
     }
   }
 
@@ -120,20 +150,26 @@ Result<std::optional<StepOutcome>> BatchPipeline::Step(TimeMs now) {
   // evaluation, when this batch's disk phase is known. The prediction is
   // refreshed every live step — the window drives stale-bet cancelation
   // and eviction protection, and a stale window would protect yesterday's
-  // predictions — and peeks deep enough to judge every outstanding bet
+  // predictions — and peeks deep enough (a) to judge every outstanding bet
   // (after a controller shrink more bets can be pending than the depth
   // admits new ones, and a still-predicted bet must not read as a
-  // mispredict just because the window got smaller).
-  std::vector<storage::BucketIndex> newly_predicted;
+  // mispredict just because the window got smaller) and (b) to surface
+  // candidates for EVERY arm, so an arm the front of the prediction does
+  // not touch still gets its fetches started.
+  std::vector<std::vector<storage::BucketIndex>> newly_predicted(volumes);
   if (prefetch_on) {
-    const size_t window_k = std::max(depth, prefetches_.size());
+    std::vector<size_t> want(volumes);
+    for (size_t v = 0; v < volumes; ++v) {
+      want[v] = std::max(current_prefetch_depth(v), arms_[v].bets.size());
+    }
     std::vector<storage::BucketIndex> predicted =
-        window_k > 0
-            ? scheduler_->PeekNextBuckets(*manager_, now, cached, window_k)
-            : std::vector<storage::BucketIndex>{};
+        scheduler_->PeekNextBucketsCovering(
+            *manager_, now, cached,
+            [this](storage::BucketIndex b) { return VolumeOf(b); }, want);
     // Publish the window so eviction demotes predicted buckets last (an
-    // empty window — depth scaled to 0 — restores plain LRU). Skipped
-    // when unchanged: the cache locks every shard to swap windows.
+    // empty window — every depth scaled to 0 — restores plain LRU).
+    // Skipped when unchanged: the cache locks every shard to swap
+    // windows.
     if (config_.prefetch_aware_eviction && predicted != last_window_) {
       cache_->SetPredictionWindow(predicted);
       last_window_ = predicted;
@@ -141,77 +177,112 @@ Result<std::optional<StepOutcome>> BatchPipeline::Step(TimeMs now) {
     if (drop_stale) {
       // Drop bets that fell out of the prediction window: unpin so the
       // cache may evict them. The arm time already modeled for them is
-      // not refunded — the bet was placed and lost.
-      for (auto it = prefetches_.begin(); it != prefetches_.end();) {
-        if (std::find(predicted.begin(), predicted.end(), it->bucket) ==
-            predicted.end()) {
-          cache_->CancelPrefetch(it->bucket);
-          it = prefetches_.erase(it);
-          ++feedback.cancels;
-        } else {
-          ++it;
+      // not refunded — the bet was placed and lost — and any bytes the
+      // dropped bet had physically fetched are charged to its arm's
+      // controller as waste.
+      for (size_t v = 0; v < volumes; ++v) {
+        for (auto it = arms_[v].bets.begin(); it != arms_[v].bets.end();) {
+          if (std::find(predicted.begin(), predicted.end(), it->bucket) ==
+              predicted.end()) {
+            feedback[v].wasted_bytes += cache_->CancelPrefetch(it->bucket);
+            it = arms_[v].bets.erase(it);
+            ++feedback[v].cancels;
+          } else {
+            ++it;
+          }
         }
       }
     }
+    // Fill every arm up to its depth, walking the global predicted
+    // service order so each arm's queue stays in that order.
     for (storage::BucketIndex b : predicted) {
-      if (prefetches_.size() + newly_predicted.size() >= depth) {
-        break;
+      const storage::VolumeIndex v = VolumeOf(b);
+      if (arms_[v].bets.size() + newly_predicted[v].size() >=
+          current_prefetch_depth(v)) {
+        continue;
       }
       if (cache_->Contains(b)) continue;
-      const bool already_queued =
-          std::any_of(prefetches_.begin(), prefetches_.end(),
-                      [&](const PendingPrefetch& p) { return p.bucket == b; });
+      const bool already_queued = std::any_of(
+          arms_[v].bets.begin(), arms_[v].bets.end(),
+          [&](const PendingPrefetch& p) { return p.bucket == b; });
       if (already_queued) continue;
       (void)cache_->PrefetchAsync(b);
-      newly_predicted.push_back(b);
+      newly_predicted[v].push_back(b);
     }
   }
 
   Result<join::BatchResult> evaluated =
       evaluator_->EvaluateBucket(*pick, entries, config_.collect_matches);
   if (!evaluated.ok()) {
-    // The bets issued above are not in prefetches_ yet (their modeled
+    // The bets issued above are not in any arm's queue yet (their modeled
     // times need this batch's disk phase); cancel them before surfacing
     // the error so no pin or inflight read is orphaned.
-    for (storage::BucketIndex b : newly_predicted) {
-      cache_->CancelPrefetch(b);
+    for (const std::vector<storage::BucketIndex>& arm_new : newly_predicted) {
+      for (storage::BucketIndex b : arm_new) cache_->CancelPrefetch(b);
     }
     return evaluated.status();
   }
   join::BatchResult result = std::move(*evaluated);
   const storage::DiskModel& model = evaluator_->disk_model();
   // Fetching spilled workload segments back from disk is sequential I/O —
-  // part of this batch's disk phase, so it also delays a prefetch's start.
+  // part of this batch's disk phase, so it also delays a prefetch's start
+  // on the batch's arm. The spill file is run-scoped scratch, costed with
+  // the default (evaluator) model rather than any volume's.
   outcome.restore_ms =
       restored_bytes > 0 ? model.SequentialReadMs(restored_bytes) : 0.0;
 
-  // Single disk arm: bets still in flight yield the arm to this batch's
-  // foreground I/O — their completion slips by however long the arm was
-  // busy here — and new fetches queue behind both the foreground phase and
-  // every earlier bet, so fetches never overlap fetches on the clock.
-  // The claimed residual does NOT slip the survivors: a bet queued behind
-  // the claimed fetch already counted that fetch in its own done time
-  // (slipping it again would double-charge the arm), and a bet queued
-  // ahead of it finishes within the residual wait by construction. Only
-  // the batch's own disk phase (scan I/O + spill restores) is arm time
-  // the queue never anticipated. (Sums run left-to-right from `now`,
-  // matching the pre-exec loop's expressions bit for bit.)
+  // Independent arms: bets still in flight on the batch's own arm yield
+  // that arm to the foreground I/O — their completion slips by however
+  // long the arm was busy here — while bets on other arms run concurrently
+  // with the whole batch and slip nothing. New fetches queue behind their
+  // own arm only: behind this batch's foreground phase plus earlier bets
+  // on the batch's arm, behind just the earlier bets elsewhere — fetches
+  // never overlap fetches on the same arm's clock, and always overlap
+  // across arms. The claimed residual does NOT slip the survivors: a bet
+  // queued behind the claimed fetch already counted that fetch in its own
+  // done time (slipping it again would double-charge the arm), and a bet
+  // queued ahead of it finishes within the residual wait by construction.
+  // Only the batch's own disk phase (scan I/O + spill restores) is arm
+  // time the queue never anticipated. (Sums run left-to-right from `now`,
+  // matching the pre-exec loop's expressions bit for bit on one volume.)
   const TimeMs unanticipated_disk_ms = result.io_ms + outcome.restore_ms;
-  TimeMs arm_free_ms =
+  const TimeMs foreground_done_ms =
       now + outcome.fetch_residual_ms + result.io_ms + outcome.restore_ms;
-  for (PendingPrefetch& p : prefetches_) {
-    if (p.done_ms > now + outcome.fetch_residual_ms) {
-      p.done_ms += unanticipated_disk_ms;
+  for (size_t v = 0; v < volumes; ++v) {
+    Arm& arm = arms_[v];
+    TimeMs arm_free_ms = v == outcome.volume ? foreground_done_ms : now;
+    for (PendingPrefetch& p : arm.bets) {
+      if (v == outcome.volume &&
+          p.done_ms > now + outcome.fetch_residual_ms) {
+        p.done_ms += unanticipated_disk_ms;
+      }
+      arm_free_ms = std::max(arm_free_ms, p.done_ms);
     }
-    arm_free_ms = std::max(arm_free_ms, p.done_ms);
+    for (storage::BucketIndex b : newly_predicted[v]) {
+      const uint64_t bytes =
+          static_cast<uint64_t>(cache_->store().BucketObjectCount(b)) *
+          storage::Bucket::kBytesPerObject;
+      const TimeMs fetch_ms = ModelFor(b).SequentialReadMs(bytes);
+      arm_free_ms += fetch_ms;
+      arm.bets.push_back(PendingPrefetch{b, arm_free_ms, fetch_ms});
+      ++arm.stats.prefetch_issued;
+      arm.stats.busy_ms += fetch_ms;
+    }
+    arm.stats.busy_until_ms = std::max(arm.stats.busy_until_ms, arm_free_ms);
   }
-  for (storage::BucketIndex b : newly_predicted) {
-    const uint64_t bytes =
-        static_cast<uint64_t>(cache_->store().BucketObjectCount(b)) *
+
+  // Per-arm telemetry for the batch's own arm: its foreground disk phase
+  // (scan or probe I/O plus spill restores) and its consumed-work clock —
+  // the completion clock always runs at or ahead of this (the batch's CPU
+  // phase follows), so the run's max-over-arms makespan is well defined.
+  pick_arm.stats.busy_ms += unanticipated_disk_ms;
+  pick_arm.stats.consumed_until_ms =
+      std::max(pick_arm.stats.consumed_until_ms, foreground_done_ms);
+  if (result.strategy == join::JoinStrategy::kScan && !result.cache_hit) {
+    ++pick_arm.stats.foreground_reads;
+    pick_arm.stats.foreground_bytes +=
+        static_cast<uint64_t>(cache_->store().BucketObjectCount(*pick)) *
         storage::Bucket::kBytesPerObject;
-    const TimeMs fetch_ms = model.SequentialReadMs(bytes);
-    arm_free_ms += fetch_ms;
-    prefetches_.push_back(PendingPrefetch{b, arm_free_ms, fetch_ms});
   }
 
   outcome.strategy = result.strategy;
@@ -221,17 +292,24 @@ Result<std::optional<StepOutcome>> BatchPipeline::Step(TimeMs now) {
   outcome.cpu_ms = result.cpu_ms;
   outcome.counters = result.counters;
   outcome.matches = std::move(result.matches);
-  // Feed the controller exactly once per completed step — steps that
-  // resolved no bets still advance its probe/adjustment timers.
-  if (controller_ != nullptr) controller_->Observe(feedback);
+  // Feed every arm's controller exactly once per completed step — steps
+  // that resolved none of an arm's bets still advance its probe and
+  // adjustment timers.
+  for (size_t v = 0; v < volumes; ++v) {
+    if (arms_[v].controller != nullptr) {
+      arms_[v].controller->Observe(feedback[v]);
+    }
+  }
   return std::optional<StepOutcome>(std::move(outcome));
 }
 
 void BatchPipeline::CancelOutstandingPrefetches() {
-  for (const PendingPrefetch& p : prefetches_) {
-    cache_->CancelPrefetch(p.bucket);
+  for (Arm& arm : arms_) {
+    for (const PendingPrefetch& p : arm.bets) {
+      cache_->CancelPrefetch(p.bucket);
+    }
+    arm.bets.clear();
   }
-  prefetches_.clear();
   // End of run: no prediction is live, so stop protecting anything.
   if (config_.prefetch_aware_eviction) {
     cache_->SetPredictionWindow({});

@@ -9,38 +9,54 @@
 // free.
 //
 // Depth-K prefetch: with prefetching enabled the pipeline keeps up to
-// `prefetch_depth` predicted buckets in flight (Scheduler::PeekNextBuckets
-// supplies the predicted service order). Physical reads start immediately
-// on the worker pool, overlapping the current batch's join compute; the
-// *modeled* fetches serialize on a single disk arm — a prefetch's virtual
-// completion time queues behind the current batch's disk phase and behind
-// every earlier prefetch, so the virtual clock never overlaps two fetches.
-// A batch that claims its predicted bucket pays only the un-hidden
-// residual max(0, fetch_done - now), capped at the bucket's full T_b — a
-// bet queued so deep behind the arm that waiting would exceed a fresh
+// `prefetch_depth` predicted buckets in flight per disk arm
+// (Scheduler::PeekNextBuckets supplies the predicted service order).
+// Physical reads start immediately on the worker pool, overlapping the
+// current batch's join compute; the *modeled* fetches serialize per arm —
+// a prefetch's virtual completion time queues behind the current batch's
+// disk phase (when they share the arm) and behind every earlier prefetch
+// on its own arm, so no arm's clock ever overlaps two of its fetches. A
+// batch that claims its predicted bucket pays only the un-hidden residual
+// max(0, fetch_done - now), capped at the bucket's full T_b — a bet
+// queued so deep behind its arm that waiting would exceed a fresh
 // foreground read is charged as exactly that read (and hides nothing),
 // though the physical bytes are still reused. The full fetch minus the
 // charged residual is credited to prefetch_hidden_ms. At prefetch_depth
-// == 1 with cancel-on-mispredict off this reproduces the PR 2 engine
-// pipeline tick-for-tick.
+// == 1 with cancel-on-mispredict off and a single volume this reproduces
+// the PR 2 engine pipeline tick-for-tick.
+//
+// Multi-volume topology (storage::StorageTopology): each volume is an
+// independent disk arm with its own in-flight bet queue, its own modeled
+// busy time, and — in adaptive mode — its own PrefetchController depth.
+// Scheduler::PeekNextBucketsCovering peeks the prediction deep enough to
+// surface candidates for every arm, so arms the front of the prediction
+// does not touch still get their fetches started; fetches on different
+// arms overlap both each other and the foreground batch's disk phase on
+// the virtual clocks, which is where the multi-spindle makespan win comes
+// from. A batch's foreground I/O contends only with its own bucket's arm:
+// bets on other arms neither slip nor delay it. With a null topology (or
+// num_volumes == 1) every bucket maps to arm 0 and the accounting reduces
+// to the single-arm model byte for byte.
 //
 // Mispredictions: by default an unclaimed prefetch is held (pinned) until
 // its bucket is eventually scheduled, its modeled completion slipping
-// whenever the foreground batch needs the disk arm. With
+// whenever the foreground batch needs its disk arm. With
 // `cancel_on_mispredict` the pipeline instead drops queued prefetches that
 // have fallen out of the scheduler's current prediction window, unpinning
 // their buckets so the cache can evict them (the arm time already modeled
 // for them is not refunded — the bet was placed and lost).
 //
-// Adaptive depth (PR 4): with `adaptive_prefetch` the fixed
-// `prefetch_depth` becomes only the starting point — a PrefetchController
-// tracks the stale-claim rate and the hidden-ms per claim (EWMAs over the
-// virtual clock) and walks the depth between 0 and `controller.max_depth`:
-// shrink on mispredict bursts, grow while deeper bets keep hiding latency.
+// Adaptive depth (PR 4, per-arm since the topology refactor): with
+// `adaptive_prefetch` the fixed `prefetch_depth` becomes only the
+// starting point — each arm's PrefetchController tracks that arm's
+// stale-claim rate, hidden-ms per claim, and wasted prefetch bytes
+// (EWMAs over the virtual clock) and walks the arm's depth between 0 and
+// `controller.max_depth`: shrink on mispredict bursts, grow while deeper
+// bets keep hiding latency and dropped bets are not burning bandwidth.
 // Adaptive mode implies window-based cancelation (a shrunken window drops
 // the now-out-of-scope bets, which is both the drain mechanism and the
-// controller's mispredict signal). Still deterministic: the controller
-// sees only virtual quantities and step counts.
+// controller's mispredict signal). Still deterministic: controllers see
+// only virtual quantities and step counts.
 //
 // Prefetch-aware eviction: each time the pipeline peeks the prediction
 // window it publishes it to the cache (BucketCache::SetPredictionWindow),
@@ -61,6 +77,7 @@
 #include "query/workload.h"
 #include "sched/scheduler.h"
 #include "storage/bucket_cache.h"
+#include "storage/topology.h"
 #include "util/clock.h"
 #include "util/status.h"
 
@@ -72,16 +89,17 @@ struct PipelineConfig {
   /// schedule (prefetched buckets count as resident for phi) but stays
   /// deterministic and thread-count independent.
   bool enable_prefetch = false;
-  /// Predicted picks kept in flight (>= 1). Depth 1 is the PR 2 pipeline.
+  /// Predicted picks kept in flight PER ARM (>= 1). Depth 1 on a single
+  /// volume is the PR 2 pipeline.
   size_t prefetch_depth = 1;
   /// Drop queued prefetches that leave the scheduler's prediction window
   /// instead of holding them pinned until claimed.
   bool cancel_on_mispredict = false;
-  /// Feedback-driven depth scaling between 0 and controller.max_depth
-  /// (see file comment); prefetch_depth seeds the controller's starting
-  /// depth. Implies window-based cancelation of stale bets.
+  /// Feedback-driven per-arm depth scaling between 0 and
+  /// controller.max_depth (see file comment); prefetch_depth seeds every
+  /// arm's starting depth. Implies window-based cancelation of stale bets.
   bool adaptive_prefetch = false;
-  /// Tuning of the adaptive controller (used when adaptive_prefetch).
+  /// Tuning of the adaptive controllers (used when adaptive_prefetch).
   PrefetchControllerConfig controller;
   /// Publish the prediction window to the cache so eviction demotes
   /// predicted buckets last (BucketCache::SetPredictionWindow).
@@ -94,6 +112,8 @@ struct PipelineConfig {
 /// TotalAdvanceMs() and owns completion/match bookkeeping.
 struct StepOutcome {
   storage::BucketIndex bucket = 0;
+  /// The disk arm the batch's bucket lives on (0 without a topology).
+  storage::VolumeIndex volume = 0;
   join::JoinStrategy strategy = join::JoinStrategy::kScan;
   /// True if the scan path found the bucket resident (phi(i) == 0).
   bool cache_hit = false;
@@ -118,9 +138,9 @@ struct StepOutcome {
 };
 
 /// One archive's pick→prefetch→claim→evaluate→account loop. The pipeline
-/// borrows every component (nothing is owned) and keeps only the prefetch
-/// bookkeeping as state; drivers own the clock and call Step with their
-/// current virtual time.
+/// borrows every component (nothing is owned) and keeps only the
+/// per-arm prefetch bookkeeping as state; drivers own the completion
+/// clock and call Step with their current virtual time.
 class BatchPipeline {
  public:
   /// @param scheduler bucket scheduling policy (not owned)
@@ -128,29 +148,48 @@ class BatchPipeline {
   /// @param evaluator join evaluator layered over the bucket cache (not
   ///                  owned; supplies the cache, disk model, and hybrid
   ///                  config)
+  /// @param topology  volume map with per-volume disk models (not owned;
+  ///                  may be null = single volume using the evaluator's
+  ///                  model)
   BatchPipeline(sched::Scheduler* scheduler, query::WorkloadManager* manager,
-                join::JoinEvaluator* evaluator, PipelineConfig config);
+                join::JoinEvaluator* evaluator, PipelineConfig config,
+                const storage::StorageTopology* topology = nullptr);
 
   /// Runs one scheduling step at virtual time `now`. Returns nullopt when
   /// no queue has pending work (outstanding prefetch bets stay pending —
   /// work may still arrive for them).
   Result<std::optional<StepOutcome>> Step(TimeMs now);
 
-  /// Drops every outstanding prefetch bet (end of run / drain).
+  /// Drops every outstanding prefetch bet on every arm (end of run /
+  /// drain).
   void CancelOutstandingPrefetches();
 
-  /// Virtual fetch time hidden behind compute by claimed prefetches.
+  /// Virtual fetch time hidden behind compute by claimed prefetches,
+  /// summed over all arms (per-arm split in volume_stats()).
   TimeMs prefetch_hidden_ms() const { return prefetch_hidden_ms_; }
 
-  /// The adaptive controller, or null when adaptive_prefetch is off.
-  const PrefetchController* controller() const { return controller_.get(); }
-
-  /// The depth the next Step will prefetch to (the controller's current
-  /// depth in adaptive mode, the fixed config depth otherwise).
-  size_t current_prefetch_depth() const {
-    return controller_ != nullptr ? controller_->depth()
-                                  : config_.prefetch_depth;
+  /// Arm `volume`'s adaptive controller, or null when adaptive_prefetch
+  /// is off. The zero-arg form is the single-volume accessor (arm 0).
+  const PrefetchController* controller(size_t volume) const {
+    return arms_[volume].controller.get();
   }
+  const PrefetchController* controller() const { return controller(0); }
+
+  /// The depth the next Step will prefetch arm `volume` to (that arm's
+  /// controller depth in adaptive mode, the fixed config depth
+  /// otherwise). The zero-arg form reads arm 0.
+  size_t current_prefetch_depth(size_t volume) const {
+    return arms_[volume].controller != nullptr
+               ? arms_[volume].controller->depth()
+               : config_.prefetch_depth;
+  }
+  size_t current_prefetch_depth() const { return current_prefetch_depth(0); }
+
+  /// Number of disk arms (1 without a topology).
+  size_t num_volumes() const { return arms_.size(); }
+
+  /// Per-arm I/O telemetry accumulated so far (index = volume).
+  std::vector<storage::VolumeIoStats> volume_stats() const;
 
   /// Residency probe for the scheduler's phi term at time `now`: resident
   /// in cache, or bet on by a prefetch whose modeled fetch has completed —
@@ -162,19 +201,38 @@ class BatchPipeline {
   /// exposes this per batch).
   void set_collect_matches(bool collect) { config_.collect_matches = collect; }
 
-  size_t pending_prefetches() const { return prefetches_.size(); }
+  /// Outstanding bets across all arms.
+  size_t pending_prefetches() const;
 
  private:
   /// One outstanding prefetch bet.
   struct PendingPrefetch {
     storage::BucketIndex bucket;
-    /// Virtual time at which the modeled fetch completes (single disk
-    /// arm: queued behind foreground I/O and earlier prefetches).
+    /// Virtual time at which the modeled fetch completes on its arm
+    /// (queued behind the arm's foreground I/O and earlier prefetches).
     TimeMs done_ms;
     /// Full modeled fetch cost (T_b of the bucket), for hidden-time stats.
     TimeMs fetch_ms;
   };
 
+  /// One disk arm: its outstanding bets in predicted service order (= that
+  /// arm's queue order), its adaptive depth controller, and its telemetry.
+  struct Arm {
+    std::deque<PendingPrefetch> bets;
+    /// Non-null iff config_.adaptive_prefetch.
+    std::unique_ptr<PrefetchController> controller;
+    storage::VolumeIoStats stats;
+  };
+
+  storage::VolumeIndex VolumeOf(storage::BucketIndex b) const {
+    return topology_ != nullptr ? topology_->VolumeOf(b) : 0;
+  }
+  /// Disk model for bucket `b`'s sequential fetches: its volume's model
+  /// under a topology, the evaluator's global model otherwise.
+  const storage::DiskModel& ModelFor(storage::BucketIndex b) const {
+    return topology_ != nullptr ? topology_->ModelFor(b)
+                                : evaluator_->disk_model();
+  }
   /// True if the evaluator would take the scan path for this batch with
   /// the bucket resident — i.e. claiming the prefetch will actually be
   /// consumed. Under prefer_scan_when_cached=false a small batch probes
@@ -187,16 +245,15 @@ class BatchPipeline {
   query::WorkloadManager* manager_;
   join::JoinEvaluator* evaluator_;
   storage::BucketCache* cache_;
+  const storage::StorageTopology* topology_;
   PipelineConfig config_;
 
-  /// Outstanding bets in predicted service order (= disk-arm order).
-  std::deque<PendingPrefetch> prefetches_;
+  /// One entry per volume (exactly one without a topology).
+  std::vector<Arm> arms_;
   TimeMs prefetch_hidden_ms_ = 0.0;
   /// Last window published to the cache (skip republishing unchanged
   /// windows — the cache locks every shard to swap them).
   std::vector<storage::BucketIndex> last_window_;
-  /// Non-null iff config_.adaptive_prefetch.
-  std::unique_ptr<PrefetchController> controller_;
 };
 
 }  // namespace liferaft::exec

@@ -35,6 +35,10 @@ void PrefetchController::Observe(const PrefetchFeedback& feedback) {
 
   const uint32_t resolved = feedback.claims + feedback.cancels;
   const uint32_t stale = feedback.stale_claims + feedback.cancels;
+  // Waste decays every step (most steps waste nothing), so a burst of
+  // canceled-after-fetch bets stalls growth for a while and then ages out.
+  waste_ewma_ = (1.0 - config_.ewma_alpha) * waste_ewma_ +
+                config_.ewma_alpha * static_cast<double>(feedback.wasted_bytes);
   if (resolved > 0) {
     const double rate = static_cast<double>(stale) / resolved;
     stale_ewma_ = saw_resolution_
@@ -58,6 +62,7 @@ void PrefetchController::Observe(const PrefetchFeedback& feedback) {
       // A probe starts from a clean slate — the evidence that sent depth
       // to 0 is from a regime the probe exists to re-test.
       stale_ewma_ = 0.0;
+      waste_ewma_ = 0.0;
       saw_resolution_ = false;
       steps_since_change_ = 0;
       ++stats_.probes;
@@ -78,6 +83,13 @@ void PrefetchController::Observe(const PrefetchFeedback& feedback) {
   }
   if (saw_resolution_ && depth_ < config_.max_depth &&
       stale_ewma_ <= config_.grow_threshold && hidden_ewma_ > 0.0) {
+    // Cost veto: deeper bets are not worth it while dropped bets keep
+    // burning physical bandwidth, however clean the stale rate looks.
+    if (waste_ewma_ >
+        static_cast<double>(config_.grow_max_wasted_bytes)) {
+      ++stats_.grows_vetoed_on_waste;
+      return;
+    }
     ++depth_;
     steps_since_change_ = 0;
     ++stats_.grows;

@@ -27,6 +27,17 @@
 // recovered predictor can climb back up. All inputs are virtual-clock
 // quantities and step counts, so the trajectory is deterministic.
 //
+// Wasted bytes as a grow cost term: canceled-after-fetch bets have a
+// direct physical cost (the bucket was read and thrown away —
+// BucketCache's prefetch_wasted_bytes) that the stale *rate* alone can
+// understate: a workload can keep the stale fraction under grow_threshold
+// while every individual mispredict burns a full bucket of bandwidth. The
+// controller therefore also tracks an EWMA of wasted bytes per step and
+// vetoes growth while it exceeds `grow_max_wasted_bytes` — sustained
+// waste stalls the climb even when the rate signal looks clean (shrinking
+// stays governed by the rate/burst rules). A run with zero waste behaves
+// exactly as before the term existed.
+//
 // The controller is deliberately standalone (no pipeline types): the unit
 // tests drive it with scripted feedback sequences, and the pipeline is
 // just one producer of PrefetchFeedback.
@@ -60,6 +71,12 @@ struct PrefetchControllerConfig {
   size_t adjust_period = 2;
   /// Steps to sit at depth 0 before re-probing at depth 1.
   size_t probe_period = 8;
+  /// Growth is vetoed while the wasted-bytes-per-step EWMA exceeds this
+  /// (canceled-after-fetch physical bytes; see file comment). The default
+  /// is a quarter of a modeled 4 MB bucket — sustained per-step waste of
+  /// a bucket-sized read stalls the climb within a few steps, while
+  /// isolated mispredicts decay below it. Zero waste never vetoes.
+  uint64_t grow_max_wasted_bytes = 1024 * 1024;
 
   Status Validate() const;
 };
@@ -75,6 +92,10 @@ struct PrefetchFeedback {
   uint32_t cancels = 0;
   /// Fetch latency hidden by this step's claims (virtual ms).
   TimeMs hidden_ms = 0.0;
+  /// Physical bytes fetched by bets this step dropped without a claim
+  /// (the cache's prefetch_wasted_bytes delta; deterministic — a dropped
+  /// in-flight read is waited out, so whether it fetched is not a race).
+  uint64_t wasted_bytes = 0;
 };
 
 /// Running tallies for reports and tests.
@@ -83,6 +104,8 @@ struct PrefetchControllerStats {
   uint64_t shrinks = 0;
   uint64_t grows = 0;
   uint64_t probes = 0;
+  /// Grow decisions vetoed by the wasted-bytes cost term alone.
+  uint64_t grows_vetoed_on_waste = 0;
 };
 
 class PrefetchController {
@@ -100,6 +123,7 @@ class PrefetchController {
 
   double stale_ewma() const { return stale_ewma_; }
   double hidden_per_claim_ewma() const { return hidden_ewma_; }
+  double wasted_bytes_ewma() const { return waste_ewma_; }
   const PrefetchControllerStats& stats() const { return stats_; }
   const PrefetchControllerConfig& config() const { return config_; }
 
@@ -110,6 +134,8 @@ class PrefetchController {
   double stale_ewma_ = 0.0;
   /// EWMA of hidden ms per claim over steps that claimed bets.
   double hidden_ewma_ = 0.0;
+  /// EWMA of wasted bytes per step, over every step (waste is usually 0).
+  double waste_ewma_ = 0.0;
   bool saw_resolution_ = false;
   /// Steps since the last depth change (adjustment + probe damping).
   size_t steps_since_change_ = 0;

@@ -136,7 +136,11 @@ Result<BatchResult> JoinEvaluator::EvaluateBucket(
     LIFERAFT_ASSIGN_OR_RETURN(std::shared_ptr<const storage::Bucket> b,
                               cache_->Get(bucket));
     result.cache_hit = cached;
-    result.io_ms = cached ? 0.0 : model_.SequentialReadMs(b->EstimatedBytes());
+    // T_b from the bucket's volume (identical to model_ when the topology
+    // is uniform or absent); T_m stays global — matching is CPU.
+    result.io_ms = cached ? 0.0
+                          : SequentialModelFor(bucket).SequentialReadMs(
+                                b->EstimatedBytes());
     result.cpu_ms = model_.MatchMs(queue_objects);
     result.cost_ms = result.io_ms + result.cpu_ms;
     if (parallel) {
@@ -199,8 +203,12 @@ Result<std::vector<PerQueryResult>> JoinEvaluator::EvaluatePerQueryWindow(
       mode == PerQueryMode::kNoShareScan && parallel &&
       cache_->mutable_store()->SupportsConcurrentReads();
   const bool arenas = use_match_arenas_ && parallel;
+  // Worker-side bucket reads route their transient decode buffers through
+  // the executing worker's arena when io arenas are on; the buffers die
+  // inside the read, so the same window-boundary reset covers them.
+  const bool io_arenas = use_io_arenas_ && worker_reads;
   // Window boundary: every prior task's arena-backed vectors are gone.
-  if (arenas) pool_->ResetArenas();
+  if (arenas || io_arenas) pool_->ResetArenas();
   std::vector<std::vector<std::shared_ptr<const storage::Bucket>>> buckets;
   if (mode == PerQueryMode::kNoShareScan && !worker_reads) {
     buckets.resize(window.size());
@@ -228,7 +236,8 @@ Result<std::vector<PerQueryResult>> JoinEvaluator::EvaluatePerQueryWindow(
   // matches are per-query scratch (counts are the result), so they go to
   // the executing worker's arena when arenas are on.
   auto evaluate_one = [this, mode, collect_matches, worker_reads, arenas,
-                       &window, &buckets](size_t i) -> Result<QueryEval> {
+                       io_arenas, &window,
+                       &buckets](size_t i) -> Result<QueryEval> {
     const PerQueryWork& work = window[i];
     QueryEval eval;
     SliceMatches out(SliceAllocator(arenas));
@@ -246,7 +255,9 @@ Result<std::vector<PerQueryResult>> JoinEvaluator::EvaluatePerQueryWindow(
         std::shared_ptr<const storage::Bucket> b;
         if (worker_reads) {
           LIFERAFT_ASSIGN_OR_RETURN(
-              b, cache_->mutable_store()->ReadBucketForPrefetch(w.bucket));
+              b, cache_->mutable_store()->ReadBucketForPrefetchScratch(
+                     w.bucket, io_arenas ? util::ThreadPool::CurrentArena()
+                                         : nullptr));
           ++eval.reads;
           eval.read_bytes += b->EstimatedBytes();
           eval.read_objects += b->size();
@@ -256,9 +267,12 @@ Result<std::vector<PerQueryResult>> JoinEvaluator::EvaluatePerQueryWindow(
         ++wi;
         JoinCounters counters = MergeCrossMatchInto(*b, batch, outp);
         eval.result.matches += counters.output_matches;
-        eval.result.cost_ms += model_.ScanJoinMs(b->EstimatedBytes(),
-                                                 w.objects.size(),
-                                                 /*bucket_cached=*/false);
+        // Full T_b from the bucket's volume, T_m global (see
+        // set_topology).
+        eval.result.cost_ms +=
+            SequentialModelFor(w.bucket)
+                .SequentialReadMs(b->EstimatedBytes()) +
+            model_.MatchMs(w.objects.size());
         // b drops here, so a materializing store holds at most one bucket
         // per worker at a time.
       } else {

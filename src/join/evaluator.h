@@ -18,6 +18,7 @@
 #include "storage/btree.h"
 #include "storage/bucket_cache.h"
 #include "storage/disk_model.h"
+#include "storage/topology.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -137,6 +138,25 @@ class JoinEvaluator {
   void set_use_match_arenas(bool use) { use_match_arenas_ = use; }
   bool use_match_arenas() const { return use_match_arenas_; }
 
+  /// Per-worker arenas for transient I/O scratch: the parallel NoShare
+  /// path passes the executing worker's arena into the store's bucket
+  /// reads (ReadBucketForPrefetchScratch), so page decode buffers stop
+  /// touching the heap. Dispatch-scoped scratch only — results are
+  /// byte-identical on or off.
+  void set_use_io_arenas(bool use) { use_io_arenas_ = use; }
+  bool use_io_arenas() const { return use_io_arenas_; }
+
+  /// Attaches the multi-volume topology (not owned; may be null = single
+  /// volume). A bucket's sequential T_b is then charged from its volume's
+  /// disk model — scan fetches in shared mode and NoShare full reads —
+  /// while CPU matching (T_m) and index-probe costs stay on the global
+  /// model (probes traverse the index, not a data volume). With a uniform
+  /// topology every charge is identical to the global model's.
+  void set_topology(const storage::StorageTopology* topology) {
+    topology_ = topology;
+  }
+  const storage::StorageTopology* topology() const { return topology_; }
+
   const storage::DiskModel& disk_model() const { return model_; }
   const HybridConfig& hybrid_config() const { return config_; }
   /// The spatial index (null forces the scan path); exec::BatchPipeline
@@ -147,12 +167,20 @@ class JoinEvaluator {
   storage::BucketCache* cache() { return cache_; }
 
  private:
+  /// Disk model for bucket `b`'s sequential reads (see set_topology).
+  const storage::DiskModel& SequentialModelFor(
+      storage::BucketIndex b) const {
+    return topology_ != nullptr ? topology_->ModelFor(b) : model_;
+  }
+
   storage::BucketCache* cache_;
   const storage::BTreeIndex* index_;
   storage::DiskModel model_;
   HybridConfig config_;
+  const storage::StorageTopology* topology_ = nullptr;
   util::ThreadPool* pool_ = nullptr;
   bool use_match_arenas_ = true;
+  bool use_io_arenas_ = true;
   EvaluatorStats stats_;
 };
 

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "query/workload.h"
+#include "util/arena.h"
 #include "util/coding.h"
 #include "util/crc32.h"
 
@@ -103,12 +104,17 @@ Status WorkloadSpillFile::Spill(storage::BucketIndex bucket,
 
 Status WorkloadSpillFile::Restore(storage::BucketIndex bucket,
                                   std::vector<WorkloadEntry>* out,
-                                  uint64_t* bytes_read) {
+                                  uint64_t* bytes_read,
+                                  util::Arena* scratch) {
   auto it = segments_.find(bucket);
   if (it == segments_.end()) return Status::OK();  // nothing spilled
   uint64_t read_total = 0;
   for (const Segment& seg : it->second) {
-    std::string record(seg.length, '\0');
+    // Segment read buffer: batch-scoped scratch, so a caller-provided
+    // bump arena can back it (deallocation becomes a no-op; the owner
+    // reclaims at the next dispatch). Null arena = plain heap.
+    util::ArenaVector<char> record(seg.length, '\0',
+                                   util::ArenaAllocator<char>(scratch));
     if (std::fseek(file_, static_cast<long>(seg.offset), SEEK_SET) != 0) {
       return Status::IOError("restore seek failed");
     }

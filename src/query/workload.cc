@@ -126,7 +126,14 @@ std::vector<WorkloadEntry> WorkloadManager::TakeBucket(
 
   if (spill_ != nullptr && spill_->HasSegments(b)) {
     uint64_t bytes = 0;
-    Status st = spill_->Restore(b, &entries, &bytes);
+    // The previous dispatch's restore buffers are long dead (they never
+    // outlive Restore), so the arena can be reclaimed wholesale here.
+    util::Arena* scratch = nullptr;
+    if (use_restore_arena_) {
+      restore_arena_.Reset();
+      scratch = &restore_arena_;
+    }
+    Status st = spill_->Restore(b, &entries, &bytes, scratch);
     // A spill-file failure loses queued work; surface loudly. (The API
     // predates Status plumbing here; corruption of our own scratch file
     // is a process-fatal invariant violation.)

@@ -69,6 +69,60 @@ class Scheduler {
     if (peek.empty()) return std::nullopt;
     return peek.front();
   }
+
+  /// Multi-volume prediction hook: the same predicted service order
+  /// PeekNextBuckets yields, peeked deep enough that every volume v is
+  /// represented by at least `want_per_volume[v]` of its own buckets —
+  /// exposing per-volume candidates so the prefetch pipeline can keep
+  /// every disk arm busy, not just the arms the front of the prediction
+  /// happens to touch. `volume_of` maps a bucket to its volume (indices
+  /// < want_per_volume.size()). The peek widens geometrically until
+  /// coverage holds or the policy runs out of candidates, so the result
+  /// is always a prefix-consistent extension of the plain peek: with one
+  /// volume wanting k this is exactly PeekNextBuckets(k).
+  std::vector<storage::BucketIndex> PeekNextBucketsCovering(
+      const query::WorkloadManager& manager, TimeMs now,
+      const CacheProbe& cached,
+      const std::function<uint32_t(storage::BucketIndex)>& volume_of,
+      const std::vector<size_t>& want_per_volume) const {
+    // Cap every volume's want by the candidates it can actually supply —
+    // asking for more than an arm has pending would make coverage
+    // unsatisfiable and drive the widening loop into a full re-ranking of
+    // every active bucket on every call (a drained arm is the common
+    // end-of-run state). The returned *content* is unchanged: a peek
+    // never yields more of a volume than its active buckets anyway.
+    std::vector<size_t> want = want_per_volume;
+    {
+      std::vector<size_t> available(want.size(), 0);
+      for (storage::BucketIndex b : manager.active_buckets()) {
+        ++available[volume_of(b)];
+      }
+      for (size_t v = 0; v < want.size(); ++v) {
+        want[v] = std::min(want[v], available[v]);
+      }
+    }
+    size_t k = 0;
+    for (size_t w : want) k += w;
+    if (k == 0) return {};
+    for (;;) {
+      std::vector<storage::BucketIndex> predicted =
+          PeekNextBuckets(manager, now, cached, k);
+      // Fewer than asked: every candidate with pending work is already
+      // included, so no wider peek can improve coverage.
+      if (predicted.size() < k) return predicted;
+      std::vector<size_t> have(want.size(), 0);
+      for (storage::BucketIndex b : predicted) ++have[volume_of(b)];
+      bool covered = true;
+      for (size_t v = 0; v < want.size(); ++v) {
+        if (have[v] < want[v]) {
+          covered = false;
+          break;
+        }
+      }
+      if (covered) return predicted;
+      k *= 2;
+    }
+  }
 };
 
 }  // namespace liferaft::sched

@@ -151,13 +151,26 @@ Result<RunMetrics> SimEngine::Run(
   pipeline_.reset();
   catalog_->store()->ResetStats();
   // The old cache (and any in-flight prefetch it still holds) is drained
-  // here, while the pool it may reference is still alive.
+  // here — while the pool it may reference is still alive, and before the
+  // topology it may shard by is replaced.
+  cache_.reset();
+  LIFERAFT_ASSIGN_OR_RETURN(
+      storage::StorageTopology topology,
+      storage::StorageTopology::Create(catalog_->num_buckets(),
+                                       config_.topology, config_.disk));
+  topology_ = std::make_unique<storage::StorageTopology>(std::move(topology));
+  // Volume-aligned cache sharding only when there genuinely are volumes
+  // to align with: a single-volume topology would collapse every bucket
+  // into shard 0 instead of reproducing the by-bucket-id map.
   cache_ = std::make_unique<storage::BucketCache>(
       catalog_->store(), std::max<size_t>(config_.cache_capacity, 1),
-      config_.cache_shards);
+      config_.cache_shards,
+      topology_->num_volumes() > 1 ? topology_.get() : nullptr);
   evaluator_ = std::make_unique<join::JoinEvaluator>(
       cache_.get(), catalog_->index(), model_, config_.hybrid);
   evaluator_->set_use_match_arenas(config_.match_arenas);
+  evaluator_->set_use_io_arenas(config_.io_arenas);
+  evaluator_->set_topology(topology_.get());
   if (config_.num_threads > 1) {
     if (pool_ == nullptr || pool_->num_threads() != config_.num_threads) {
       pool_ = std::make_unique<util::ThreadPool>(config_.num_threads);
@@ -169,6 +182,7 @@ Result<RunMetrics> SimEngine::Run(
   }
   manager_ =
       std::make_unique<query::WorkloadManager>(catalog_->num_buckets());
+  manager_->set_use_restore_arena(config_.io_arenas);
   if (!config_.spill_path.empty() &&
       config_.mode == ExecutionMode::kShared) {
     LIFERAFT_RETURN_IF_ERROR(manager_->EnableSpill(
@@ -185,7 +199,8 @@ Result<RunMetrics> SimEngine::Run(
     pipeline_config.prefetch_aware_eviction = config_.prefetch_aware_eviction;
     pipeline_config.collect_matches = config_.collect_matches;
     pipeline_ = std::make_unique<exec::BatchPipeline>(
-        scheduler_.get(), manager_.get(), evaluator_.get(), pipeline_config);
+        scheduler_.get(), manager_.get(), evaluator_.get(), pipeline_config,
+        topology_.get());
   }
 
   // Adaptive alpha plumbing (shared mode with a LifeRaft scheduler only).
@@ -268,7 +283,19 @@ Result<RunMetrics> SimEngine::Run(
                                ? scheduler_->name()
                                : ExecutionModeName(config_.mode);
   metrics.queries_completed = outcomes_.size();
+  // Makespan is the max over the completion clock and every arm's
+  // consumed-work clock. A batch completion always waits out its own
+  // arm's residual before its CPU phase, so the completion clock
+  // dominates and the max is exact — bit-identical to the pre-topology
+  // single-clock accounting on one volume.
   metrics.makespan_ms = clock_;
+  if (pipeline_ != nullptr) {
+    metrics.volumes = pipeline_->volume_stats();
+    for (const storage::VolumeIoStats& v : metrics.volumes) {
+      metrics.makespan_ms = std::max(metrics.makespan_ms,
+                                     v.consumed_until_ms);
+    }
+  }
   metrics.throughput_qps =
       clock_ > 0.0 ? static_cast<double>(n) / (clock_ / 1000.0) : 0.0;
   Percentiles pct;

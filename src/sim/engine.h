@@ -30,6 +30,7 @@
 #include "sched/scheduler.h"
 #include "sim/run_metrics.h"
 #include "storage/catalog.h"
+#include "storage/topology.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -52,7 +53,16 @@ struct EngineConfig {
   /// join results stay exact.
   size_t cache_shards = 1;
   join::HybridConfig hybrid;
+  /// Disk cost model; with a multi-volume topology this is the default
+  /// every volume inherits unless topology.volume_disk overrides it.
   storage::DiskModelParams disk;
+  /// Multi-volume storage topology (num_volumes, range/hash placement,
+  /// optional per-volume disk params): each volume models an independent
+  /// disk arm with its own prefetch queue and virtual busy time, so the
+  /// shared-mode pipeline overlaps fetches across arms. The default
+  /// single volume reproduces the pre-topology engine byte for byte.
+  /// Per-query modes use it only for per-volume T_b charging.
+  storage::StorageTopologyConfig topology;
   /// Keep match tuples (disable for scheduling-scale experiments).
   bool collect_matches = false;
   /// Worker threads for join work. 1 = serial, the paper's loop. In shared
@@ -95,6 +105,10 @@ struct EngineConfig {
   /// Per-worker bump arenas for parallel match collection (no effect at
   /// num_threads == 1). Results are byte-identical on or off.
   bool match_arenas = true;
+  /// Bump arenas for batch-scoped I/O scratch: spill-restore read buffers
+  /// and worker-side bucket page decode buffers. Results are
+  /// byte-identical on or off.
+  bool io_arenas = true;
   /// Optional workload-adaptive alpha: when set and the scheduler is a
   /// LifeRaftScheduler, the engine re-selects alpha from the observed
   /// arrival rate after every admission.
@@ -164,9 +178,11 @@ class SimEngine {
   std::unique_ptr<sched::Scheduler> scheduler_;
   EngineConfig config_;
 
-  // Run state.
+  // Run state. Declaration order matters: the cache (and evaluator)
+  // borrow the topology, so topology_ must outlive them on destruction.
   storage::DiskModel model_;
   std::unique_ptr<util::ThreadPool> pool_;  // non-null iff num_threads > 1
+  std::unique_ptr<storage::StorageTopology> topology_;
   std::unique_ptr<storage::BucketCache> cache_;
   std::unique_ptr<join::JoinEvaluator> evaluator_;
   std::unique_ptr<query::WorkloadManager> manager_;

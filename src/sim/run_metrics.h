@@ -6,11 +6,13 @@
 #define LIFERAFT_SIM_RUN_METRICS_H_
 
 #include <string>
+#include <vector>
 
 #include "join/evaluator.h"
 #include "query/workload.h"
 #include "storage/bucket_cache.h"
 #include "storage/bucket_store.h"
+#include "storage/topology.h"
 #include "util/clock.h"
 #include "util/stats.h"
 
@@ -21,7 +23,13 @@ struct RunMetrics {
   std::string scheduler_name;
   size_t queries_completed = 0;
 
-  /// Virtual time from t=0 to the last completion.
+  /// Virtual time from t=0 to the last completion, accounted as the max
+  /// over the completion clock and every disk arm's consumed-work clock.
+  /// Every batch completion waits out its own arm's residual before its
+  /// CPU phase, so the completion clock already dominates the arms and
+  /// the max is exact — single-volume runs report the identical value the
+  /// pre-topology engine did, and multi-volume runs shrink it by exactly
+  /// the fetch time the extra arms overlap.
   TimeMs makespan_ms = 0.0;
   /// queries_completed / makespan (the paper's throughput axis).
   double throughput_qps = 0.0;
@@ -50,11 +58,18 @@ struct RunMetrics {
   /// are in `cache`.
   TimeMs prefetch_hidden_ms = 0.0;
   /// Adaptive-prefetch telemetry (meaningful only when
-  /// EngineConfig::adaptive_prefetch): the controller's depth at end of
+  /// EngineConfig::adaptive_prefetch): arm 0's controller depth at end of
   /// run and its stale-claim EWMA — how mispredicted the tail of the run
-  /// looked to the feedback loop.
+  /// looked to the feedback loop. (Multi-volume runs have one controller
+  /// per arm; arm 0 keeps this field's single-volume meaning.)
   size_t prefetch_final_depth = 0;
   double prefetch_stale_ewma = 0.0;
+  /// Per-volume I/O telemetry (index = volume; one entry per disk arm,
+  /// exactly one for single-volume runs; empty in per-query modes, which
+  /// bypass the pipeline): foreground reads/bytes, prefetch issue/claim
+  /// counts, modeled busy and hidden time, and each arm's consumed-work
+  /// and speculative busy-until clocks.
+  std::vector<storage::VolumeIoStats> volumes;
 
   /// One-line human-readable summary.
   std::string Summary() const;

@@ -16,13 +16,19 @@ BucketCache::BucketFuture ReadyFuture(Result<std::shared_ptr<const Bucket>> r) {
 }  // namespace
 
 BucketCache::BucketCache(BucketStore* store, size_t capacity,
-                         size_t num_shards)
-    : store_(store), capacity_(capacity) {
+                         size_t num_shards, const StorageTopology* topology)
+    : store_(store), capacity_(capacity), topology_(topology) {
   assert(store_ != nullptr);
   assert(capacity_ > 0);
   // Every shard must hold at least one bucket, so the shard count is capped
-  // by the capacity; the remainder goes to the low shards.
+  // by the capacity; the remainder goes to the low shards. Under a
+  // volume-aligned map the shard key only ranges over the volumes, so the
+  // count is also capped there — extra shards could never receive an
+  // entry and would silently strand their slice of the capacity.
   num_shards = std::max<size_t>(1, std::min(num_shards, capacity_));
+  if (topology_ != nullptr) {
+    num_shards = std::min(num_shards, topology_->num_volumes());
+  }
   shards_.reserve(num_shards);
   const size_t base = capacity_ / num_shards;
   const size_t rem = capacity_ % num_shards;
@@ -155,7 +161,7 @@ void BucketCache::SetPredictionWindow(std::span<const BucketIndex> window) {
   // Split the window by shard first so each shard is locked exactly once.
   std::vector<std::vector<BucketIndex>> by_shard(shards_.size());
   for (BucketIndex b : window) {
-    by_shard[static_cast<size_t>(b) % shards_.size()].push_back(b);
+    by_shard[ShardKey(b) % shards_.size()].push_back(b);
   }
   for (size_t i = 0; i < shards_.size(); ++i) {
     Shard& shard = *shards_[i];
@@ -165,14 +171,14 @@ void BucketCache::SetPredictionWindow(std::span<const BucketIndex> window) {
   }
 }
 
-void BucketCache::RecordWastedPrefetch(const Inflight& inflight) {
+uint64_t BucketCache::RecordWastedPrefetch(const Inflight& inflight) {
   // The future is resolved by the caller (wait/get); only a successful
   // physical read counts — an Unimplemented store fetched nothing.
   const Result<std::shared_ptr<const Bucket>>& r = inflight.future.get();
-  if (r.ok()) {
-    stats_.prefetch_wasted_bytes.fetch_add((*r)->EstimatedBytes(),
-                                           std::memory_order_relaxed);
-  }
+  if (!r.ok()) return 0;
+  const uint64_t bytes = (*r)->EstimatedBytes();
+  stats_.prefetch_wasted_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  return bytes;
 }
 
 void BucketCache::InsertMru(Shard& shard, BucketIndex index,
@@ -262,11 +268,12 @@ BucketCache::BucketFuture BucketCache::PrefetchAsync(BucketIndex index) {
   return future;
 }
 
-void BucketCache::CancelPrefetch(BucketIndex index) {
+uint64_t BucketCache::CancelPrefetch(BucketIndex index) {
   Shard& shard = ShardFor(index);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto pending = shard.inflight.find(index);
-  if (pending == shard.inflight.end()) return;
+  if (pending == shard.inflight.end()) return 0;
+  uint64_t wasted = 0;
   if (pending->second.pinned_resident) {
     auto it = shard.map.find(index);
     assert(it != shard.map.end() && it->second->pins > 0);
@@ -276,10 +283,11 @@ void BucketCache::CancelPrefetch(BucketIndex index) {
     // Discard the fetched bucket unrecorded in the I/O ledger, but charge
     // its bytes to the wasted-prefetch counter — the mispredict's cost.
     pending->second.future.wait();
-    RecordWastedPrefetch(pending->second);
+    wasted = RecordWastedPrefetch(pending->second);
   }
   stats_.prefetch_cancels.fetch_add(1, std::memory_order_relaxed);
   shard.inflight.erase(pending);
+  return wasted;
 }
 
 void BucketCache::Clear() {

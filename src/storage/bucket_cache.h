@@ -71,6 +71,7 @@
 
 #include "storage/bucket.h"
 #include "storage/bucket_store.h"
+#include "storage/topology.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -118,7 +119,18 @@ class BucketCache {
   /// @param num_shards lock/LRU shards; clamped to [1, capacity] so every
   ///                   shard holds at least one bucket. 1 reproduces the
   ///                   unsharded cache exactly.
-  BucketCache(BucketStore* store, size_t capacity, size_t num_shards = 1);
+  /// @param topology   optional volume map (not owned; must outlive the
+  ///                   cache). When set, buckets shard by their volume
+  ///                   (VolumeOf(b) % num_shards) instead of by raw bucket
+  ///                   id — under range placement curve-adjacent buckets
+  ///                   then share a shard (and its LRU domain), aligning
+  ///                   the cache's lock/eviction domains with the arms
+  ///                   that feed them; num_shards is additionally clamped
+  ///                   to the volume count, since shards beyond it could
+  ///                   never receive an entry. Irrelevant at
+  ///                   num_shards == 1.
+  BucketCache(BucketStore* store, size_t capacity, size_t num_shards = 1,
+              const StorageTopology* topology = nullptr);
 
   /// Drains any in-flight prefetches before destruction.
   ~BucketCache();
@@ -145,9 +157,13 @@ class BucketCache {
   BucketFuture PrefetchAsync(BucketIndex index);
 
   /// Drops an unclaimed prefetch: unpins a resident bucket, or waits out
-  /// and discards an in-flight read (no stats are recorded for it).
-  /// No-op if no prefetch of `index` is outstanding.
-  void CancelPrefetch(BucketIndex index);
+  /// and discards an in-flight read (no read stats are recorded for it).
+  /// Returns the physical bytes the dropped bet had fetched (0 for a
+  /// pinned-resident or failed prefetch) — the same quantity charged to
+  /// the prefetch_wasted_bytes stat, returned so the caller can attribute
+  /// the waste (the adaptive controller's per-arm cost term).
+  /// No-op returning 0 if no prefetch of `index` is outstanding.
+  uint64_t CancelPrefetch(BucketIndex index);
 
   /// Publishes the prefetch predictor's current window: buckets predicted
   /// to be served next, demoted last by eviction (see file comment).
@@ -227,18 +243,26 @@ class BucketCache {
     std::atomic<uint64_t> evictions_protected{0};
   };
 
+  /// Shard key: the owning volume when a topology is attached (aligning
+  /// lock/LRU domains with arms), the raw bucket id otherwise.
+  size_t ShardKey(BucketIndex index) const {
+    return topology_ != nullptr
+               ? static_cast<size_t>(topology_->VolumeOf(index))
+               : static_cast<size_t>(index);
+  }
   Shard& ShardFor(BucketIndex index) {
-    return *shards_[static_cast<size_t>(index) % shards_.size()];
+    return *shards_[ShardKey(index) % shards_.size()];
   }
   const Shard& ShardFor(BucketIndex index) const {
-    return *shards_[static_cast<size_t>(index) % shards_.size()];
+    return *shards_[ShardKey(index) % shards_.size()];
   }
 
   // Shard-local helpers; the shard's mutex must be held.
   static void Touch(Shard& shard, std::list<Entry>::iterator it);
-  /// Records the physical bytes of a dropped-without-claim prefetch. Call
-  /// with the resolved future of a non-resident inflight entry.
-  void RecordWastedPrefetch(const Inflight& inflight);
+  /// Records the physical bytes of a dropped-without-claim prefetch and
+  /// returns them. Call with the resolved future of a non-resident
+  /// inflight entry.
+  uint64_t RecordWastedPrefetch(const Inflight& inflight);
   /// Inserts `bucket` most-recently-used and evicts down to the shard's
   /// capacity, skipping pinned entries (so residency may transiently
   /// exceed capacity while pins are held).
@@ -248,6 +272,7 @@ class BucketCache {
 
   BucketStore* store_;
   size_t capacity_;
+  const StorageTopology* topology_ = nullptr;
   util::ThreadPool* pool_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
   AtomicStats stats_;

@@ -14,6 +14,10 @@
 #include "storage/partitioner.h"
 #include "util/status.h"
 
+namespace liferaft::util {
+class Arena;  // util/arena.h; stores only pass the pointer through
+}  // namespace liferaft::util
+
 namespace liferaft::storage {
 
 /// Read-side I/O counters, reset-able between experiment phases.
@@ -71,6 +75,20 @@ class BucketStore {
       BucketIndex index) {
     (void)index;
     return Status::Unimplemented("store does not support prefetch reads");
+  }
+
+  /// ReadBucketForPrefetch with an optional bump arena for transient
+  /// decode buffers (the per-query NoShare fan-out passes the executing
+  /// worker's arena so the read path stops touching the heap for
+  /// scratch). `scratch` may be null (= plain heap); the returned Bucket
+  /// NEVER references arena memory — the arena only backs buffers that
+  /// die inside the call, so the caller may reset it at any batch/window
+  /// boundary. The default ignores the arena; results are byte-identical
+  /// with or without one.
+  virtual Result<std::shared_ptr<const Bucket>> ReadBucketForPrefetchScratch(
+      BucketIndex index, util::Arena* scratch) {
+    (void)scratch;
+    return ReadBucketForPrefetch(index);
   }
 
   /// Deferred accounting for a bucket obtained via ReadBucketForPrefetch;

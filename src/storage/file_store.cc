@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "geom/spherical.h"
+#include "util/arena.h"
 #include "util/coding.h"
 #include "util/crc32.h"
 
@@ -50,16 +51,47 @@ Status ReadExact(std::FILE* f, uint64_t offset, void* buf, size_t len) {
 
 }  // namespace
 
-FileStore::FileStore(std::FILE* file, std::vector<uint64_t> offsets,
+FileStore::FileStore(std::FILE* file, std::string path,
+                     std::vector<uint64_t> offsets,
                      std::vector<uint32_t> counts,
                      std::shared_ptr<const BucketMap> map)
-    : file_(file),
+    : path_(std::move(path)),
       offsets_(std::move(offsets)),
       counts_(std::move(counts)),
-      map_(std::move(map)) {}
+      map_(std::move(map)) {
+  auto lane = std::make_unique<IoLane>();
+  lane->file = file;
+  lanes_.push_back(std::move(lane));
+}
 
 FileStore::~FileStore() {
-  if (file_ != nullptr) std::fclose(file_);
+  for (auto& lane : lanes_) {
+    if (lane->file != nullptr) std::fclose(lane->file);
+  }
+}
+
+Status FileStore::AttachTopology(const StorageTopology* topology) {
+  // Keep lane 0 (the Open handle), drop any earlier topology's extras.
+  for (size_t i = 1; i < lanes_.size(); ++i) {
+    if (lanes_[i]->file != nullptr) std::fclose(lanes_[i]->file);
+  }
+  lanes_.resize(1);
+  topology_ = nullptr;
+  if (topology == nullptr || topology->num_volumes() == 1) return Status::OK();
+  // One independent handle per additional volume: separate file positions
+  // and stdio buffers, so per-volume reads never share mutable state.
+  for (size_t v = 1; v < topology->num_volumes(); ++v) {
+    std::FILE* f = std::fopen(path_.c_str(), "rb");
+    if (f == nullptr) {
+      return Status::IOError("cannot reopen " + path_ + " for volume " +
+                             std::to_string(v) + ": " + strerror(errno));
+    }
+    auto lane = std::make_unique<IoLane>();
+    lane->file = f;
+    lanes_.push_back(std::move(lane));
+  }
+  topology_ = topology;
+  return Status::OK();
 }
 
 Status FileStore::Create(const std::string& path,
@@ -175,40 +207,52 @@ Result<std::unique_ptr<FileStore>> FileStore::Open(const std::string& path) {
   auto map = std::make_shared<const BucketMap>(std::move(bounds));
 
   return std::unique_ptr<FileStore>(new FileStore(
-      f, std::move(offsets), std::move(counts), std::move(map)));
+      f, path, std::move(offsets), std::move(counts), std::move(map)));
 }
 
 Result<std::shared_ptr<const Bucket>> FileStore::ReadBucket(
     BucketIndex index) {
   LIFERAFT_ASSIGN_OR_RETURN(std::shared_ptr<const Bucket> bucket,
-                            ReadBucketPage(index));
+                            ReadBucketPage(index, /*scratch=*/nullptr));
   RecordRead(*bucket);
   return bucket;
 }
 
 Result<std::shared_ptr<const Bucket>> FileStore::ReadBucketForPrefetch(
     BucketIndex index) {
-  return ReadBucketPage(index);
+  return ReadBucketPage(index, /*scratch=*/nullptr);
+}
+
+Result<std::shared_ptr<const Bucket>> FileStore::ReadBucketForPrefetchScratch(
+    BucketIndex index, util::Arena* scratch) {
+  return ReadBucketPage(index, scratch);
 }
 
 Result<std::shared_ptr<const Bucket>> FileStore::ReadBucketPage(
-    BucketIndex index) {
+    BucketIndex index, util::Arena* scratch) {
   if (index >= offsets_.size()) {
     return Status::OutOfRange("bucket index out of range");
   }
-  std::lock_guard<std::mutex> lock(io_mu_);
+  IoLane& lane = LaneFor(index);
+  std::lock_guard<std::mutex> lock(lane.mu);
   char page_header[kBucketHeaderBytes];
   LIFERAFT_RETURN_IF_ERROR(
-      ReadExact(file_, offsets_[index], page_header, sizeof(page_header)));
+      ReadExact(lane.file, offsets_[index], page_header, sizeof(page_header)));
   htm::IdRange range{GetFixed64(page_header), GetFixed64(page_header + 8)};
   uint32_t count = GetFixed32(page_header + 16);
 
-  std::string payload(kBucketHeaderBytes + count * kRecordBytes, '\0');
+  // The page buffer dies inside this call, so a caller-scoped bump arena
+  // (per-query NoShare worker reads) can back it; deallocation is then a
+  // no-op and the bytes are reclaimed wholesale at the caller's next
+  // window boundary (~40 bytes/object held per read until then). Null
+  // arena = plain heap, byte-identical decode either way.
+  util::ArenaVector<char> payload(kBucketHeaderBytes + count * kRecordBytes,
+                                  '\0', util::ArenaAllocator<char>(scratch));
   LIFERAFT_RETURN_IF_ERROR(
-      ReadExact(file_, offsets_[index], payload.data(), payload.size()));
+      ReadExact(lane.file, offsets_[index], payload.data(), payload.size()));
   char crc_buf[4];
   LIFERAFT_RETURN_IF_ERROR(ReadExact(
-      file_, offsets_[index] + payload.size(), crc_buf, sizeof(crc_buf)));
+      lane.file, offsets_[index] + payload.size(), crc_buf, sizeof(crc_buf)));
   if (Crc32(payload.data(), payload.size()) != GetFixed32(crc_buf)) {
     return Status::Corruption("bucket " + std::to_string(index) +
                               " checksum mismatch");

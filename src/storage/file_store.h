@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "storage/bucket_store.h"
+#include "storage/topology.h"
 
 namespace liferaft::storage {
 
@@ -48,30 +49,61 @@ class FileStore : public BucketStore {
   /// checksum.
   static Result<std::unique_ptr<FileStore>> Open(const std::string& path);
 
+  /// Routes page I/O per volume (the multi-arm topology): each volume gets
+  /// its own FILE handle and I/O mutex, so reads on different volumes
+  /// proceed concurrently — physically independent arms — while reads on
+  /// one volume still serialize, mirroring the one-arm-per-volume cost
+  /// model. Call during setup, before any concurrent reads; the topology
+  /// is borrowed and must outlive the store (pass null to restore the
+  /// single shared handle).
+  Status AttachTopology(const StorageTopology* topology);
+
   size_t num_buckets() const override { return offsets_.size(); }
   const BucketMap& bucket_map() const override { return *map_; }
   size_t BucketObjectCount(BucketIndex index) const override {
     return index < counts_.size() ? counts_[index] : 0;
   }
   Result<std::shared_ptr<const Bucket>> ReadBucket(BucketIndex index) override;
-  /// Page reads share one FILE handle, so prefetch reads serialize against
-  /// owner reads on an internal mutex (still overlapping with the owner's
-  /// join compute, which is the point of the pipeline).
+  /// Page reads share one FILE handle per volume, so prefetch reads
+  /// serialize against owner reads of the same volume on that volume's
+  /// mutex (still overlapping with the owner's join compute, which is the
+  /// point of the pipeline) and run fully concurrently across volumes.
   bool SupportsConcurrentReads() const override { return true; }
   Result<std::shared_ptr<const Bucket>> ReadBucketForPrefetch(
       BucketIndex index) override;
+  /// Uses `scratch` for the page decode buffer (NoShare worker reads).
+  Result<std::shared_ptr<const Bucket>> ReadBucketForPrefetchScratch(
+      BucketIndex index, util::Arena* scratch) override;
 
  private:
-  FileStore(std::FILE* file, std::vector<uint64_t> offsets,
+  /// One volume's I/O lane: a dedicated file handle plus the mutex its
+  /// page reads serialize on.
+  struct IoLane {
+    std::FILE* file = nullptr;
+    std::mutex mu;
+  };
+
+  FileStore(std::FILE* file, std::string path, std::vector<uint64_t> offsets,
             std::vector<uint32_t> counts,
             std::shared_ptr<const BucketMap> map);
 
   /// The raw seek+read+checksum+decode of one bucket page, serialized on
-  /// io_mu_; records no stats.
-  Result<std::shared_ptr<const Bucket>> ReadBucketPage(BucketIndex index);
+  /// its volume's lane mutex; records no stats. `scratch`, when non-null,
+  /// backs the transient page buffer.
+  Result<std::shared_ptr<const Bucket>> ReadBucketPage(BucketIndex index,
+                                                       util::Arena* scratch);
 
-  std::mutex io_mu_;
-  std::FILE* file_;
+  IoLane& LaneFor(BucketIndex index) {
+    return *lanes_[topology_ != nullptr
+                       ? topology_->VolumeOf(index) % lanes_.size()
+                       : 0];
+  }
+
+  std::string path_;
+  /// lanes_[0] holds the handle Open created; AttachTopology adds one lane
+  /// per additional volume.
+  std::vector<std::unique_ptr<IoLane>> lanes_;
+  const StorageTopology* topology_ = nullptr;
   std::vector<uint64_t> offsets_;
   std::vector<uint32_t> counts_;
   std::shared_ptr<const BucketMap> map_;

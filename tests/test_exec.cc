@@ -144,6 +144,55 @@ TEST(PrefetchControllerTest, NoGrowthWithoutHiddenLatency) {
   EXPECT_EQ(controller.stats().grows, 0u);
 }
 
+// The wasted-bytes cost term: a clean stale rate with steady hidden
+// latency normally climbs to max_depth, but sustained canceled-after-
+// fetch bytes veto every grow decision until the waste EWMA decays.
+TEST(PrefetchControllerTest, SustainedWasteStallsGrowth) {
+  PrefetchControllerConfig config = ScriptedConfig();
+  config.initial_depth = 1;
+  config.grow_max_wasted_bytes = 1 << 20;
+  PrefetchController controller(config);
+
+  // Clean claims that hide latency, but every step also drops a fetched
+  // 4 MB bucket: rate-wise growable, cost-wise not.
+  PrefetchFeedback wasteful;
+  wasteful.claims = 8;  // keep the stale fraction (cancels/9) under grow
+  wasteful.cancels = 1;
+  wasteful.hidden_ms = 500.0;
+  wasteful.wasted_bytes = 4 << 20;
+  for (int i = 0; i < 6; ++i) controller.Observe(wasteful);
+  EXPECT_EQ(controller.depth(), 1u) << "growth must stall under waste";
+  EXPECT_EQ(controller.stats().grows, 0u);
+  EXPECT_GT(controller.stats().grows_vetoed_on_waste, 0u);
+  EXPECT_GT(controller.wasted_bytes_ewma(),
+            static_cast<double>(config.grow_max_wasted_bytes));
+
+  // Waste stops: the EWMA decays below the gate and growth resumes.
+  PrefetchFeedback clean = wasteful;
+  clean.cancels = 0;
+  clean.wasted_bytes = 0;
+  for (int i = 0; i < 12 && controller.depth() < config.max_depth; ++i) {
+    controller.Observe(clean);
+  }
+  EXPECT_EQ(controller.depth(), config.max_depth);
+  EXPECT_GT(controller.stats().grows, 0u);
+}
+
+// Zero waste must leave the grow rule exactly as it was before the cost
+// term existed (the veto can only ever bite on non-zero waste).
+TEST(PrefetchControllerTest, ZeroWasteNeverVetoesGrowth) {
+  PrefetchControllerConfig config = ScriptedConfig();
+  config.initial_depth = 1;
+  PrefetchController controller(config);
+  PrefetchFeedback good;
+  good.claims = 1;
+  good.hidden_ms = 500.0;
+  controller.Observe(good);
+  controller.Observe(good);
+  EXPECT_EQ(controller.depth(), 3u);
+  EXPECT_EQ(controller.stats().grows_vetoed_on_waste, 0u);
+}
+
 TEST(PrefetchControllerTest, ConfigValidation) {
   PrefetchControllerConfig config;
   EXPECT_TRUE(config.Validate().ok());

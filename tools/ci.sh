@@ -4,12 +4,14 @@
 # without Actions.
 #
 #   tools/ci.sh          # docs check + tier-1 build & test
-#   tools/ci.sh --tsan   # ThreadSanitizer smoke: builds test_thread_pool
-#                        # and test_storage with -fsanitize=thread and runs
-#                        # them (work stealing + sharded-cache races)
-#   tools/ci.sh --asan   # ASan+UBSan smoke: builds test_exec and
-#                        # test_storage with -fsanitize=address,undefined
-#                        # and runs them (arena lifetimes, prefetch
+#   tools/ci.sh --tsan   # ThreadSanitizer smoke: builds test_thread_pool,
+#                        # test_storage, and test_topology with
+#                        # -fsanitize=thread and runs them (work stealing +
+#                        # sharded-cache races + per-volume FileStore lanes)
+#   tools/ci.sh --asan   # ASan+UBSan smoke: builds test_exec, test_storage,
+#                        # and test_topology with
+#                        # -fsanitize=address,undefined and runs them (arena
+#                        # lifetimes incl. I/O scratch, prefetch
 #                        # claim/cancel memory, eviction-tier bookkeeping)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,11 +24,12 @@ if [ "${1:-}" = "--asan" ]; then
     -DLIFERAFT_BUILD_BENCH=OFF \
     -DLIFERAFT_BUILD_EXAMPLES=OFF \
     -DLIFERAFT_BUILD_TOOLS=OFF
-  cmake --build build-asan -j --target test_exec test_storage
+  cmake --build build-asan -j --target test_exec test_storage test_topology
   # Leak checking is on by default under ASan; -fno-sanitize-recover
   # already turned every UBSan diagnostic into a hard failure.
   ./build-asan/test_exec
   ./build-asan/test_storage
+  ./build-asan/test_topology
   echo "asan+ubsan smoke OK"
   exit 0
 fi
@@ -39,10 +42,11 @@ if [ "${1:-}" = "--tsan" ]; then
     -DLIFERAFT_BUILD_BENCH=OFF \
     -DLIFERAFT_BUILD_EXAMPLES=OFF \
     -DLIFERAFT_BUILD_TOOLS=OFF
-  cmake --build build-tsan -j --target test_thread_pool test_storage
+  cmake --build build-tsan -j --target test_thread_pool test_storage test_topology
   # halt_on_error so a reported race fails the job, not just the log.
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/test_thread_pool
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/test_storage
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/test_topology
   echo "tsan smoke OK"
   exit 0
 fi

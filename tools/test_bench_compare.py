@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_compare.py — the CI perf gate's comparator.
+
+The gate itself is load-bearing (a buggy comparator silently waves
+regressions through), so this suite pins down the behaviors the CI job
+relies on: threshold edges on real_time, counter direction handling,
+missing-counter tolerance, the skip list (default and user-supplied), and
+unreadable-input exit codes. Run directly or through ctest
+(bench_compare.test_bench_compare_py).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    "bench_compare.py")
+
+
+def bench(name, real_time, time_unit="ms", **counters):
+    entry = {"name": name, "real_time": real_time, "time_unit": time_unit}
+    entry.update(counters)
+    return entry
+
+
+def snapshot(*benchmarks):
+    return {"benchmarks": list(benchmarks)}
+
+
+class BenchCompareTest(unittest.TestCase):
+    def run_tool(self, anchor, current, *args):
+        """Writes both snapshots to temp files and runs the comparator."""
+        with tempfile.TemporaryDirectory() as d:
+            anchor_path = os.path.join(d, "anchor.json")
+            current_path = os.path.join(d, "current.json")
+            for path, data in ((anchor_path, anchor), (current_path, current)):
+                if isinstance(data, str):  # raw (possibly invalid) content
+                    with open(path, "w") as f:
+                        f.write(data)
+                else:
+                    with open(path, "w") as f:
+                        json.dump(data, f)
+            proc = subprocess.run(
+                [sys.executable, TOOL, anchor_path, current_path, *args],
+                capture_output=True, text=True)
+            return proc
+
+    # ---------------------------------------------- real_time threshold --
+
+    def test_identical_snapshots_pass(self):
+        snap = snapshot(bench("BM_X", 100.0))
+        proc = self.run_tool(snap, snap)
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_regression_just_beyond_threshold_fails(self):
+        anchor = snapshot(bench("BM_X", 100.0))
+        current = snapshot(bench("BM_X", 115.1))  # > +15%
+        proc = self.run_tool(anchor, current, "--threshold", "0.15")
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("REGRESSION", proc.stdout)
+
+    def test_regression_exactly_at_threshold_passes(self):
+        # The gate is strict-greater: exactly +15% is tolerated.
+        anchor = snapshot(bench("BM_X", 100.0))
+        current = snapshot(bench("BM_X", 114.99999))
+        proc = self.run_tool(anchor, current, "--threshold", "0.15")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_improvement_passes(self):
+        anchor = snapshot(bench("BM_X", 100.0))
+        current = snapshot(bench("BM_X", 50.0))
+        proc = self.run_tool(anchor, current)
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_time_unit_normalization(self):
+        # 0.1 s == 100 ms: different units, same duration, no regression.
+        anchor = snapshot(bench("BM_X", 100.0, time_unit="ms"))
+        current = snapshot(bench("BM_X", 0.1, time_unit="s"))
+        proc = self.run_tool(anchor, current)
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_tighter_threshold_flag(self):
+        anchor = snapshot(bench("BM_X", 100.0))
+        current = snapshot(bench("BM_X", 108.0))  # +8%
+        self.assertEqual(self.run_tool(anchor, current).returncode, 0)
+        proc = self.run_tool(anchor, current, "--threshold", "0.05")
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+
+    # --------------------------------------------------- counter gating --
+
+    def test_lower_is_better_counter_regression(self):
+        anchor = snapshot(bench("BM_X", 100.0, virtual_makespan_ms=1000.0))
+        current = snapshot(bench("BM_X", 100.0, virtual_makespan_ms=1200.0))
+        proc = self.run_tool(anchor, current)
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("virtual_makespan_ms", proc.stdout)
+
+    def test_higher_is_better_counter_regression(self):
+        anchor = snapshot(bench("BM_X", 100.0, prefetch_hidden_ms=500.0))
+        current = snapshot(bench("BM_X", 100.0, prefetch_hidden_ms=300.0))
+        proc = self.run_tool(anchor, current)
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        self.assertIn("prefetch_hidden_ms", proc.stdout)
+
+    def test_counter_improvement_in_each_direction_passes(self):
+        anchor = snapshot(bench("BM_X", 100.0, virtual_makespan_ms=1000.0,
+                                prefetch_hidden_ms=500.0))
+        current = snapshot(bench("BM_X", 100.0, virtual_makespan_ms=800.0,
+                                 prefetch_hidden_ms=700.0))
+        proc = self.run_tool(anchor, current)
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_counter_threshold_flag_is_independent(self):
+        anchor = snapshot(bench("BM_X", 100.0, virtual_makespan_ms=1000.0))
+        current = snapshot(bench("BM_X", 100.0, virtual_makespan_ms=1100.0))
+        # +10% counter drift: fine at the default, fails at 5%.
+        self.assertEqual(self.run_tool(anchor, current).returncode, 0)
+        proc = self.run_tool(anchor, current, "--counter-threshold", "0.05")
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+        # ...and --counter-threshold must not tighten real_time itself.
+        current = snapshot(bench("BM_X", 108.0, virtual_makespan_ms=1000.0))
+        proc = self.run_tool(anchor, current, "--counter-threshold", "0.05")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+
+    def test_missing_counter_on_either_side_is_tolerated(self):
+        # Counter present only in the anchor (removed) or only in the
+        # current (new telemetry): neither comparable, neither a failure.
+        anchor = snapshot(bench("BM_X", 100.0, virtual_makespan_ms=1000.0))
+        current = snapshot(bench("BM_X", 100.0))
+        self.assertEqual(self.run_tool(anchor, current).returncode, 0)
+        self.assertEqual(self.run_tool(current, anchor).returncode, 0)
+
+    def test_zero_anchor_counter_is_skipped(self):
+        # av <= 0 has no meaningful ratio; the gate must not divide by it.
+        anchor = snapshot(bench("BM_X", 100.0, prefetch_hidden_ms=0.0))
+        current = snapshot(bench("BM_X", 100.0, prefetch_hidden_ms=123.0))
+        self.assertEqual(self.run_tool(anchor, current).returncode, 0)
+
+    # ------------------------------------------------------- skip lists --
+
+    def test_default_skip_list_exempts_noisy_benches(self):
+        anchor = snapshot(bench("BM_EngineNoShareThreads/4", 100.0))
+        current = snapshot(bench("BM_EngineNoShareThreads/4", 900.0))
+        proc = self.run_tool(anchor, current)
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+        self.assertIn("SKIP", proc.stdout)
+
+    def test_no_default_skip_restores_gating(self):
+        anchor = snapshot(bench("BM_EngineNoShareThreads/4", 100.0))
+        current = snapshot(bench("BM_EngineNoShareThreads/4", 900.0))
+        proc = self.run_tool(anchor, current, "--no-default-skip")
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+
+    def test_user_skip_pattern(self):
+        anchor = snapshot(bench("BM_Flaky", 100.0), bench("BM_Solid", 100.0))
+        current = snapshot(bench("BM_Flaky", 900.0), bench("BM_Solid", 101.0))
+        proc = self.run_tool(anchor, current, "--skip", "^BM_Flaky")
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+        # The skip must not leak onto other benches.
+        current = snapshot(bench("BM_Flaky", 900.0), bench("BM_Solid", 900.0))
+        proc = self.run_tool(anchor, current, "--skip", "^BM_Flaky")
+        self.assertEqual(proc.returncode, 1, proc.stdout)
+
+    # ------------------------------------------- entry set differences --
+
+    def test_disjoint_benches_are_informational(self):
+        anchor = snapshot(bench("BM_Old", 100.0))
+        current = snapshot(bench("BM_New", 100.0))
+        proc = self.run_tool(anchor, current)
+        self.assertEqual(proc.returncode, 0, proc.stdout)
+        self.assertIn("only in anchor", proc.stdout)
+        self.assertIn("only in current", proc.stdout)
+
+    def test_aggregate_entries_are_ignored(self):
+        entry = bench("BM_X", 900.0)
+        entry["run_type"] = "aggregate"
+        anchor = snapshot(bench("BM_X", 100.0))
+        current = snapshot(entry)
+        # The aggregate is filtered out, so nothing is comparable.
+        self.assertEqual(self.run_tool(anchor, current).returncode, 0)
+
+    # ------------------------------------------------------ bad inputs --
+
+    def test_unreadable_input_exits_2(self):
+        proc = self.run_tool("{not json", snapshot(bench("BM_X", 1.0)))
+        self.assertEqual(proc.returncode, 2)
+        proc = subprocess.run(
+            [sys.executable, TOOL, "/nonexistent/a.json",
+             "/nonexistent/b.json"],
+            capture_output=True, text=True)
+        self.assertEqual(proc.returncode, 2)
+
+    def test_multiple_regressions_all_reported(self):
+        anchor = snapshot(bench("BM_A", 100.0), bench("BM_B", 100.0))
+        current = snapshot(bench("BM_A", 200.0), bench("BM_B", 200.0))
+        proc = self.run_tool(anchor, current)
+        self.assertEqual(proc.returncode, 1)
+        self.assertIn("BM_A", proc.stdout)
+        self.assertIn("BM_B", proc.stdout)
+        self.assertIn("2 regression(s)", proc.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
