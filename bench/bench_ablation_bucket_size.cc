@@ -22,7 +22,7 @@ void Run() {
     Standard s = BuildStandard(sc);
 
     Rng rng(9401);
-    auto arrivals = sim::PoissonArrivals(s.trace.size(), 0.5, &rng);
+    auto arrivals = *sim::PoissonArrivals(s.trace.size(), 0.5, &rng);
     auto m = RunShared(s.catalog.get(), MakeLifeRaft(*s.catalog, 0.25),
                        s.trace, arrivals);
     storage::DiskModel model(ScaledDiskParams());

@@ -20,9 +20,9 @@ void Run() {
   // Same long-run average: Poisson at 0.5 q/s vs 1.0 q/s bursts with 50%
   // duty cycle (5-minute mean phases).
   Rng rng1(9501), rng2(9501);
-  auto poisson = sim::PoissonArrivals(s.trace.size(), 0.5, &rng1);
+  auto poisson = *sim::PoissonArrivals(s.trace.size(), 0.5, &rng1);
   auto bursty =
-      sim::BurstyArrivals(s.trace.size(), 1.0, 0.0, 300'000.0, &rng2);
+      *sim::BurstyArrivals(s.trace.size(), 1.0, 0.0, 300'000.0, &rng2);
 
   struct Policy {
     std::string label;

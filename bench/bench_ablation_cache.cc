@@ -18,7 +18,7 @@ void Run() {
   Standard s = BuildStandard();
 
   Rng rng(9103);
-  auto arrivals = sim::PoissonArrivals(s.trace.size(), 0.5, &rng);
+  auto arrivals = *sim::PoissonArrivals(s.trace.size(), 0.5, &rng);
 
   Table table({"cache_buckets", "a0_throughput", "a0_hit_pct", "a0_reads",
                "a1_throughput", "a1_hit_pct", "a1_reads"});

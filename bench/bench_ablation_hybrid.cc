@@ -17,7 +17,7 @@ void Run() {
   Standard s = BuildStandard();
 
   Rng rng(9209);
-  auto arrivals = sim::PoissonArrivals(s.trace.size(), 0.5, &rng);
+  auto arrivals = *sim::PoissonArrivals(s.trace.size(), 0.5, &rng);
 
   Table table({"threshold", "a0_throughput", "a0_resp_s", "a1_throughput",
                "a1_resp_s", "a1_indexed_batches"});

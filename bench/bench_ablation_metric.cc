@@ -17,7 +17,7 @@ void Run() {
   Standard s = BuildStandard();
 
   Rng rng(9001);
-  auto arrivals = sim::PoissonArrivals(s.trace.size(), 0.5, &rng);
+  auto arrivals = *sim::PoissonArrivals(s.trace.size(), 0.5, &rng);
 
   for (auto norm : {sched::MetricNormalization::kNormalized,
                     sched::MetricNormalization::kRawPaper}) {

@@ -19,7 +19,7 @@ void Run() {
   Standard s = BuildStandard();
 
   Rng rng(9311);
-  auto arrivals = sim::PoissonArrivals(s.trace.size(), 0.5, &rng);
+  auto arrivals = *sim::PoissonArrivals(s.trace.size(), 0.5, &rng);
 
   struct Row {
     std::string label;

@@ -19,7 +19,7 @@ void Run() {
   Standard s = BuildStandard();
 
   Rng rng(9601);
-  auto arrivals = sim::PoissonArrivals(s.trace.size(), 0.5, &rng);
+  auto arrivals = *sim::PoissonArrivals(s.trace.size(), 0.5, &rng);
   std::string spill_path =
       (std::filesystem::temp_directory_path() /
        ("liferaft_bench_spill_" + std::to_string(::getpid())))

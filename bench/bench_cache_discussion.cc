@@ -17,7 +17,7 @@ void Run() {
   Standard s = BuildStandard();
 
   Rng rng(6007);
-  auto arrivals = sim::PoissonArrivals(s.trace.size(), 0.5, &rng);
+  auto arrivals = *sim::PoissonArrivals(s.trace.size(), 0.5, &rng);
 
   Table table({"policy", "cache_hit_pct", "bucket_reads", "throughput_qps"});
   for (double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {

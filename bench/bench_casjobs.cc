@@ -33,7 +33,7 @@ void Run() {
     }
   }
   Rng rng(9703);
-  auto arrivals = sim::PoissonArrivals(s.trace.size(), 0.5, &rng);
+  auto arrivals = *sim::PoissonArrivals(s.trace.size(), 0.5, &rng);
 
   Table table({"system", "short_resp_s", "long_resp_s", "throughput_qps",
                "bucket_reads"});

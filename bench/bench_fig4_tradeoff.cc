@@ -31,7 +31,7 @@ void Run() {
 
   for (const CurveSpec& spec : curves) {
     Rng rng(4007);
-    auto arrivals = sim::PoissonArrivals(s.trace.size(), spec.rate_qps,
+    auto arrivals = *sim::PoissonArrivals(s.trace.size(), spec.rate_qps,
                                          &rng);
     std::vector<sched::TradeoffPoint> curve;
     for (double alpha : alphas) {

@@ -24,7 +24,7 @@ void Run() {
   // differentiate. (Queuing all 2,000 queries at t=0 would degenerate into
   // one full sweep where every policy ties.)
   Rng rng(1009);
-  auto arrivals = sim::PoissonArrivals(s.trace.size(), 0.5, &rng);
+  auto arrivals = *sim::PoissonArrivals(s.trace.size(), 0.5, &rng);
 
   struct Row {
     std::string label;

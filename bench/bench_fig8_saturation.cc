@@ -32,7 +32,7 @@ void Run() {
   std::vector<std::vector<sim::RunMetrics>> grid;
   for (double rate : saturations) {
     Rng rng(8011);  // same arrival schedule for every alpha at this rate
-    auto arrivals = sim::PoissonArrivals(s.trace.size(), rate, &rng);
+    auto arrivals = *sim::PoissonArrivals(s.trace.size(), rate, &rng);
     std::vector<sim::RunMetrics> row;
     for (double alpha : alphas) {
       row.push_back(RunShared(s.catalog.get(),

@@ -369,6 +369,47 @@ void BM_ParallelJoinArenas(benchmark::State& state) {
 }
 BENCHMARK(BM_ParallelJoinArenas)->Arg(0)->Arg(1)->MeasureProcessCPUTime();
 
+/// Continuous serving at an offered Poisson rate of arg/10 QPS with a
+/// bounded admission queue. The figure of merit is sustainable QPS at a
+/// tail-latency target (see docs/BENCHMARKS.md): sweep the offered rate
+/// and take the highest whose p99_interactive_ms stays under target.
+/// Counters: sustained_qps (completed work rate), p99 per QoS class, and
+/// shed (arrivals rejected by admission control). All virtual-clock
+/// quantities — deterministic at a fixed seed; wall time measures the
+/// serving loop's real overhead.
+void BM_EngineServe(benchmark::State& state) {
+  auto fx = EngineFixture::Make(30'000, 24);
+  sim::EngineConfig config;
+  sim::ServeConfig serve;
+  serve.arrivals.kind = sim::ArrivalSpec::Kind::kPoisson;
+  serve.arrivals.rate_qps = static_cast<double>(state.range(0)) / 10.0;
+  serve.arrivals.seed = 59;
+  serve.max_pending_queries = 16;
+  double sustained = 0.0;
+  double p99_interactive = 0.0;
+  double p99_batch = 0.0;
+  double shed = 0.0;
+  for (auto _ : state) {
+    sched::LifeRaftConfig sc;
+    sc.alpha = 0.25;
+    sim::SimEngine engine(fx.catalog.get(),
+                          std::make_unique<sched::LifeRaftScheduler>(
+                              fx.catalog->store(), storage::DiskModel{}, sc),
+                          config);
+    auto metrics = engine.Serve(fx.trace, serve);
+    sustained = metrics->sustained_qps;
+    p99_interactive = metrics->qos_classes[0].p99_response_ms;
+    p99_batch = metrics->qos_classes[1].p99_response_ms;
+    shed = static_cast<double>(metrics->queries_shed);
+    benchmark::DoNotOptimize(metrics);
+  }
+  state.counters["sustained_qps"] = sustained;
+  state.counters["p99_interactive_ms"] = p99_interactive;
+  state.counters["p99_batch_ms"] = p99_batch;
+  state.counters["shed"] = shed;
+}
+BENCHMARK(BM_EngineServe)->Arg(2)->Arg(5)->Arg(20);
+
 /// NoShare drain at 1 vs 4 worker threads: per-query fan-out wall-clock
 /// speedup (virtual results are byte-identical by construction).
 void BM_EngineNoShareThreads(benchmark::State& state) {

@@ -79,7 +79,7 @@ int main() {
   sched::AlphaSelector selector(/*tolerance=*/0.2);
   for (double rate : {0.1, 1.2}) {
     Rng rng(31);
-    auto arrivals = sim::PoissonArrivals(trace->size(), rate, &rng);
+    auto arrivals = *sim::PoissonArrivals(trace->size(), rate, &rng);
     std::vector<sched::TradeoffPoint> curve;
     for (double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
       auto m = Replay(catalog->get(), *trace, arrivals, alpha);
@@ -97,8 +97,8 @@ int main() {
   // every admission.
   std::printf("\nreplaying a workload whose saturation shifts...\n");
   Rng rng(37);
-  auto quiet = sim::PoissonArrivals(trace->size() / 2, 0.1, &rng);
-  auto busy = sim::PoissonArrivals(trace->size() - quiet.size(), 1.2, &rng);
+  auto quiet = *sim::PoissonArrivals(trace->size() / 2, 0.1, &rng);
+  auto busy = *sim::PoissonArrivals(trace->size() - quiet.size(), 1.2, &rng);
   std::vector<TimeMs> arrivals = quiet;
   for (TimeMs t : busy) arrivals.push_back(quiet.back() + t);
 

@@ -73,7 +73,7 @@ MixStats Replay(storage::Catalog* catalog,
   sim::SimEngine engine(catalog, std::move(scheduler), config);
 
   Rng rng(11);
-  auto arrivals = sim::PoissonArrivals(trace.size(), 0.5, &rng);
+  auto arrivals = *sim::PoissonArrivals(trace.size(), 0.5, &rng);
   auto metrics = engine.Run(trace, arrivals);
   if (!metrics.ok()) {
     std::fprintf(stderr, "run failed: %s\n",

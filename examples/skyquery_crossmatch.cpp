@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
               trace->size(), (*catalog)->num_buckets());
 
   Rng rng(7);
-  auto arrivals = sim::PoissonArrivals(trace->size(), 0.5, &rng);
+  auto arrivals = *sim::PoissonArrivals(trace->size(), 0.5, &rng);
 
   // NoShare: every query independent, arrival order.
   sim::EngineConfig noshare_config;

@@ -54,6 +54,9 @@ Result<std::unique_ptr<LifeRaft>> LifeRaft::Create(
   system->scheduler_ = std::make_unique<sched::LifeRaftScheduler>(
       system->catalog_->store(), storage::DiskModel(options.disk),
       sched_config);
+  // Rank T_b with the owning volume's disk model under heterogeneous
+  // topologies (uniform topologies rank identically).
+  system->scheduler_->AttachTopology(system->topology_.get());
 
   exec::PipelineConfig pipeline_config;
   pipeline_config.enable_prefetch = options.enable_prefetch;

@@ -66,12 +66,23 @@ void ArrivalRateEstimator::OnArrival(TimeMs now) {
 double ArrivalRateEstimator::RateQps(TimeMs now) const {
   TimeMs cutoff = now - window_ms_;
   auto first = std::lower_bound(arrivals_.begin(), arrivals_.end(), cutoff);
+  size_t in_window = static_cast<size_t>(arrivals_.end() - first);
+  if (in_window == 0) return 0.0;
+  // Denominator: how long we have actually been observing the window —
+  // elapsed time since the window opened, clamped to the clock origin for
+  // short warmups. Never the span between the arrivals themselves: that
+  // collapses to ~0 for a single arrival and reported ~1000 QPS the
+  // moment the first query of a run was admitted.
+  TimeMs elapsed = now - origin_ms_;
+  if (elapsed <= 0.0) return 0.0;
+  double span_ms = std::max(std::min(window_ms_, elapsed), 1.0);
+  return static_cast<double>(in_window) / (span_ms / 1000.0);
+}
+
+void ArrivalRateEstimator::Prune(TimeMs now) {
+  TimeMs cutoff = now - window_ms_;
+  auto first = std::lower_bound(arrivals_.begin(), arrivals_.end(), cutoff);
   arrivals_.erase(arrivals_.begin(), first);
-  if (arrivals_.empty()) return 0.0;
-  // Use the window width, clipped to the observed span for short warmups.
-  double span_ms = std::max(now - arrivals_.front(), 1.0);
-  double window = std::min(window_ms_, span_ms);
-  return static_cast<double>(arrivals_.size()) / (window / 1000.0);
 }
 
 }  // namespace liferaft::sched

@@ -55,21 +55,44 @@ class AlphaSelector {
 };
 
 /// Sliding-window arrival-rate estimator driving AlphaSelector online.
+///
+/// Not internally synchronized: RateQps is a pure read (it never mutates,
+/// so observing it from the serving loop is race-free under the caller's
+/// lock), and Prune is the explicit mutating call that discards arrivals
+/// older than the window — call it from wherever OnArrival is serialized
+/// (sim::AdmissionController holds one estimator under its mutex).
 class ArrivalRateEstimator {
  public:
-  /// @param window_ms width of the estimation window
-  explicit ArrivalRateEstimator(TimeMs window_ms = 60'000.0)
-      : window_ms_(window_ms) {}
+  /// @param window_ms  width of the estimation window
+  /// @param origin_ms  virtual time observation started (clock origin);
+  ///                   the rate denominator never extends before it
+  explicit ArrivalRateEstimator(TimeMs window_ms = 60'000.0,
+                                TimeMs origin_ms = 0.0)
+      : window_ms_(window_ms), origin_ms_(origin_ms) {}
 
-  /// Records a query arrival.
+  /// Records a query arrival. Arrivals must be non-decreasing.
   void OnArrival(TimeMs now);
 
-  /// Arrivals per second over the trailing window.
+  /// Arrivals per second over the trailing window. The denominator is the
+  /// observed elapsed time min(window_ms, now - origin_ms), NOT the span
+  /// between the arrivals themselves — a single warmup arrival therefore
+  /// reads as 1 / elapsed, not as ~1000 QPS from a degenerate 1 ms span.
+  /// Returns 0 before any time has elapsed. Does not mutate state.
   double RateQps(TimeMs now) const;
+
+  /// Discards arrivals that left the trailing window (explicitly mutating;
+  /// see class comment). RateQps ignores them either way — this only
+  /// bounds memory.
+  void Prune(TimeMs now);
+
+  /// Arrivals currently retained (pruned + in-window); for tests and
+  /// memory accounting.
+  size_t retained() const { return arrivals_.size(); }
 
  private:
   TimeMs window_ms_;
-  mutable std::vector<TimeMs> arrivals_;  // pruned lazily
+  TimeMs origin_ms_;
+  std::vector<TimeMs> arrivals_;
 };
 
 }  // namespace liferaft::sched

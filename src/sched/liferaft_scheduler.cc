@@ -84,8 +84,9 @@ std::optional<storage::BucketIndex> LifeRaftScheduler::RankBest(
     const query::WorkloadQueue& queue = manager.queue(b);
     uint64_t bytes = static_cast<uint64_t>(store_->BucketObjectCount(b)) *
                      storage::Bucket::kBytesPerObject;
-    double ut =
-        WorkloadThroughput(model_, queue.total_objects(), bytes, cached(b));
+    double ut = WorkloadThroughputOnVolume(topology_, model_, b,
+                                           queue.total_objects(), bytes,
+                                           cached(b));
     double age = EffectiveAge(queue, manager, now);
     ut_max = std::max(ut_max, ut);
     age_max = std::max(age_max, age);

@@ -39,6 +39,13 @@ class LifeRaftScheduler : public Scheduler {
 
   std::string name() const override;
 
+  /// Prices T_b per volume when a heterogeneous topology is attached (see
+  /// sched::WorkloadThroughputOnVolume); uniform or null topologies keep
+  /// the single-model ranking bit-for-bit.
+  void AttachTopology(const storage::StorageTopology* topology) override {
+    topology_ = topology;
+  }
+
   std::optional<storage::BucketIndex> PickBucket(
       const query::WorkloadManager& manager, TimeMs now,
       const CacheProbe& cached) override;
@@ -75,6 +82,9 @@ class LifeRaftScheduler : public Scheduler {
   const storage::BucketStore* store_;
   storage::DiskModel model_;
   LifeRaftConfig config_;
+  /// Optional volume map for per-volume T_b pricing (not owned; null =
+  /// price every bucket with model_).
+  const storage::StorageTopology* topology_ = nullptr;
 };
 
 }  // namespace liferaft::sched

@@ -1,5 +1,7 @@
 #include "sched/metric.h"
 
+#include "storage/topology.h"
+
 namespace liferaft::sched {
 
 double WorkloadThroughput(const storage::DiskModel& model,
@@ -10,6 +12,20 @@ double WorkloadThroughput(const storage::DiskModel& model,
   double tb = cached ? 0.0 : model.SequentialReadMs(bucket_bytes);
   double tm = model.MatchMs(queue_objects);
   return w / (tb + tm);
+}
+
+double WorkloadThroughputOnVolume(const storage::StorageTopology* topology,
+                                  const storage::DiskModel& fallback,
+                                  storage::BucketIndex bucket,
+                                  uint64_t queue_objects,
+                                  uint64_t bucket_bytes, bool cached) {
+  // The uniform gate keeps uniform topologies on the exact code path the
+  // single-model form takes: same model object, same arithmetic, same
+  // bits.
+  const storage::DiskModel& model =
+      (topology != nullptr && !topology->uniform()) ? topology->ModelFor(bucket)
+                                                    : fallback;
+  return WorkloadThroughput(model, queue_objects, bucket_bytes, cached);
 }
 
 double AgedThroughputRaw(double ut, double age_ms, double alpha) {

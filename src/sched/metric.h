@@ -25,7 +25,12 @@
 
 #include <cstdint>
 
+#include "storage/bucket.h"
 #include "storage/disk_model.h"
+
+namespace liferaft::storage {
+class StorageTopology;
+}  // namespace liferaft::storage
 
 namespace liferaft::sched {
 
@@ -44,6 +49,19 @@ enum class MetricNormalization {
 double WorkloadThroughput(const storage::DiskModel& model,
                           uint64_t queue_objects, uint64_t bucket_bytes,
                           bool cached);
+
+/// Volume-aware U_t: prices T_b with the disk model of the volume that
+/// actually owns `bucket`. With heterogeneous per-volume disks
+/// (StorageTopologyConfig::volume_disk) the global-model form over-ranks
+/// buckets on slow arms — the evaluator charges the volume model's T_b,
+/// so the scheduler must rank with the same one. A null or uniform
+/// topology falls back to `fallback` exactly (bit-identical to the
+/// single-model form, preserving every uniform-topology schedule).
+double WorkloadThroughputOnVolume(const storage::StorageTopology* topology,
+                                  const storage::DiskModel& fallback,
+                                  storage::BucketIndex bucket,
+                                  uint64_t queue_objects,
+                                  uint64_t bucket_bytes, bool cached);
 
 /// Combines U_t and age into U_a per Eq. 2 (raw form).
 double AgedThroughputRaw(double ut, double age_ms, double alpha);

@@ -16,6 +16,10 @@
 #include "storage/bucket.h"
 #include "util/clock.h"
 
+namespace liferaft::storage {
+class StorageTopology;
+}  // namespace liferaft::storage
+
 namespace liferaft::sched {
 
 /// Residency probe: phi(i) == 0 iff cached(i). Decouples schedulers from
@@ -29,6 +33,16 @@ class Scheduler {
 
   /// Display name for reports (e.g. "liferaft(a=0.25)", "rr").
   virtual std::string name() const = 0;
+
+  /// Attaches the storage topology so cost-based policies can price T_b
+  /// with the disk model of the volume a bucket actually lives on
+  /// (heterogeneous volume_disk makes T_b placement-dependent). The
+  /// engines call this during setup; `topology` must outlive scheduling
+  /// (may be null = single global model). Default: ignore — policies that
+  /// never look at disk cost need no topology.
+  virtual void AttachTopology(const storage::StorageTopology* topology) {
+    (void)topology;
+  }
 
   /// Picks the bucket to service next, or nullopt when no queue is
   /// non-empty. Must only return buckets in manager.active_buckets().

@@ -1,11 +1,20 @@
 #include "sim/arrivals.h"
 
-#include <cassert>
-
 namespace liferaft::sim {
 
-std::vector<TimeMs> PoissonArrivals(size_t n, double rate_qps, Rng* rng) {
-  assert(rate_qps > 0.0);
+// Validation note: the `!(x > 0.0)` form also rejects NaN, which would
+// otherwise sail through a `x <= 0.0` comparison and corrupt every
+// generated timestamp.
+
+Result<std::vector<TimeMs>> PoissonArrivals(size_t n, double rate_qps,
+                                            Rng* rng) {
+  if (rng == nullptr) {
+    return Status::InvalidArgument("PoissonArrivals: rng must be non-null");
+  }
+  if (!(rate_qps > 0.0)) {
+    return Status::InvalidArgument(
+        "PoissonArrivals: rate_qps must be positive");
+  }
   std::vector<TimeMs> out;
   out.reserve(n);
   double rate_per_ms = rate_qps / 1000.0;
@@ -17,8 +26,11 @@ std::vector<TimeMs> PoissonArrivals(size_t n, double rate_qps, Rng* rng) {
   return out;
 }
 
-std::vector<TimeMs> UniformArrivals(size_t n, double rate_qps) {
-  assert(rate_qps > 0.0);
+Result<std::vector<TimeMs>> UniformArrivals(size_t n, double rate_qps) {
+  if (!(rate_qps > 0.0)) {
+    return Status::InvalidArgument(
+        "UniformArrivals: rate_qps must be positive");
+  }
   std::vector<TimeMs> out;
   out.reserve(n);
   double spacing_ms = 1000.0 / rate_qps;
@@ -28,12 +40,24 @@ std::vector<TimeMs> UniformArrivals(size_t n, double rate_qps) {
   return out;
 }
 
-std::vector<TimeMs> BurstyArrivals(size_t n, double rate_on_qps,
-                                   double rate_off_qps, TimeMs mean_phase_ms,
-                                   Rng* rng) {
-  assert(rate_on_qps > 0.0);
-  assert(rate_off_qps >= 0.0);
-  assert(mean_phase_ms > 0.0);
+Result<std::vector<TimeMs>> BurstyArrivals(size_t n, double rate_on_qps,
+                                           double rate_off_qps,
+                                           TimeMs mean_phase_ms, Rng* rng) {
+  if (rng == nullptr) {
+    return Status::InvalidArgument("BurstyArrivals: rng must be non-null");
+  }
+  if (!(rate_on_qps > 0.0)) {
+    return Status::InvalidArgument(
+        "BurstyArrivals: rate_on_qps must be positive");
+  }
+  if (!(rate_off_qps >= 0.0)) {
+    return Status::InvalidArgument(
+        "BurstyArrivals: rate_off_qps must be >= 0");
+  }
+  if (!(mean_phase_ms > 0.0)) {
+    return Status::InvalidArgument(
+        "BurstyArrivals: mean_phase_ms must be positive");
+  }
   std::vector<TimeMs> out;
   out.reserve(n);
   TimeMs t = 0.0;

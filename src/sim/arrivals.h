@@ -12,22 +12,32 @@
 
 #include "util/clock.h"
 #include "util/random.h"
+#include "util/status.h"
 
 namespace liferaft::sim {
 
+// All generators validate their parameters and return
+// Status::InvalidArgument (TraceConfig::Validate style) instead of
+// asserting: the asserts vanished under NDEBUG, so a Release-mode caller
+// passing rate_qps = 0 silently produced inf/NaN timestamps that poisoned
+// every downstream virtual clock. n = 0 is valid everywhere and yields an
+// empty (OK) vector.
+
 /// `n` arrival timestamps (ms, ascending from 0) with exponential
 /// inter-arrival times of rate `rate_qps` queries/second.
-std::vector<TimeMs> PoissonArrivals(size_t n, double rate_qps, Rng* rng);
+Result<std::vector<TimeMs>> PoissonArrivals(size_t n, double rate_qps,
+                                            Rng* rng);
 
 /// Deterministic arrivals with fixed spacing 1/rate_qps.
-std::vector<TimeMs> UniformArrivals(size_t n, double rate_qps);
+Result<std::vector<TimeMs>> UniformArrivals(size_t n, double rate_qps);
 
 /// Two-phase Markov-modulated Poisson process: alternating exponentially-
 /// distributed ON (rate_on) and OFF (rate_off) phases with mean duration
-/// `mean_phase_ms` each. rate_off may be 0 for pure on/off bursts.
-std::vector<TimeMs> BurstyArrivals(size_t n, double rate_on_qps,
-                                   double rate_off_qps, TimeMs mean_phase_ms,
-                                   Rng* rng);
+/// `mean_phase_ms` each. rate_off may be 0 for pure on/off bursts (the
+/// generator jumps silent phases and keeps alternating).
+Result<std::vector<TimeMs>> BurstyArrivals(size_t n, double rate_on_qps,
+                                           double rate_off_qps,
+                                           TimeMs mean_phase_ms, Rng* rng);
 
 /// All queries present at t = 0 (closed-system batch replay).
 std::vector<TimeMs> ImmediateArrivals(size_t n);

@@ -30,7 +30,8 @@ Result<CasJobsMetrics> RunCasJobs(
 
   auto run_server = [&](const std::vector<query::CrossMatchQuery>& qs,
                         const std::vector<TimeMs>& arr,
-                        StreamingStats* response) -> Status {
+                        StreamingStats* response, double* p50, double* p95,
+                        double* p99) -> Status {
     if (qs.empty()) return Status::OK();
     EngineConfig engine_config;
     engine_config.mode = ExecutionMode::kNoShare;
@@ -38,18 +39,25 @@ Result<CasJobsMetrics> RunCasJobs(
     SimEngine engine(catalog, nullptr, engine_config);
     auto run = engine.Run(qs, arr);
     if (!run.ok()) return run.status();
+    Percentiles pct;
     for (const QueryOutcome& o : engine.outcomes()) {
       response->Add(o.ResponseMs());
+      pct.Add(o.ResponseMs());
     }
+    *p50 = pct.Percentile(50);
+    *p95 = pct.Percentile(95);
+    *p99 = pct.Percentile(99);
     metrics.makespan_ms = std::max(metrics.makespan_ms, run->makespan_ms);
     metrics.bucket_reads += run->store.bucket_reads;
     return Status::OK();
   };
 
-  LIFERAFT_RETURN_IF_ERROR(
-      run_server(short_queries, short_arrivals, &metrics.short_response_ms));
-  LIFERAFT_RETURN_IF_ERROR(
-      run_server(long_queries, long_arrivals, &metrics.long_response_ms));
+  LIFERAFT_RETURN_IF_ERROR(run_server(
+      short_queries, short_arrivals, &metrics.short_response_ms,
+      &metrics.short_p50_ms, &metrics.short_p95_ms, &metrics.short_p99_ms));
+  LIFERAFT_RETURN_IF_ERROR(run_server(
+      long_queries, long_arrivals, &metrics.long_response_ms,
+      &metrics.long_p50_ms, &metrics.long_p95_ms, &metrics.long_p99_ms));
 
   metrics.throughput_qps =
       metrics.makespan_ms > 0.0

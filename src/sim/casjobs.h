@@ -37,6 +37,11 @@ struct CasJobsMetrics {
   size_t long_queries = 0;
   StreamingStats short_response_ms;
   StreamingStats long_response_ms;
+  /// Tail latency per class (ms) — comparable to the serving loop's
+  /// per-QoS-class percentiles in RunMetrics::qos_classes. Zero for an
+  /// empty class.
+  double short_p50_ms = 0.0, short_p95_ms = 0.0, short_p99_ms = 0.0;
+  double long_p50_ms = 0.0, long_p95_ms = 0.0, long_p99_ms = 0.0;
   /// Sum of both servers' bucket reads (two servers, duplicated I/O).
   uint64_t bucket_reads = 0;
 };

@@ -109,24 +109,7 @@ Result<bool> SimEngine::PerQueryStep(
   return true;
 }
 
-Result<RunMetrics> SimEngine::Run(
-    const std::vector<query::CrossMatchQuery>& queries,
-    const std::vector<TimeMs>& arrivals_ms) {
-  if (queries.size() != arrivals_ms.size()) {
-    return Status::InvalidArgument("queries and arrivals size mismatch");
-  }
-  if (queries.empty()) {
-    return Status::InvalidArgument("empty trace");
-  }
-  if (!std::is_sorted(arrivals_ms.begin(), arrivals_ms.end())) {
-    return Status::InvalidArgument("arrivals must be ascending");
-  }
-  for (const auto& q : queries) {
-    if (q.objects.empty()) {
-      return Status::InvalidArgument("query " + std::to_string(q.id) +
-                                     " has no objects");
-    }
-  }
+Status SimEngine::PrepareRun(size_t expected_queries) {
   LIFERAFT_RETURN_IF_ERROR(config_.disk.Validate());
   if (config_.mode == ExecutionMode::kShared && scheduler_ == nullptr) {
     return Status::FailedPrecondition("shared mode requires a scheduler");
@@ -146,7 +129,7 @@ Result<RunMetrics> SimEngine::Run(
   peak_pending_objects_ = 0;
   pending_outcomes_.clear();
   outcomes_.clear();
-  outcomes_.reserve(queries.size());
+  outcomes_.reserve(expected_queries);
   total_matches_ = 0;
   pipeline_.reset();
   catalog_->store()->ResetStats();
@@ -159,6 +142,11 @@ Result<RunMetrics> SimEngine::Run(
       storage::StorageTopology::Create(catalog_->num_buckets(),
                                        config_.topology, config_.disk));
   topology_ = std::make_unique<storage::StorageTopology>(std::move(topology));
+  if (scheduler_ != nullptr) {
+    // Cost-based policies price T_b with the owning volume's model
+    // (heterogeneous volume_disk; uniform topologies rank identically).
+    scheduler_->AttachTopology(topology_.get());
+  }
   // Volume-aligned cache sharding only when there genuinely are volumes
   // to align with: a single-volume topology would collapse every bucket
   // into shard 0 instead of reproducing the by-bucket-id map.
@@ -202,6 +190,28 @@ Result<RunMetrics> SimEngine::Run(
         scheduler_.get(), manager_.get(), evaluator_.get(), pipeline_config,
         topology_.get());
   }
+  return Status::OK();
+}
+
+Result<RunMetrics> SimEngine::Run(
+    const std::vector<query::CrossMatchQuery>& queries,
+    const std::vector<TimeMs>& arrivals_ms) {
+  if (queries.size() != arrivals_ms.size()) {
+    return Status::InvalidArgument("queries and arrivals size mismatch");
+  }
+  if (queries.empty()) {
+    return Status::InvalidArgument("empty trace");
+  }
+  if (!std::is_sorted(arrivals_ms.begin(), arrivals_ms.end())) {
+    return Status::InvalidArgument("arrivals must be ascending");
+  }
+  for (const auto& q : queries) {
+    if (q.objects.empty()) {
+      return Status::InvalidArgument("query " + std::to_string(q.id) +
+                                     " has no objects");
+    }
+  }
+  LIFERAFT_RETURN_IF_ERROR(PrepareRun(queries.size()));
 
   // Adaptive alpha plumbing (shared mode with a LifeRaft scheduler only).
   auto* adaptive_target =
@@ -235,6 +245,7 @@ Result<RunMetrics> SimEngine::Run(
       (void)parts;
       if (config_.alpha_selector != nullptr && adaptive_target != nullptr) {
         rate_estimator.OnArrival(arrival);
+        rate_estimator.Prune(arrival);  // bound memory on long traces
         auto alpha =
             config_.alpha_selector->AlphaFor(rate_estimator.RateQps(arrival));
         if (alpha.ok()) adaptive_target->set_alpha(*alpha);
@@ -276,8 +287,10 @@ Result<RunMetrics> SimEngine::Run(
     // Final predictions whose buckets were never scheduled again.
     pipeline_->CancelOutstandingPrefetches();
   }
+  return AssembleMetrics(n);
+}
 
-  // Assemble metrics.
+RunMetrics SimEngine::AssembleMetrics(size_t n) {
   RunMetrics metrics;
   metrics.scheduler_name = config_.mode == ExecutionMode::kShared
                                ? scheduler_->name()
@@ -306,6 +319,7 @@ Result<RunMetrics> SimEngine::Run(
   metrics.avg_response_ms = metrics.response_stats.mean();
   metrics.p50_response_ms = pct.Percentile(50);
   metrics.p95_response_ms = pct.Percentile(95);
+  metrics.p99_response_ms = pct.Percentile(99);
   metrics.response_cov = metrics.response_stats.coefficient_of_variation();
   metrics.cache = cache_->stats();
   metrics.store = catalog_->store()->stats();
@@ -319,6 +333,148 @@ Result<RunMetrics> SimEngine::Run(
   if (pipeline_ != nullptr && pipeline_->controller() != nullptr) {
     metrics.prefetch_final_depth = pipeline_->controller()->depth();
     metrics.prefetch_stale_ewma = pipeline_->controller()->stale_ewma();
+    metrics.arm_final_depths.reserve(pipeline_->num_volumes());
+    for (size_t v = 0; v < pipeline_->num_volumes(); ++v) {
+      metrics.arm_final_depths.push_back(pipeline_->current_prefetch_depth(v));
+    }
+  }
+  return metrics;
+}
+
+Result<RunMetrics> SimEngine::Serve(
+    const std::vector<query::CrossMatchQuery>& queries,
+    const ServeConfig& serve) {
+  if (config_.mode != ExecutionMode::kShared) {
+    return Status::InvalidArgument(
+        "serving requires shared execution mode");
+  }
+  if (queries.empty()) {
+    return Status::InvalidArgument("empty trace");
+  }
+  for (const auto& q : queries) {
+    if (q.objects.empty()) {
+      return Status::InvalidArgument("query " + std::to_string(q.id) +
+                                     " has no objects");
+    }
+  }
+  LIFERAFT_RETURN_IF_ERROR(serve.Validate());
+  LIFERAFT_ASSIGN_OR_RETURN(std::vector<TimeMs> arrivals_ms,
+                            BuildArrivals(serve.arrivals, queries.size()));
+  LIFERAFT_RETURN_IF_ERROR(PrepareRun(queries.size()));
+
+  AdmissionController admission(serve, config_.rate_window_ms);
+  auto* adaptive_target =
+      dynamic_cast<sched::LifeRaftScheduler*>(scheduler_.get());
+
+  size_t next_arrival = 0;
+  const size_t n = queries.size();
+  size_t admitted = 0;
+  size_t shed_by_class[kNumQosClasses] = {0, 0};
+
+  auto admit_ready = [&]() -> Status {
+    while (next_arrival < n && arrivals_ms[next_arrival] <= clock_) {
+      const size_t i = next_arrival++;
+      const query::CrossMatchQuery& q = queries[i];
+      TimeMs arrival = arrivals_ms[i];
+      auto workloads = query::SplitQueryByBucket(q, catalog_->bucket_map());
+      QosClass qos = workloads.size() <= serve.interactive_max_parts
+                         ? QosClass::kInteractive
+                         : QosClass::kBatch;
+      // The controller sees the buffer as it stands; its verdict is final
+      // — a shed query never touches the workload manager.
+      bool admit = admission.Offer(arrival, manager_->total_pending_objects(),
+                                   manager_->pending_queries(),
+                                   q.objects.size());
+      if (!admit) {
+        ++shed_by_class[static_cast<size_t>(qos)];
+        continue;
+      }
+      if (pending_outcomes_.count(q.id) != 0) {
+        return Status::AlreadyExists("duplicate query id " +
+                                     std::to_string(q.id));
+      }
+      QueryOutcome outcome;
+      outcome.id = q.id;
+      outcome.arrival_ms = arrival;
+      outcome.parts = workloads.size();
+      outcome.qos = qos;
+      pending_outcomes_[q.id] = outcome;
+      query::CrossMatchQuery stamped;  // metadata only; objects live in
+      stamped.id = q.id;               // the workloads
+      stamped.arrival_ms = arrival;
+      stamped.predicate = q.predicate;
+      LIFERAFT_ASSIGN_OR_RETURN(size_t parts,
+                                manager_->Admit(stamped, workloads));
+      (void)parts;
+      ++admitted;
+      peak_pending_objects_ =
+          std::max(peak_pending_objects_, manager_->total_pending_objects());
+      if (config_.alpha_selector != nullptr && adaptive_target != nullptr) {
+        auto alpha =
+            config_.alpha_selector->AlphaFor(admission.RateQps(arrival));
+        if (alpha.ok()) adaptive_target->set_alpha(*alpha);
+      }
+    }
+    return Status::OK();
+  };
+
+  while (next_arrival < n || outcomes_.size() < admitted) {
+    LIFERAFT_RETURN_IF_ERROR(admit_ready());
+    Result<bool> worked = SharedStep();
+    if (!worked.ok()) return worked.status();
+    if (!*worked) {
+      if (next_arrival >= n) {
+        if (outcomes_.size() < admitted) {
+          return Status::Internal("no pending work but queries incomplete");
+        }
+        break;
+      }
+      // Idle until the next arrival.
+      clock_ = std::max(clock_, arrivals_ms[next_arrival]);
+    }
+  }
+  if (pipeline_ != nullptr) {
+    pipeline_->CancelOutstandingPrefetches();
+  }
+
+  RunMetrics metrics = AssembleMetrics(admitted);
+  metrics.queries_offered = n;
+  metrics.queries_shed = admission.shed();
+  metrics.offered_qps = metrics.makespan_ms > 0.0
+                            ? static_cast<double>(n) /
+                                  (metrics.makespan_ms / 1000.0)
+                            : 0.0;
+  metrics.sustained_qps =
+      metrics.makespan_ms > 0.0
+          ? static_cast<double>(outcomes_.size()) /
+                (metrics.makespan_ms / 1000.0)
+          : 0.0;
+  if (auto* lr = dynamic_cast<sched::LifeRaftScheduler*>(scheduler_.get())) {
+    metrics.alpha_final = lr->alpha();
+  }
+
+  // Per-class latency breakdown.
+  Percentiles class_pct[kNumQosClasses];
+  StreamingStats class_stats[kNumQosClasses];
+  size_t class_completed[kNumQosClasses] = {0, 0};
+  for (const QueryOutcome& o : outcomes_) {
+    const size_t c = static_cast<size_t>(o.qos);
+    class_pct[c].Add(o.ResponseMs());
+    class_stats[c].Add(o.ResponseMs());
+    ++class_completed[c];
+  }
+  metrics.qos_classes.resize(kNumQosClasses);
+  for (size_t c = 0; c < kNumQosClasses; ++c) {
+    QosClassMetrics& qc = metrics.qos_classes[c];
+    qc.name = QosClassName(static_cast<QosClass>(c));
+    qc.completed = class_completed[c];
+    qc.shed = shed_by_class[c];
+    qc.mean_response_ms = class_stats[c].mean();
+    if (class_completed[c] > 0) {
+      qc.p50_response_ms = class_pct[c].Percentile(50);
+      qc.p95_response_ms = class_pct[c].Percentile(95);
+      qc.p99_response_ms = class_pct[c].Percentile(99);
+    }
   }
   return metrics;
 }

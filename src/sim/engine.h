@@ -29,6 +29,7 @@
 #include "sched/adaptive.h"
 #include "sched/scheduler.h"
 #include "sim/run_metrics.h"
+#include "sim/serve.h"
 #include "storage/catalog.h"
 #include "storage/topology.h"
 #include "util/status.h"
@@ -129,6 +130,8 @@ struct QueryOutcome {
   TimeMs completion_ms = 0.0;
   size_t parts = 0;
   uint64_t matches = 0;
+  /// QoS class assigned at admission (serving mode; kBatch for Run).
+  QosClass qos = QosClass::kBatch;
 
   TimeMs ResponseMs() const { return completion_ms - arrival_ms; }
 };
@@ -148,6 +151,17 @@ class SimEngine {
   Result<RunMetrics> Run(const std::vector<query::CrossMatchQuery>& queries,
                          const std::vector<TimeMs>& arrivals_ms);
 
+  /// Continuous serving (shared mode only): queries arrive open-loop per
+  /// `serve.arrivals`, are QoS-classified by fan-out, and pass the
+  /// admission controller before entering the workload manager — arrivals
+  /// it sheds never execute and are reported per class in
+  /// RunMetrics::qos_classes. With an EngineConfig::alpha_selector the
+  /// LifeRaft alpha is re-selected online from the controller's offered-
+  /// rate estimate. A kTrace spec with no shedding bounds and no selector
+  /// reproduces Run(queries, trace) exactly.
+  Result<RunMetrics> Serve(const std::vector<query::CrossMatchQuery>& queries,
+                           const ServeConfig& serve);
+
   /// Outcomes of the last Run, in completion order.
   const std::vector<QueryOutcome>& outcomes() const { return outcomes_; }
 
@@ -161,6 +175,16 @@ class SimEngine {
     std::vector<query::BucketWorkload> workloads;
     TimeMs arrival_ms;
   };
+
+  // Validates the disk model / scheduler preconditions, resets all run
+  // state, and (re)builds topology, cache, evaluator, manager, and — in
+  // shared mode — the batch pipeline. Shared verbatim between Run and
+  // Serve so both drive the identical execution stack.
+  Status PrepareRun(size_t expected_queries);
+  // Collects the common (mode-independent) portion of RunMetrics from the
+  // engine's post-loop state. `n` is the query count used for the
+  // throughput denominator.
+  RunMetrics AssembleMetrics(size_t n);
 
   // One scheduling step in shared mode (delegates to the unified
   // exec::BatchPipeline); advances the clock. Returns false if there was

@@ -18,6 +18,20 @@
 
 namespace liferaft::sim {
 
+/// Per-QoS-class serving telemetry (SimEngine::Serve only; closed-workload
+/// runs leave RunMetrics::qos_classes empty). Latencies are admission-to-
+/// completion on the virtual clock.
+struct QosClassMetrics {
+  std::string name;
+  size_t completed = 0;
+  /// Arrivals of this class rejected by the admission controller.
+  size_t shed = 0;
+  double mean_response_ms = 0.0;
+  double p50_response_ms = 0.0;
+  double p95_response_ms = 0.0;
+  double p99_response_ms = 0.0;
+};
+
 /// Everything measured over one simulated run.
 struct RunMetrics {
   std::string scheduler_name;
@@ -39,6 +53,7 @@ struct RunMetrics {
   double avg_response_ms = 0.0;
   double p50_response_ms = 0.0;
   double p95_response_ms = 0.0;
+  double p99_response_ms = 0.0;
   /// Coefficient of variance of response time (Fig 7b's second series).
   double response_cov = 0.0;
 
@@ -70,6 +85,29 @@ struct RunMetrics {
   /// counts, modeled busy and hidden time, and each arm's consumed-work
   /// and speculative busy-until clocks.
   std::vector<storage::VolumeIoStats> volumes;
+  /// Each arm's prefetch-controller depth at end of run (one entry per
+  /// volume under adaptive_prefetch, empty otherwise). prefetch_final_depth
+  /// keeps reporting arm 0 for single-volume compatibility; this vector is
+  /// the multi-arm view.
+  std::vector<size_t> arm_final_depths;
+
+  // ------------------------------------------------------- serving mode --
+  // Filled by SimEngine::Serve; zero / empty for closed-workload Run.
+
+  /// Arrivals offered to the admission controller (admitted + shed).
+  uint64_t queries_offered = 0;
+  /// Arrivals rejected by load shedding.
+  uint64_t queries_shed = 0;
+  /// Offered load: queries_offered / makespan.
+  double offered_qps = 0.0;
+  /// Completed work rate actually sustained: queries_completed / makespan.
+  /// Equals throughput_qps when nothing is shed.
+  double sustained_qps = 0.0;
+  /// LifeRaft alpha at end of run (the adaptive controller's last choice;
+  /// the configured alpha when no AlphaSelector is attached).
+  double alpha_final = 0.0;
+  /// Per-class latency/shed breakdown, indexed by sim::QosClass.
+  std::vector<QosClassMetrics> qos_classes;
 
   /// One-line human-readable summary.
   std::string Summary() const;

@@ -1,0 +1,127 @@
+#include "sim/serve.h"
+
+#include <algorithm>
+#include <string>
+
+#include "sim/arrivals.h"
+#include "util/random.h"
+
+namespace liferaft::sim {
+
+const char* QosClassName(QosClass c) {
+  switch (c) {
+    case QosClass::kInteractive:
+      return "interactive";
+    case QosClass::kBatch:
+      return "batch";
+  }
+  return "?";
+}
+
+Status ArrivalSpec::Validate(size_t n) const {
+  switch (kind) {
+    case Kind::kTrace:
+      if (trace.size() != n) {
+        return Status::InvalidArgument(
+            "ArrivalSpec: trace size " + std::to_string(trace.size()) +
+            " does not match query count " + std::to_string(n));
+      }
+      if (!std::is_sorted(trace.begin(), trace.end())) {
+        return Status::InvalidArgument("ArrivalSpec: trace must be ascending");
+      }
+      return Status::OK();
+    case Kind::kPoisson:
+    case Kind::kUniform:
+      if (!(rate_qps > 0.0)) {
+        return Status::InvalidArgument(
+            "ArrivalSpec: rate_qps must be positive");
+      }
+      return Status::OK();
+    case Kind::kBursty:
+      if (!(rate_qps > 0.0)) {
+        return Status::InvalidArgument(
+            "ArrivalSpec: rate_qps must be positive");
+      }
+      if (!(rate_off_qps >= 0.0)) {
+        return Status::InvalidArgument(
+            "ArrivalSpec: rate_off_qps must be >= 0");
+      }
+      if (!(mean_phase_ms > 0.0)) {
+        return Status::InvalidArgument(
+            "ArrivalSpec: mean_phase_ms must be positive");
+      }
+      return Status::OK();
+  }
+  return Status::InvalidArgument("ArrivalSpec: unknown kind");
+}
+
+Result<std::vector<TimeMs>> BuildArrivals(const ArrivalSpec& spec, size_t n) {
+  LIFERAFT_RETURN_IF_ERROR(spec.Validate(n));
+  Rng rng(spec.seed);
+  switch (spec.kind) {
+    case ArrivalSpec::Kind::kPoisson:
+      return PoissonArrivals(n, spec.rate_qps, &rng);
+    case ArrivalSpec::Kind::kUniform:
+      return UniformArrivals(n, spec.rate_qps);
+    case ArrivalSpec::Kind::kBursty:
+      return BurstyArrivals(n, spec.rate_qps, spec.rate_off_qps,
+                            spec.mean_phase_ms, &rng);
+    case ArrivalSpec::Kind::kTrace:
+      return spec.trace;
+  }
+  return Status::InvalidArgument("BuildArrivals: unknown kind");
+}
+
+Status ServeConfig::Validate() const {
+  // Arrival parameters are checked against the query count in Serve;
+  // Validate(0) would reject non-empty traces, so only the shape-
+  // independent fields are checked here.
+  if (interactive_max_parts == 0) {
+    return Status::InvalidArgument(
+        "ServeConfig: interactive_max_parts must be >= 1");
+  }
+  return Status::OK();
+}
+
+AdmissionController::AdmissionController(const ServeConfig& config,
+                                         TimeMs rate_window_ms)
+    : max_pending_queries_(config.max_pending_queries),
+      max_pending_objects_(config.max_pending_objects),
+      estimator_(rate_window_ms) {}
+
+bool AdmissionController::Offer(TimeMs now, uint64_t pending_objects,
+                                size_t pending_queries,
+                                uint64_t query_objects) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // The estimator sees every offered arrival, shed or not: the adaptive
+  // alpha must react to offered load, which is what saturates the system.
+  estimator_.OnArrival(now);
+  ++offered_;
+  bool over_queries = max_pending_queries_ != 0 &&
+                      pending_queries + 1 > max_pending_queries_;
+  bool over_objects = max_pending_objects_ != 0 &&
+                      pending_objects + query_objects > max_pending_objects_;
+  if (over_queries || over_objects) {
+    ++shed_;
+    return false;
+  }
+  return true;
+}
+
+double AdmissionController::RateQps(TimeMs now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  estimator_.Prune(now);
+  return estimator_.RateQps(now);
+}
+
+uint64_t AdmissionController::offered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return offered_;
+}
+
+uint64_t AdmissionController::shed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+}  // namespace liferaft::sim

@@ -124,14 +124,14 @@ TEST(RunMetricsTest, SummaryContainsKeyNumbers) {
 
 TEST(ArrivalsEdgeTest, SingleQuerySchedules) {
   Rng rng(1009);
-  EXPECT_EQ(sim::PoissonArrivals(1, 0.5, &rng).size(), 1u);
-  EXPECT_EQ(sim::UniformArrivals(1, 2.0).size(), 1u);
+  EXPECT_EQ(sim::PoissonArrivals(1, 0.5, &rng)->size(), 1u);
+  EXPECT_EQ(sim::UniformArrivals(1, 2.0)->size(), 1u);
   EXPECT_EQ(sim::ImmediateArrivals(0).size(), 0u);
 }
 
 TEST(ArrivalsEdgeTest, BurstyWithNonzeroOffRate) {
   Rng rng(1013);
-  auto arrivals = sim::BurstyArrivals(500, 2.0, 0.1, 10'000.0, &rng);
+  auto arrivals = *sim::BurstyArrivals(500, 2.0, 0.1, 10'000.0, &rng);
   EXPECT_EQ(arrivals.size(), 500u);
   EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
 }

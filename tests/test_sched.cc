@@ -12,8 +12,10 @@
 #include "sched/least_sharable.h"
 #include "sched/liferaft_scheduler.h"
 #include "sched/metric.h"
+#include "sched/qos.h"
 #include "sched/round_robin.h"
 #include "storage/catalog.h"
+#include "storage/topology.h"
 #include "util/random.h"
 #include "workload/catalog_gen.h"
 
@@ -510,6 +512,192 @@ TEST(ArrivalRateEstimatorTest, WindowForgetsOldArrivals) {
   EXPECT_GT(est.RateQps(1'000.0), 50.0);
   // 10 virtual seconds later the burst left the window entirely.
   EXPECT_EQ(est.RateQps(11'000.0), 0.0);
+}
+
+TEST(ArrivalRateEstimatorTest, SingleWarmupArrivalIsNotAThousandQps) {
+  // Regression: the old RateQps divided by the span between the arrivals
+  // themselves, clamped to 1 ms — so the first arrival of a run read as
+  // ~1000 QPS and slammed the alpha selector onto its highest-saturation
+  // curve. The denominator is now the observed elapsed time.
+  ArrivalRateEstimator est(60'000.0);
+  est.OnArrival(5'000.0);
+  // One arrival in 5 observed seconds = 0.2 QPS (the engine queries the
+  // estimator at the arrival's own timestamp, exactly like this).
+  EXPECT_NEAR(est.RateQps(5'000.0), 0.2, 1e-12);
+  EXPECT_LT(est.RateQps(5'000.0), 1.0);
+}
+
+TEST(ArrivalRateEstimatorTest, ZeroElapsedReportsZero) {
+  ArrivalRateEstimator est(10'000.0);
+  EXPECT_EQ(est.RateQps(0.0), 0.0);  // no arrivals at all
+  est.OnArrival(0.0);
+  // An arrival at the clock origin with no time elapsed: no meaningful
+  // rate yet (the old code reported 1000 QPS here).
+  EXPECT_EQ(est.RateQps(0.0), 0.0);
+  // Once time passes the arrival counts against real elapsed time.
+  EXPECT_NEAR(est.RateQps(2'000.0), 0.5, 1e-12);
+}
+
+TEST(ArrivalRateEstimatorTest, RateQpsIsConstPruneIsExplicit) {
+  // RateQps must not mutate (it is read concurrently under the admission
+  // controller's lock discipline); Prune is the explicit trim.
+  ArrivalRateEstimator est(1'000.0);
+  for (int i = 0; i < 100; ++i) est.OnArrival(i * 10.0);  // 0..990 ms
+  double rate = est.RateQps(1'500.0);  // window [500, 1500]: 50 arrivals
+  EXPECT_NEAR(rate, 50.0, 1e-9);
+  EXPECT_EQ(est.retained(), 100u);  // const read retained everything
+  est.Prune(1'500.0);
+  EXPECT_EQ(est.retained(), 50u);  // expired arrivals dropped
+  EXPECT_DOUBLE_EQ(est.RateQps(1'500.0), rate);  // rate unchanged
+}
+
+// ------------------------------------------------------------------ QoS --
+
+TEST(QosTest, HalfLifeIsHonoredAcrossScales) {
+  QosConfig on;
+  on.depreciate_long_queries = true;
+  for (double half_life : {1.0, 8.0, 64.0, 1000.0}) {
+    on.half_life_parts = half_life;
+    EXPECT_NEAR(QosAgeWeight(on, static_cast<size_t>(half_life)), 0.5,
+                1e-12);
+  }
+  // Weight decreases strictly with query size and stays positive.
+  on.half_life_parts = 16.0;
+  double prev = QosAgeWeight(on, 0);
+  EXPECT_DOUBLE_EQ(prev, 1.0);
+  for (size_t parts : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    double w = QosAgeWeight(on, parts);
+    EXPECT_LT(w, prev);
+    EXPECT_GT(w, 0.0);
+    prev = w;
+  }
+}
+
+// ------------------------------------------- SelectAlpha edge behaviour --
+
+TEST(SelectAlphaTest, TiedThroughputPicksBestResponse) {
+  // Zero tolerance with a flat throughput curve: every point qualifies,
+  // so the response-time minimizer wins.
+  std::vector<TradeoffPoint> flat = {
+      {0.00, 0.30, 200'000.0},
+      {0.50, 0.30, 100'000.0},
+      {1.00, 0.30, 150'000.0},
+  };
+  auto alpha = SelectAlpha(flat, 0.0);
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_DOUBLE_EQ(*alpha, 0.5);
+}
+
+TEST(SelectAlphaTest, SinglePointCurveReturnsIt) {
+  auto alpha = SelectAlpha({{0.25, 0.4, 100'000.0}}, 0.5);
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_DOUBLE_EQ(*alpha, 0.25);
+}
+
+TEST(AlphaSelectorTest, ExactSaturationMatchUsesThatCurve) {
+  AlphaSelector selector(0.2);
+  ASSERT_TRUE(selector
+                  .AddCurve(0.1, {{0.0, 0.20, 100'000.0},
+                                  {1.0, 0.19, 40'000.0}})
+                  .ok());
+  ASSERT_TRUE(selector.AddCurve(0.5, PaperLikeCurve()).ok());
+  auto alpha = selector.AlphaFor(0.1);
+  ASSERT_TRUE(alpha.ok());
+  EXPECT_DOUBLE_EQ(*alpha, 1.0);
+}
+
+// ---------------------------------------------- per-volume T_b pricing --
+
+TEST(MetricTest, PerVolumeTbUsesOwningVolumesModel) {
+  storage::DiskModelParams fast;  // defaults
+  storage::DiskModelParams slow = fast;
+  slow.transfer_mb_per_s = 0.1;  // T_b ~335x the default
+  storage::DiskModel fallback(fast);
+
+  storage::StorageTopologyConfig uniform_config;
+  uniform_config.num_volumes = 2;
+  auto uniform_topo =
+      storage::StorageTopology::Create(20, uniform_config, fast);
+  ASSERT_TRUE(uniform_topo.ok());
+
+  storage::StorageTopologyConfig hetero_config;
+  hetero_config.num_volumes = 2;
+  hetero_config.volume_disk = {fast, slow};
+  auto hetero_topo =
+      storage::StorageTopology::Create(20, hetero_config, fast);
+  ASSERT_TRUE(hetero_topo.ok());
+  ASSERT_FALSE(hetero_topo->uniform());
+
+  const uint64_t queue = 200, bytes = 4 << 20;
+  const double baseline = WorkloadThroughput(fallback, queue, bytes, false);
+  // Null and uniform topologies price with the fallback model, bit for
+  // bit (the byte-identity contract for single-volume runs).
+  EXPECT_EQ(WorkloadThroughputOnVolume(nullptr, fallback, 3, queue, bytes,
+                                       false),
+            baseline);
+  EXPECT_EQ(WorkloadThroughputOnVolume(&*uniform_topo, fallback, 3, queue,
+                                       bytes, false),
+            baseline);
+  // Heterogeneous: bucket 3 lives on fast volume 0 (range placement),
+  // bucket 13 on slow volume 1 — the slow arm's T_b depresses U_t.
+  ASSERT_EQ(hetero_topo->VolumeOf(3), 0u);
+  ASSERT_EQ(hetero_topo->VolumeOf(13), 1u);
+  EXPECT_EQ(WorkloadThroughputOnVolume(&*hetero_topo, fallback, 3, queue,
+                                       bytes, false),
+            baseline);
+  EXPECT_LT(WorkloadThroughputOnVolume(&*hetero_topo, fallback, 13, queue,
+                                       bytes, false),
+            baseline);
+  // Cached buckets drop the T_b term entirely, so placement is moot.
+  EXPECT_EQ(WorkloadThroughputOnVolume(&*hetero_topo, fallback, 13, queue,
+                                       bytes, true),
+            WorkloadThroughput(fallback, queue, bytes, true));
+}
+
+TEST_F(SchedulerFixture, RankingPricesTbByVolume) {
+  // Regression for the dormant-bug: RankBest priced every bucket with the
+  // scheduler's own (global) disk model, so a bucket on a slow arm with a
+  // slightly larger queue outranked a fast-arm bucket under alpha = 0.
+  // With the topology attached, the slow arm's T_b wins the comparison
+  // for the fast bucket.
+  storage::DiskModelParams fast;
+  storage::DiskModelParams slow = fast;
+  slow.transfer_mb_per_s = 0.1;
+  storage::StorageTopologyConfig hetero_config;
+  hetero_config.num_volumes = 2;
+  hetero_config.volume_disk = {fast, slow};
+  auto topo = storage::StorageTopology::Create(catalog_->num_buckets(),
+                                               hetero_config, fast);
+  ASSERT_TRUE(topo.ok());
+
+  // Fast-arm bucket 2 holds 100 objects, slow-arm bucket 12 holds 120:
+  // uniform pricing prefers 12 (U_t is monotone in queue length), volume-
+  // aware pricing prefers 2.
+  Place(1, 2, 100, 0.0);
+  Place(2, 12, 120, 0.0);
+
+  auto uniform_sched = MakeScheduler(0.0);
+  auto pick = uniform_sched.PickBucket(*manager_, 0.0, NothingCached());
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 12u);  // the pre-fix ranking, still right without a topo
+
+  auto volume_aware = MakeScheduler(0.0);
+  volume_aware.AttachTopology(&*topo);
+  pick = volume_aware.PickBucket(*manager_, 0.0, NothingCached());
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 2u);
+
+  // A uniform topology attached must not change any decision.
+  storage::StorageTopologyConfig uniform_config;
+  uniform_config.num_volumes = 2;
+  auto uniform_topo = storage::StorageTopology::Create(
+      catalog_->num_buckets(), uniform_config, fast);
+  ASSERT_TRUE(uniform_topo.ok());
+  auto attached_uniform = MakeScheduler(0.0);
+  attached_uniform.AttachTopology(&*uniform_topo);
+  pick = attached_uniform.PickBucket(*manager_, 0.0, NothingCached());
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 12u);
 }
 
 }  // namespace

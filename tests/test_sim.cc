@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 
 #include "sched/liferaft_scheduler.h"
@@ -23,7 +24,7 @@ namespace {
 
 TEST(ArrivalsTest, PoissonMeanRate) {
   Rng rng(431);
-  auto arrivals = PoissonArrivals(5000, 0.5, &rng);
+  auto arrivals = *PoissonArrivals(5000, 0.5, &rng);
   ASSERT_EQ(arrivals.size(), 5000u);
   EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
   // 5000 arrivals at 0.5 q/s should span ~10,000 s.
@@ -31,7 +32,7 @@ TEST(ArrivalsTest, PoissonMeanRate) {
 }
 
 TEST(ArrivalsTest, UniformSpacing) {
-  auto arrivals = UniformArrivals(10, 2.0);  // every 500 ms
+  auto arrivals = *UniformArrivals(10, 2.0);  // every 500 ms
   ASSERT_EQ(arrivals.size(), 10u);
   for (size_t i = 1; i < arrivals.size(); ++i) {
     EXPECT_DOUBLE_EQ(arrivals[i] - arrivals[i - 1], 500.0);
@@ -46,8 +47,8 @@ TEST(ArrivalsTest, ImmediateAllZero) {
 TEST(ArrivalsTest, BurstyIsBurstier) {
   // Coefficient of variation of inter-arrivals: bursty >> Poisson (~1).
   Rng rng1(433), rng2(433);
-  auto poisson = PoissonArrivals(4000, 0.5, &rng1);
-  auto bursty = BurstyArrivals(4000, 2.0, 0.0, 60'000.0, &rng2);
+  auto poisson = *PoissonArrivals(4000, 0.5, &rng1);
+  auto bursty = *BurstyArrivals(4000, 2.0, 0.0, 60'000.0, &rng2);
   auto cov = [](const std::vector<TimeMs>& a) {
     StreamingStats s;
     for (size_t i = 1; i < a.size(); ++i) s.Add(a[i] - a[i - 1]);
@@ -55,6 +56,57 @@ TEST(ArrivalsTest, BurstyIsBurstier) {
   };
   EXPECT_NEAR(cov(poisson), 1.0, 0.15);
   EXPECT_GT(cov(bursty), 1.5);
+}
+
+TEST(ArrivalsTest, GeneratorsRejectInvalidParameters) {
+  // Regression: these were NDEBUG-erased asserts, so Release builds
+  // accepted rate 0 / NaN and generated inf timestamps. Now they are
+  // InvalidArgument on every build type.
+  Rng rng(439);
+  EXPECT_FALSE(PoissonArrivals(10, 0.0, &rng).ok());
+  EXPECT_FALSE(PoissonArrivals(10, -1.0, &rng).ok());
+  EXPECT_FALSE(PoissonArrivals(10, std::nan(""), &rng).ok());
+  EXPECT_FALSE(PoissonArrivals(10, 1.0, nullptr).ok());
+  EXPECT_FALSE(UniformArrivals(10, 0.0).ok());
+  EXPECT_FALSE(UniformArrivals(10, std::nan("")).ok());
+  EXPECT_FALSE(BurstyArrivals(10, 0.0, 0.0, 1000.0, &rng).ok());
+  EXPECT_FALSE(BurstyArrivals(10, 1.0, -0.5, 1000.0, &rng).ok());
+  EXPECT_FALSE(BurstyArrivals(10, 1.0, 0.0, 0.0, &rng).ok());
+  EXPECT_FALSE(BurstyArrivals(10, 1.0, 0.0, 1000.0, nullptr).ok());
+  auto status = PoissonArrivals(10, 0.0, &rng).status();
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ArrivalsTest, ZeroQueriesYieldEmptyOkVectors) {
+  Rng rng(441);
+  auto p = PoissonArrivals(0, 0.5, &rng);
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->empty());
+  auto u = UniformArrivals(0, 0.5);
+  ASSERT_TRUE(u.ok());
+  EXPECT_TRUE(u->empty());
+  auto b = BurstyArrivals(0, 0.5, 0.0, 1000.0, &rng);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->empty());
+}
+
+TEST(ArrivalsTest, BurstyZeroOffRateKeepsAlternating) {
+  // rate_off = 0 means truly silent OFF phases: the generator must jump
+  // them (not spin or stall) and keep emitting ON bursts separated by
+  // phase-scale gaps.
+  Rng rng(443);
+  const TimeMs phase_ms = 1'000.0;
+  auto arrivals = *BurstyArrivals(2'000, 100.0, 0.0, phase_ms, &rng);
+  ASSERT_EQ(arrivals.size(), 2'000u);
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+  // ON-phase inter-arrivals are ~10 ms; silent phases insert gaps on the
+  // order of the 1 s mean phase length. Over ~20 s of trace there must be
+  // several of them.
+  size_t phase_gaps = 0;
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    if (arrivals[i] - arrivals[i - 1] > phase_ms / 4.0) ++phase_gaps;
+  }
+  EXPECT_GE(phase_gaps, 3u);
 }
 
 // ---------------------------------------------------------------- Engine --
@@ -120,7 +172,7 @@ TEST_F(EngineFixture, SharedRunCompletesEveryQuery) {
 TEST_F(EngineFixture, ResponsesRespectArrivalTimes) {
   EngineConfig config;
   Rng rng(437);
-  auto arrivals = PoissonArrivals(trace_.size(), 0.2, &rng);
+  auto arrivals = *PoissonArrivals(trace_.size(), 0.2, &rng);
   SimEngine engine(catalog_.get(), LifeRaftSched(0.5), config);
   auto metrics = MustRun(&engine, arrivals);
   EXPECT_EQ(metrics.queries_completed, trace_.size());
@@ -217,7 +269,7 @@ TEST_F(EngineFixture, GreedySchedulerGetsMoreCacheHits) {
   // from cache than the age-based one.
   EngineConfig config;
   Rng rng(443);
-  auto arrivals = PoissonArrivals(trace_.size(), 0.5, &rng);
+  auto arrivals = *PoissonArrivals(trace_.size(), 0.5, &rng);
 
   SimEngine greedy(catalog_.get(), LifeRaftSched(0.0), config);
   auto greedy_metrics = MustRun(&greedy, arrivals);
@@ -247,7 +299,7 @@ TEST_F(EngineFixture, AdaptiveAlphaFollowsSaturation) {
   {  // Slow arrivals -> nearest curve 0.05 -> alpha 1.
     SimEngine engine(catalog_.get(), LifeRaftSched(0.5), config);
     Rng rng(449);
-    auto arrivals = PoissonArrivals(trace_.size(), 0.05, &rng);
+    auto arrivals = *PoissonArrivals(trace_.size(), 0.05, &rng);
     MustRun(&engine, arrivals);
     auto* s = dynamic_cast<sched::LifeRaftScheduler*>(engine.scheduler());
     ASSERT_NE(s, nullptr);
@@ -256,7 +308,7 @@ TEST_F(EngineFixture, AdaptiveAlphaFollowsSaturation) {
   {  // Fast arrivals -> nearest curve 5.0 -> alpha 0.
     SimEngine engine(catalog_.get(), LifeRaftSched(0.5), config);
     Rng rng(457);
-    auto arrivals = PoissonArrivals(trace_.size(), 10.0, &rng);
+    auto arrivals = *PoissonArrivals(trace_.size(), 10.0, &rng);
     MustRun(&engine, arrivals);
     auto* s = dynamic_cast<sched::LifeRaftScheduler*>(engine.scheduler());
     ASSERT_NE(s, nullptr);
@@ -280,7 +332,7 @@ TEST_F(EngineFixture, HybridJoinEngagesForSparseQueues) {
   // sometimes take the indexed path (Fig 8b's mechanism).
   EngineConfig config;
   Rng rng(461);
-  auto arrivals = PoissonArrivals(trace_.size(), 0.05, &rng);
+  auto arrivals = *PoissonArrivals(trace_.size(), 0.05, &rng);
   SimEngine engine(catalog_.get(), LifeRaftSched(1.0), config);
   auto metrics = MustRun(&engine, arrivals);
   EXPECT_GT(metrics.evaluator.indexed_batches, 0u)

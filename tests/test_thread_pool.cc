@@ -219,7 +219,7 @@ TEST_F(ParallelSharedFixture, EngineParallelMatchesSerialExactly) {
   serial_config.num_threads = 1;
   sim::SimEngine serial(catalog_.get(), LifeRaftSched(), serial_config);
   Rng rng(97);
-  auto arrivals = sim::PoissonArrivals(trace_.size(), 2.0, &rng);
+  auto arrivals = *sim::PoissonArrivals(trace_.size(), 2.0, &rng);
   auto serial_metrics = serial.Run(trace_, arrivals);
   ASSERT_TRUE(serial_metrics.ok()) << serial_metrics.status().ToString();
 
@@ -277,7 +277,7 @@ void ExpectIdenticalRuns(const sim::RunMetrics& a, const sim::RunMetrics& b,
 // and per-query modes alike.
 TEST_F(ParallelSharedFixture, MatchArenasOnOffAreByteIdentical) {
   Rng rng(97);
-  auto arrivals = sim::PoissonArrivals(trace_.size(), 2.0, &rng);
+  auto arrivals = *sim::PoissonArrivals(trace_.size(), 2.0, &rng);
   for (sim::ExecutionMode mode :
        {sim::ExecutionMode::kShared, sim::ExecutionMode::kNoShare}) {
     SCOPED_TRACE(sim::ExecutionModeName(mode));
@@ -312,7 +312,7 @@ TEST_F(ParallelSharedFixture, EngineParallelNoShareMatchesSerialExactly) {
   config.mode = sim::ExecutionMode::kNoShare;
   config.collect_matches = true;
   Rng rng(131);
-  auto arrivals = sim::PoissonArrivals(trace_.size(), 2.0, &rng);
+  auto arrivals = *sim::PoissonArrivals(trace_.size(), 2.0, &rng);
 
   sim::SimEngine serial(catalog_.get(), nullptr, config);
   auto serial_metrics = serial.Run(trace_, arrivals);
@@ -331,7 +331,7 @@ TEST_F(ParallelSharedFixture, EngineParallelIndexOnlyMatchesSerialExactly) {
   config.mode = sim::ExecutionMode::kIndexOnly;
   config.collect_matches = true;
   Rng rng(137);
-  auto arrivals = sim::PoissonArrivals(trace_.size(), 2.0, &rng);
+  auto arrivals = *sim::PoissonArrivals(trace_.size(), 2.0, &rng);
 
   sim::SimEngine serial(catalog_.get(), nullptr, config);
   auto serial_metrics = serial.Run(trace_, arrivals);
@@ -383,7 +383,7 @@ TEST_F(ParallelSharedFixture, PrefetchRunIdenticalAcrossThreadCounts) {
   config.collect_matches = true;
   config.enable_prefetch = true;
   Rng rng(149);
-  auto arrivals = sim::PoissonArrivals(trace_.size(), 2.0, &rng);
+  auto arrivals = *sim::PoissonArrivals(trace_.size(), 2.0, &rng);
 
   sim::SimEngine sync(catalog_.get(), LifeRaftSched(), config);
   auto sync_metrics = sync.Run(trace_, arrivals);

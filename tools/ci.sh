@@ -3,11 +3,12 @@
 # verbatim (ROADMAP.md). Mirrors .github/workflows/ci.yml for hosts
 # without Actions.
 #
-#   tools/ci.sh          # docs check + tier-1 build & test
+#   tools/ci.sh          # docs check + tier-1 build & test + serving smoke
 #   tools/ci.sh --tsan   # ThreadSanitizer smoke: builds test_thread_pool,
-#                        # test_storage, and test_topology with
+#                        # test_storage, test_topology, and test_serve with
 #                        # -fsanitize=thread and runs them (work stealing +
-#                        # sharded-cache races + per-volume FileStore lanes)
+#                        # sharded-cache races + per-volume FileStore lanes +
+#                        # concurrent admission control)
 #   tools/ci.sh --asan   # ASan+UBSan smoke: builds test_exec, test_storage,
 #                        # and test_topology with
 #                        # -fsanitize=address,undefined and runs them (arena
@@ -42,11 +43,12 @@ if [ "${1:-}" = "--tsan" ]; then
     -DLIFERAFT_BUILD_BENCH=OFF \
     -DLIFERAFT_BUILD_EXAMPLES=OFF \
     -DLIFERAFT_BUILD_TOOLS=OFF
-  cmake --build build-tsan -j --target test_thread_pool test_storage test_topology
+  cmake --build build-tsan -j --target test_thread_pool test_storage test_topology test_serve
   # halt_on_error so a reported race fails the job, not just the log.
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/test_thread_pool
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/test_storage
   TSAN_OPTIONS="halt_on_error=1" ./build-tsan/test_topology
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/test_serve
   echo "tsan smoke OK"
   exit 0
 fi
@@ -55,3 +57,8 @@ tools/check_docs.sh
 
 cmake -B build -S . && cmake --build build -j && cd build && \
   ctest --output-on-failure -j
+
+# Serving-mode smoke: the open-loop path (admission control, QoS classes,
+# adaptive alpha) end to end — fast and deterministic, so any drift in the
+# serving loop fails CI here before the bench gate sees it.
+cd .. && ./build/test_serve --gtest_brief=1

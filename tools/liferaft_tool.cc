@@ -232,7 +232,7 @@ int Replay(const Flags& flags) {
 
   double rate = flags.GetDouble("rate", 0.5);
   Rng rng(flags.GetUint("seed", 1));
-  auto arrivals = sim::PoissonArrivals(trace->size(), rate, &rng);
+  auto arrivals = *sim::PoissonArrivals(trace->size(), rate, &rng);
 
   sim::EngineConfig config;
   config.cache_capacity = flags.GetUint("cache", 20);
