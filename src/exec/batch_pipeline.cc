@@ -34,10 +34,15 @@ BatchPipeline::BatchPipeline(sched::Scheduler* scheduler,
     if (config_.controller.max_depth == 0) config_.controller.max_depth = 1;
     assert(config_.controller.Validate().ok());
   }
-  arms_.resize(topology_ != nullptr ? topology_->num_volumes() : 1);
+  bucket_volumes_ = topology_ != nullptr ? topology_->num_volumes() : 1;
+  const bool spill_arm = topology_ != nullptr && topology_->has_spill_arm();
+  // The spill arm (when present) is the trailing entry: it carries no
+  // bets and no controller, only telemetry for restore I/O.
+  arms_.resize(bucket_volumes_ + (spill_arm ? 1 : 0));
   if (config_.adaptive_prefetch) {
-    for (Arm& arm : arms_) {
-      arm.controller = std::make_unique<PrefetchController>(config_.controller);
+    for (size_t v = 0; v < bucket_volumes_; ++v) {
+      arms_[v].controller =
+          std::make_unique<PrefetchController>(config_.controller);
     }
   }
 }
@@ -88,7 +93,9 @@ Result<std::optional<StepOutcome>> BatchPipeline::Step(TimeMs now) {
       config_.enable_prefetch || config_.adaptive_prefetch;
   const bool drop_stale =
       config_.cancel_on_mispredict || config_.adaptive_prefetch;
-  const size_t volumes = arms_.size();
+  // Prefetch bookkeeping spans only the bucket arms; the spill arm (the
+  // trailing entry, when present) never carries bets.
+  const size_t volumes = bucket_volumes_;
   std::vector<PrefetchFeedback> feedback(volumes);
 
   const sched::CacheProbe cached = MakeCacheProbe(now);
@@ -245,12 +252,27 @@ Result<std::optional<StepOutcome>> BatchPipeline::Step(TimeMs now) {
   // Only the batch's own disk phase (scan I/O + spill restores) is arm
   // time the queue never anticipated. (Sums run left-to-right from `now`,
   // matching the pre-exec loop's expressions bit for bit on one volume.)
-  const TimeMs unanticipated_disk_ms = result.io_ms + outcome.restore_ms;
+  //
+  // With a dedicated spill arm, restore I/O moves off the bucket arm: the
+  // batch still waits out the restore before its CPU phase (the join
+  // needs the restored objects, so foreground_done_ms — and with it the
+  // driver's clock — is charged identically), but the bucket arm frees as
+  // soon as its own scan I/O ends, so bets neither slip by the restore
+  // nor queue new fetches behind it.
+  const bool restore_on_spill_arm =
+      outcome.restore_ms > 0.0 && arms_.size() > bucket_volumes_;
+  const TimeMs unanticipated_disk_ms =
+      restore_on_spill_arm ? result.io_ms
+                           : result.io_ms + outcome.restore_ms;
   const TimeMs foreground_done_ms =
       now + outcome.fetch_residual_ms + result.io_ms + outcome.restore_ms;
+  const TimeMs pick_arm_done_ms =
+      restore_on_spill_arm
+          ? now + outcome.fetch_residual_ms + result.io_ms
+          : foreground_done_ms;
   for (size_t v = 0; v < volumes; ++v) {
     Arm& arm = arms_[v];
-    TimeMs arm_free_ms = v == outcome.volume ? foreground_done_ms : now;
+    TimeMs arm_free_ms = v == outcome.volume ? pick_arm_done_ms : now;
     for (PendingPrefetch& p : arm.bets) {
       if (v == outcome.volume &&
           p.done_ms > now + outcome.fetch_residual_ms) {
@@ -277,12 +299,25 @@ Result<std::optional<StepOutcome>> BatchPipeline::Step(TimeMs now) {
   // phase follows), so the run's max-over-arms makespan is well defined.
   pick_arm.stats.busy_ms += unanticipated_disk_ms;
   pick_arm.stats.consumed_until_ms =
-      std::max(pick_arm.stats.consumed_until_ms, foreground_done_ms);
+      std::max(pick_arm.stats.consumed_until_ms, pick_arm_done_ms);
   if (result.strategy == join::JoinStrategy::kScan && !result.cache_hit) {
     ++pick_arm.stats.foreground_reads;
     pick_arm.stats.foreground_bytes +=
         static_cast<uint64_t>(cache_->store().BucketObjectCount(*pick)) *
         storage::Bucket::kBytesPerObject;
+  }
+  if (restore_on_spill_arm) {
+    // The restore occupies the spill arm from the end of the batch's scan
+    // phase to foreground_done_ms; restores serialize trivially since the
+    // driver's clock passes foreground_done_ms before the next step.
+    Arm& spill = arms_.back();
+    spill.stats.busy_ms += outcome.restore_ms;
+    ++spill.stats.foreground_reads;
+    spill.stats.foreground_bytes += restored_bytes;
+    spill.stats.consumed_until_ms =
+        std::max(spill.stats.consumed_until_ms, foreground_done_ms);
+    spill.stats.busy_until_ms =
+        std::max(spill.stats.busy_until_ms, foreground_done_ms);
   }
 
   outcome.strategy = result.strategy;

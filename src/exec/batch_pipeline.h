@@ -34,9 +34,12 @@
 // arms overlap both each other and the foreground batch's disk phase on
 // the virtual clocks, which is where the multi-spindle makespan win comes
 // from. A batch's foreground I/O contends only with its own bucket's arm:
-// bets on other arms neither slip nor delay it. With a null topology (or
-// num_volumes == 1) every bucket maps to arm 0 and the accounting reduces
-// to the single-arm model byte for byte.
+// bets on other arms neither slip nor delay it. A topology with a
+// dedicated spill arm (StorageTopologyConfig::spill_arm) contributes one
+// extra trailing arm that carries no bets and absorbs spill-restore busy
+// time, so restores stop contending with the restored bucket's own arm.
+// With a null topology (or num_volumes == 1) every bucket maps to arm 0
+// and the accounting reduces to the single-arm model byte for byte.
 //
 // Mispredictions: by default an unclaimed prefetch is held (pinned) until
 // its bucket is eventually scheduled, its modeled completion slipping
@@ -67,7 +70,9 @@
 #ifndef LIFERAFT_EXEC_BATCH_PIPELINE_H_
 #define LIFERAFT_EXEC_BATCH_PIPELINE_H_
 
+#include <algorithm>
 #include <deque>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -177,16 +182,30 @@ class BatchPipeline {
 
   /// The depth the next Step will prefetch arm `volume` to (that arm's
   /// controller depth in adaptive mode, the fixed config depth
-  /// otherwise). The zero-arg form reads arm 0.
+  /// otherwise), limited by the external depth cap. The zero-arg form
+  /// reads arm 0.
   size_t current_prefetch_depth(size_t volume) const {
-    return arms_[volume].controller != nullptr
-               ? arms_[volume].controller->depth()
-               : config_.prefetch_depth;
+    const size_t raw = arms_[volume].controller != nullptr
+                           ? arms_[volume].controller->depth()
+                           : config_.prefetch_depth;
+    return std::min(raw, depth_cap_);
   }
   size_t current_prefetch_depth() const { return current_prefetch_depth(0); }
 
-  /// Number of disk arms (1 without a topology).
+  /// Caps every arm's next-step prefetch depth — adaptive or fixed — at
+  /// `cap`. The default (SIZE_MAX) never binds; the serving engine drives
+  /// this from the active QoS class's QosPrefetchConfig between steps.
+  /// The cap limits how many NEW bets a step places; bets already in
+  /// flight are untouched (the window-based stale drop drains them).
+  void set_depth_cap(size_t cap) { depth_cap_ = cap; }
+  size_t depth_cap() const { return depth_cap_; }
+
+  /// Number of disk arms including the dedicated spill arm, if any.
   size_t num_volumes() const { return arms_.size(); }
+
+  /// Arms that own buckets — and so can carry prefetch bets and a depth
+  /// controller. One less than num_volumes() under a spill-arm topology.
+  size_t bucket_volumes() const { return bucket_volumes_; }
 
   /// Per-arm I/O telemetry accumulated so far (index = volume).
   std::vector<storage::VolumeIoStats> volume_stats() const;
@@ -248,8 +267,15 @@ class BatchPipeline {
   const storage::StorageTopology* topology_;
   PipelineConfig config_;
 
-  /// One entry per volume (exactly one without a topology).
+  /// One entry per bucket volume (exactly one without a topology), plus a
+  /// trailing bet-less entry for the spill arm when the topology
+  /// dedicates one.
   std::vector<Arm> arms_;
+  /// Arms [0, bucket_volumes_) own buckets; a spill arm, if present, is
+  /// arms_[bucket_volumes_].
+  size_t bucket_volumes_ = 1;
+  /// External per-step depth limit (see set_depth_cap).
+  size_t depth_cap_ = std::numeric_limits<size_t>::max();
   TimeMs prefetch_hidden_ms_ = 0.0;
   /// Last window published to the cache (skip republishing unchanged
   /// windows — the cache locks every shard to swap them).

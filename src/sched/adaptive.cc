@@ -59,6 +59,23 @@ Result<double> AlphaSelector::AlphaFor(double observed_qps) const {
   return SelectAlpha(*nearest, tolerance_);
 }
 
+AlphaSelector ReferenceAlphaSelector(double tolerance) {
+  AlphaSelector selector(tolerance);
+  // Low saturation (0.1 q/s): every alpha sustains the offered rate, so
+  // the throughput floor never excludes the response-optimal cost-greedy
+  // end. SelectAlpha picks alpha 1.0.
+  (void)selector.AddCurve(0.1, {{0.0, 0.100, 90'000.0},
+                                {0.25, 0.100, 60'000.0},
+                                {1.0, 0.096, 30'000.0}});
+  // High saturation (5 q/s): the cost-greedy end starves enough queries
+  // that throughput drops below (1 - tolerance) * max, so the selector
+  // backs off to the paper's alpha 0.25 operating point.
+  (void)selector.AddCurve(5.0, {{0.0, 0.300, 200'000.0},
+                                {0.25, 0.280, 120'000.0},
+                                {1.0, 0.180, 90'000.0}});
+  return selector;
+}
+
 void ArrivalRateEstimator::OnArrival(TimeMs now) {
   arrivals_.push_back(now);
 }

@@ -54,6 +54,16 @@ class AlphaSelector {
   std::map<double, std::vector<TradeoffPoint>> curves_;
 };
 
+/// The canonical selector for serving experiments: two trade-off curves
+/// with the paper's Fig 4 shape — at low saturation every alpha sustains
+/// the offered load, so the tolerance admits the response-optimal
+/// cost-greedy end (alpha 1.0); at high saturation throughput collapses
+/// beyond alpha 0.25, so the selector backs off to the productivity end.
+/// Scenario-matrix cells with the adaptive-alpha axis enabled share this
+/// one selector, so every harness exercises the same policy rather than
+/// hand-rolled curves.
+AlphaSelector ReferenceAlphaSelector(double tolerance = 0.2);
+
 /// Sliding-window arrival-rate estimator driving AlphaSelector online.
 ///
 /// Not internally synchronized: RateQps is a pure read (it never mutates,

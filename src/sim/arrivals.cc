@@ -1,5 +1,7 @@
 #include "sim/arrivals.h"
 
+#include <cmath>
+
 namespace liferaft::sim {
 
 // Validation note: the `!(x > 0.0)` form also rejects NaN, which would
@@ -83,6 +85,95 @@ Result<std::vector<TimeMs>> BurstyArrivals(size_t n, double rate_on_qps,
     out.push_back(t);
   }
   return out;
+}
+
+namespace {
+
+// Lewis–Shedler thinning for a non-homogeneous Poisson process: draw
+// candidate arrivals from a homogeneous process at the envelope rate
+// `peak_per_ms` (>= rate(t) everywhere) and accept each with probability
+// rate(t)/peak. Exactly one Exponential and one UniformDouble draw per
+// candidate keeps the sequence deterministic for a given rng.
+template <typename RateFn>
+std::vector<TimeMs> ThinnedArrivals(size_t n, double peak_per_ms,
+                                    RateFn rate_per_ms, Rng* rng) {
+  std::vector<TimeMs> out;
+  out.reserve(n);
+  TimeMs t = 0.0;
+  while (out.size() < n) {
+    t += rng->Exponential(peak_per_ms);
+    if (rng->UniformDouble() * peak_per_ms <= rate_per_ms(t)) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<TimeMs>> DiurnalArrivals(size_t n, double base_rate_qps,
+                                            double amplitude,
+                                            TimeMs period_ms, Rng* rng) {
+  if (rng == nullptr) {
+    return Status::InvalidArgument("DiurnalArrivals: rng must be non-null");
+  }
+  if (!(base_rate_qps > 0.0)) {
+    return Status::InvalidArgument(
+        "DiurnalArrivals: base_rate_qps must be positive");
+  }
+  if (!(amplitude >= 0.0) || !(amplitude <= 1.0)) {
+    return Status::InvalidArgument(
+        "DiurnalArrivals: amplitude must be in [0, 1]");
+  }
+  if (!(period_ms > 0.0)) {
+    return Status::InvalidArgument(
+        "DiurnalArrivals: period_ms must be positive");
+  }
+  const double base_per_ms = base_rate_qps / 1000.0;
+  const double peak_per_ms = base_per_ms * (1.0 + amplitude);
+  return ThinnedArrivals(
+      n, peak_per_ms,
+      [=](TimeMs t) {
+        return base_per_ms *
+               (1.0 + amplitude * std::sin(2.0 * M_PI * t / period_ms));
+      },
+      rng);
+}
+
+Result<std::vector<TimeMs>> FlashCrowdArrivals(size_t n, double base_rate_qps,
+                                               double spike_factor,
+                                               TimeMs spike_start_ms,
+                                               TimeMs decay_ms, Rng* rng) {
+  if (rng == nullptr) {
+    return Status::InvalidArgument("FlashCrowdArrivals: rng must be non-null");
+  }
+  if (!(base_rate_qps > 0.0)) {
+    return Status::InvalidArgument(
+        "FlashCrowdArrivals: base_rate_qps must be positive");
+  }
+  if (!(spike_factor >= 1.0)) {
+    return Status::InvalidArgument(
+        "FlashCrowdArrivals: spike_factor must be >= 1");
+  }
+  if (!(spike_start_ms >= 0.0)) {
+    return Status::InvalidArgument(
+        "FlashCrowdArrivals: spike_start_ms must be >= 0");
+  }
+  if (!(decay_ms > 0.0)) {
+    return Status::InvalidArgument(
+        "FlashCrowdArrivals: decay_ms must be positive");
+  }
+  const double base_per_ms = base_rate_qps / 1000.0;
+  const double peak_per_ms = base_per_ms * spike_factor;
+  return ThinnedArrivals(
+      n, peak_per_ms,
+      [=](TimeMs t) {
+        if (t < spike_start_ms) return base_per_ms;
+        return base_per_ms *
+               (1.0 + (spike_factor - 1.0) *
+                          std::exp(-(t - spike_start_ms) / decay_ms));
+      },
+      rng);
 }
 
 std::vector<TimeMs> ImmediateArrivals(size_t n) {

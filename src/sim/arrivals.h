@@ -39,6 +39,28 @@ Result<std::vector<TimeMs>> BurstyArrivals(size_t n, double rate_on_qps,
                                            double rate_off_qps,
                                            TimeMs mean_phase_ms, Rng* rng);
 
+/// Diurnal (day/night) non-homogeneous Poisson process via Lewis–Shedler
+/// thinning: instantaneous rate
+///   rate(t) = base_rate_qps * (1 + amplitude * sin(2*pi * t / period_ms))
+/// so the offered load swings between base*(1 - amplitude) and
+/// base*(1 + amplitude) once per period. amplitude must be in [0, 1]
+/// (amplitude 1 silences the trough completely); amplitude 0 degenerates
+/// to PoissonArrivals on a different rng draw sequence.
+Result<std::vector<TimeMs>> DiurnalArrivals(size_t n, double base_rate_qps,
+                                            double amplitude,
+                                            TimeMs period_ms, Rng* rng);
+
+/// Flash crowd: steady Poisson at base_rate_qps until spike_start_ms, then
+/// an instantaneous jump to base*spike_factor decaying exponentially back
+/// to base with time constant decay_ms:
+///   rate(t) = base * (1 + (spike_factor - 1) * exp(-(t - start) / decay))
+/// for t >= start. spike_factor >= 1 (1 = no spike); thinning against the
+/// peak rate keeps the sequence exact and deterministic.
+Result<std::vector<TimeMs>> FlashCrowdArrivals(size_t n, double base_rate_qps,
+                                               double spike_factor,
+                                               TimeMs spike_start_ms,
+                                               TimeMs decay_ms, Rng* rng);
+
 /// All queries present at t = 0 (closed-system batch replay).
 std::vector<TimeMs> ImmediateArrivals(size_t n);
 

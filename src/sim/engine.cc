@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 #include "query/preprocessor.h"
 #include "sched/liferaft_scheduler.h"
@@ -34,6 +35,10 @@ void SimEngine::RecordCompletion(query::QueryId id, TimeMs completion) {
   auto it = pending_outcomes_.find(id);
   assert(it != pending_outcomes_.end());
   it->second.completion_ms = completion;
+  if (it->second.qos == QosClass::kInteractive &&
+      pending_interactive_ > 0) {
+    --pending_interactive_;
+  }
   outcomes_.push_back(it->second);
   pending_outcomes_.erase(it);
 }
@@ -127,6 +132,7 @@ Status SimEngine::PrepareRun(size_t expected_queries) {
   fifo_head_ = 0;
   fifo_pending_objects_ = 0;
   peak_pending_objects_ = 0;
+  pending_interactive_ = 0;
   pending_outcomes_.clear();
   outcomes_.clear();
   outcomes_.reserve(expected_queries);
@@ -333,8 +339,9 @@ RunMetrics SimEngine::AssembleMetrics(size_t n) {
   if (pipeline_ != nullptr && pipeline_->controller() != nullptr) {
     metrics.prefetch_final_depth = pipeline_->controller()->depth();
     metrics.prefetch_stale_ewma = pipeline_->controller()->stale_ewma();
-    metrics.arm_final_depths.reserve(pipeline_->num_volumes());
-    for (size_t v = 0; v < pipeline_->num_volumes(); ++v) {
+    // Depths exist only for bucket arms; a spill arm has no controller.
+    metrics.arm_final_depths.reserve(pipeline_->bucket_volumes());
+    for (size_t v = 0; v < pipeline_->bucket_volumes(); ++v) {
       metrics.arm_final_depths.push_back(pipeline_->current_prefetch_depth(v));
     }
   }
@@ -407,6 +414,7 @@ Result<RunMetrics> SimEngine::Serve(
                                 manager_->Admit(stamped, workloads));
       (void)parts;
       ++admitted;
+      if (qos == QosClass::kInteractive) ++pending_interactive_;
       peak_pending_objects_ =
           std::max(peak_pending_objects_, manager_->total_pending_objects());
       if (config_.alpha_selector != nullptr && adaptive_target != nullptr) {
@@ -418,8 +426,26 @@ Result<RunMetrics> SimEngine::Serve(
     return Status::OK();
   };
 
+  // Per-QoS-class prefetch caps: while any admitted interactive query is
+  // pending, every arm's next-step depth is capped at the interactive
+  // entry; otherwise at the batch entry (0 = that class imposes no cap).
+  // With both entries 0 the pipeline's cap is never touched, so the
+  // default reproduces single-config serving byte for byte.
+  const size_t interactive_cap =
+      serve.qos_prefetch[static_cast<size_t>(QosClass::kInteractive)]
+          .max_depth;
+  const size_t batch_cap =
+      serve.qos_prefetch[static_cast<size_t>(QosClass::kBatch)].max_depth;
+  const bool qos_caps = interactive_cap != 0 || batch_cap != 0;
+
   while (next_arrival < n || outcomes_.size() < admitted) {
     LIFERAFT_RETURN_IF_ERROR(admit_ready());
+    if (qos_caps) {
+      const size_t cap = pending_interactive_ > 0 ? interactive_cap
+                                                  : batch_cap;
+      pipeline_->set_depth_cap(
+          cap != 0 ? cap : std::numeric_limits<size_t>::max());
+    }
     Result<bool> worked = SharedStep();
     if (!worked.ok()) return worked.status();
     if (!*worked) {

@@ -1,0 +1,802 @@
+#include "sim/scenario_matrix.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "sched/liferaft_scheduler.h"
+#include "sim/engine.h"
+#include "storage/catalog.h"
+#include "workload/catalog_gen.h"
+
+namespace liferaft::sim {
+namespace {
+
+// %.17g survives a binary64 round trip, so two runs of a cell agree in the
+// report iff they agree bit for bit — the JSON string doubles as the
+// determinism digest.
+std::string Fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+// Minimal object writer with explicit key order (determinism by
+// construction; std::map iteration would also be stable but hides the
+// ordering decision).
+class JsonObject {
+ public:
+  void Field(const std::string& key, const std::string& raw) {
+    if (!first_) body_ += ", ";
+    first_ = false;
+    body_ += "\"" + key + "\": " + raw;
+  }
+  void Str(const std::string& key, const std::string& value) {
+    Field(key, "\"" + JsonEscape(value) + "\"");
+  }
+  void Num(const std::string& key, double value) { Field(key, Fmt(value)); }
+  void Int(const std::string& key, uint64_t value) {
+    Field(key, std::to_string(value));
+  }
+  void Bool(const std::string& key, bool value) {
+    Field(key, value ? "true" : "false");
+  }
+  std::string Done() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+  bool first_ = true;
+};
+
+std::string CellConfigJson(const ScenarioCell& cell) {
+  JsonObject o;
+  o.Str("name", cell.name);
+  o.Int("queries", cell.queries);
+  o.Int("trace_seed", cell.trace_seed);
+  o.Str("skew", workload::SkewLevelName(cell.skew));
+  o.Num("p_small", cell.p_small);
+  o.Str("arrival", cell.arrivals.kind == ArrivalSpec::Kind::kTrace
+                       ? "saturated"
+                       : ArrivalKindName(cell.arrivals.kind));
+  o.Num("rate_qps", cell.arrivals.rate_qps);
+  o.Int("arrival_seed", cell.arrivals.seed);
+  o.Int("volumes", cell.volumes);
+  o.Str("placement", storage::VolumePlacementName(cell.placement));
+  o.Bool("hetero", cell.hetero);
+  o.Bool("spill_arm", cell.spill_arm);
+  o.Int("spill_budget", cell.spill_budget);
+  o.Int("cache", cell.cache);
+  o.Int("prefetch_depth", cell.prefetch_depth);
+  o.Bool("adaptive_prefetch", cell.adaptive_prefetch);
+  o.Num("alpha", cell.alpha);
+  o.Bool("adaptive_alpha", cell.adaptive_alpha);
+  o.Int("interactive_max_parts", cell.interactive_max_parts);
+  o.Bool("qos_sched", cell.qos_sched);
+  o.Int("max_pending_queries", cell.max_pending_queries);
+  o.Int("max_pending_objects", cell.max_pending_objects);
+  o.Int("interactive_cap", cell.interactive_cap);
+  o.Int("batch_cap", cell.batch_cap);
+  o.Bool("expect_no_shed", cell.expect_no_shed);
+  o.Bool("check_qos", cell.check_qos);
+  o.Str("monotonic_group", cell.monotonic_group);
+  return o.Done();
+}
+
+std::string MetricsJson(const RunMetrics& m) {
+  JsonObject o;
+  o.Int("queries_offered", m.queries_offered);
+  o.Int("queries_shed", m.queries_shed);
+  o.Int("queries_completed", m.queries_completed);
+  o.Num("makespan_ms", m.makespan_ms);
+  o.Num("offered_qps", m.offered_qps);
+  o.Num("sustained_qps", m.sustained_qps);
+  o.Num("avg_response_ms", m.avg_response_ms);
+  o.Num("p50_response_ms", m.p50_response_ms);
+  o.Num("p95_response_ms", m.p95_response_ms);
+  o.Num("p99_response_ms", m.p99_response_ms);
+  o.Num("response_cov", m.response_cov);
+  o.Num("alpha_final", m.alpha_final);
+  o.Int("total_matches", m.total_matches);
+  o.Int("peak_pending_objects", m.peak_pending_objects);
+  o.Int("bucket_reads", m.store.bucket_reads);
+  o.Int("bytes_read", m.store.bytes_read);
+  o.Int("cache_hits", m.cache.hits);
+  o.Int("cache_misses", m.cache.misses);
+  o.Num("cache_hit_rate", m.cache.HitRate());
+  o.Int("prefetch_issued", m.cache.prefetch_issued);
+  o.Int("prefetch_claims", m.cache.prefetch_claims);
+  o.Num("prefetch_hidden_ms", m.prefetch_hidden_ms);
+  o.Int("segments_spilled", m.spill.segments_spilled);
+  o.Int("segments_restored", m.spill.segments_restored);
+  o.Int("bytes_restored", m.spill.bytes_restored);
+
+  std::string qos = "[";
+  for (size_t i = 0; i < m.qos_classes.size(); ++i) {
+    const QosClassMetrics& qc = m.qos_classes[i];
+    JsonObject q;
+    q.Str("class", qc.name);
+    q.Int("completed", qc.completed);
+    q.Int("shed", qc.shed);
+    q.Num("mean_response_ms", qc.mean_response_ms);
+    q.Num("p50_response_ms", qc.p50_response_ms);
+    q.Num("p95_response_ms", qc.p95_response_ms);
+    q.Num("p99_response_ms", qc.p99_response_ms);
+    if (i > 0) qos += ", ";
+    qos += q.Done();
+  }
+  qos += "]";
+  o.Field("qos_classes", qos);
+
+  std::string arms = "[";
+  for (size_t v = 0; v < m.volumes.size(); ++v) {
+    const storage::VolumeIoStats& arm = m.volumes[v];
+    JsonObject a;
+    a.Int("foreground_reads", arm.foreground_reads);
+    a.Int("foreground_bytes", arm.foreground_bytes);
+    a.Int("prefetch_issued", arm.prefetch_issued);
+    a.Int("prefetch_claims", arm.prefetch_claims);
+    a.Num("busy_ms", arm.busy_ms);
+    a.Num("hidden_ms", arm.hidden_ms);
+    if (v > 0) arms += ", ";
+    arms += a.Done();
+  }
+  arms += "]";
+  o.Field("arms", arms);
+
+  std::string depths = "[";
+  for (size_t v = 0; v < m.arm_final_depths.size(); ++v) {
+    if (v > 0) depths += ", ";
+    depths += std::to_string(m.arm_final_depths[v]);
+  }
+  depths += "]";
+  o.Field("arm_final_depths", depths);
+  return o.Done();
+}
+
+}  // namespace
+
+Status ScenarioCell::Validate() const {
+  if (name.empty()) return Status::InvalidArgument("cell has no name");
+  if (queries == 0) {
+    return Status::InvalidArgument("cell '" + name + "': queries must be > 0");
+  }
+  if (p_small < 0.0 || p_small > 1.0) {
+    return Status::InvalidArgument("cell '" + name +
+                                   "': p_small must be in [0, 1]");
+  }
+  if (volumes == 0) {
+    return Status::InvalidArgument("cell '" + name + "': volumes must be > 0");
+  }
+  if (cache == 0) {
+    return Status::InvalidArgument("cell '" + name + "': cache must be > 0");
+  }
+  if (alpha < 0.0 || alpha > 1.0) {
+    return Status::InvalidArgument("cell '" + name +
+                                   "': alpha must be in [0, 1]");
+  }
+  if (interactive_max_parts == 0) {
+    return Status::InvalidArgument(
+        "cell '" + name + "': interactive_max_parts must be >= 1");
+  }
+  // A saturated drain is the empty-trace kTrace spec (materialized at run
+  // time); any other spec must validate for this cell's query count.
+  if (arrivals.kind != ArrivalSpec::Kind::kTrace || !arrivals.trace.empty()) {
+    Status s = arrivals.Validate(queries);
+    if (!s.ok()) {
+      return Status::InvalidArgument("cell '" + name + "': " + s.message());
+    }
+  }
+  return Status::OK();
+}
+
+// ------------------------------------------------------------ built-ins --
+
+Result<std::vector<ScenarioCell>> BuiltinScenarioGrid(
+    const std::string& name) {
+  std::vector<ScenarioCell> cells;
+  auto base = [](const std::string& cell_name) {
+    ScenarioCell cell;
+    cell.name = cell_name;
+    cell.arrivals.kind = ArrivalSpec::Kind::kPoisson;
+    cell.arrivals.rate_qps = 0.5;
+    cell.arrivals.seed = 5;
+    return cell;
+  };
+  // A saturated drain: every query present at t=0, so makespan measures
+  // pure drain capacity and the volume-sweep monotonicity claim is about
+  // fixed work, not arrival luck.
+  auto saturated = [&](const std::string& cell_name, size_t volumes) {
+    ScenarioCell cell = base(cell_name);
+    cell.arrivals.kind = ArrivalSpec::Kind::kTrace;
+    cell.arrivals.trace.clear();
+    cell.volumes = volumes;
+    cell.prefetch_depth = 2;  // arms only overlap via prefetch bets
+    cell.monotonic_group = "vol-sweep";
+    cell.expect_no_shed = true;  // unbounded admission: nothing may shed
+    return cell;
+  };
+
+  if (name == "smoke") {
+    {
+      ScenarioCell cell = base("steady-poisson");
+      cell.max_pending_queries = 64;  // bound far above the offered load
+      cell.expect_no_shed = true;
+      cells.push_back(cell);
+    }
+    cells.push_back(saturated("vol-sweep-1", 1));
+    cells.push_back(saturated("vol-sweep-2", 2));
+    cells.push_back(saturated("vol-sweep-4", 4));
+    {
+      ScenarioCell cell = base("bursty-shedding");
+      cell.arrivals.kind = ArrivalSpec::Kind::kBursty;
+      cell.arrivals.rate_qps = 4.0;
+      cell.arrivals.rate_off_qps = 0.0;
+      cell.arrivals.mean_phase_ms = 30'000.0;
+      cell.max_pending_queries = 3;
+      cells.push_back(cell);
+    }
+    {
+      ScenarioCell cell = base("diurnal-qos-mix");
+      cell.arrivals.kind = ArrivalSpec::Kind::kDiurnal;
+      cell.arrivals.amplitude = 0.8;
+      cell.arrivals.period_ms = 120'000.0;
+      cell.p_small = 0.6;
+      cell.check_qos = true;
+      cell.interactive_cap = 1;  // per-class prefetch caps in play
+      cell.qos_sched = true;
+      cell.interactive_max_parts = 3;  // see the full-grid note
+      cell.prefetch_depth = 2;
+      cells.push_back(cell);
+    }
+    {
+      ScenarioCell cell = base("flash-crowd-spill");
+      cell.arrivals.kind = ArrivalSpec::Kind::kFlashCrowd;
+      cell.arrivals.rate_qps = 0.3;
+      cell.arrivals.spike_factor = 10.0;
+      cell.arrivals.spike_start_ms = 20'000.0;
+      cell.arrivals.decay_ms = 40'000.0;
+      cell.skew = workload::SkewLevel::kExtreme;
+      // Below the cell's observed peak pending (~1.8k objects), so the
+      // overflow path and its dedicated arm genuinely engage.
+      cell.spill_budget = 800;
+      cell.spill_arm = true;
+      cell.prefetch_depth = 2;
+      cells.push_back(cell);
+    }
+    {
+      ScenarioCell cell = base("hetero-adaptive");
+      cell.volumes = 2;
+      cell.hetero = true;
+      cell.placement = storage::VolumePlacement::kHash;
+      cell.adaptive_prefetch = true;
+      cell.adaptive_alpha = true;
+      cells.push_back(cell);
+    }
+    return cells;
+  }
+
+  if (name == "full") {
+    // The nightly sweep: arrival shape x skew, each at 1 and 4 volumes,
+    // plus the smoke grid's special cells (spill, hetero, QoS caps).
+    const std::pair<ArrivalSpec::Kind, const char*> kinds[] = {
+        {ArrivalSpec::Kind::kPoisson, "poisson"},
+        {ArrivalSpec::Kind::kBursty, "bursty"},
+        {ArrivalSpec::Kind::kDiurnal, "diurnal"},
+        {ArrivalSpec::Kind::kFlashCrowd, "flash-crowd"},
+    };
+    const workload::SkewLevel skews[] = {workload::SkewLevel::kUniform,
+                                         workload::SkewLevel::kDefault,
+                                         workload::SkewLevel::kExtreme};
+    for (const auto& [kind, kind_name] : kinds) {
+      for (workload::SkewLevel skew : skews) {
+        for (size_t volumes : {size_t{1}, size_t{4}}) {
+          ScenarioCell cell = base(std::string(kind_name) + "-" +
+                                   workload::SkewLevelName(skew) + "-v" +
+                                   std::to_string(volumes));
+          cell.arrivals.kind = kind;
+          if (kind == ArrivalSpec::Kind::kBursty) {
+            cell.arrivals.rate_qps = 2.0;
+            cell.arrivals.mean_phase_ms = 30'000.0;
+          }
+          cell.skew = skew;
+          cell.volumes = volumes;
+          cell.prefetch_depth = volumes > 1 ? 2 : 0;
+          cell.p_small = 0.3;
+          // The QoS-ordering claim is only made where the QoS machinery
+          // is engaged: cap speculative prefetch depth to 1 while an
+          // interactive query is pending, so its foreground fetches don't
+          // queue behind deep batch bets.
+          cell.check_qos = kind == ArrivalSpec::Kind::kPoisson;
+          if (cell.check_qos) {
+            cell.interactive_cap = 1;
+            cell.qos_sched = true;
+            // Classify only genuinely small queries as interactive: at
+            // the default threshold of 8 parts nearly the whole trace
+            // lands in the interactive class and the comparison pits 45
+            // samples against 3.
+            cell.interactive_max_parts = 3;
+          }
+          cells.push_back(cell);
+        }
+      }
+    }
+    auto smoke = BuiltinScenarioGrid("smoke");
+    for (ScenarioCell& cell : *smoke) {
+      if (cell.name == "steady-poisson") continue;  // covered by the sweep
+      cells.push_back(std::move(cell));
+    }
+    return cells;
+  }
+
+  return Status::InvalidArgument("unknown scenario grid '" + name +
+                                 "' (want smoke or full)");
+}
+
+// --------------------------------------------------------------- parser --
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+Status ParseBool(const std::string& value, bool* out) {
+  if (value == "true" || value == "1") {
+    *out = true;
+  } else if (value == "false" || value == "0") {
+    *out = false;
+  } else {
+    return Status::InvalidArgument("expected a bool, got '" + value + "'");
+  }
+  return Status::OK();
+}
+
+Status ParseSize(const std::string& value, size_t* out) {
+  try {
+    size_t pos = 0;
+    unsigned long long v = std::stoull(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    *out = static_cast<size_t>(v);
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("expected an integer, got '" + value + "'");
+  }
+  return Status::OK();
+}
+
+Status ParseU64(const std::string& value, uint64_t* out) {
+  size_t v = 0;
+  Status s = ParseSize(value, &v);
+  if (s.ok()) *out = v;
+  return s;
+}
+
+Status ParseDouble(const std::string& value, double* out) {
+  try {
+    size_t pos = 0;
+    double v = std::stod(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    *out = v;
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("expected a number, got '" + value + "'");
+  }
+  return Status::OK();
+}
+
+// One `key = value` line applied to the open cell. Every key below is an
+// axis of the matrix; the SCENARIO_KEY markers are greppable, and
+// tools/check_docs.sh fails if docs/SCENARIOS.md misses any of them.
+Status ApplyKey(ScenarioCell* cell, const std::string& key,
+                const std::string& value) {
+  if (key == "queries") {  // SCENARIO_KEY(queries)
+    return ParseSize(value, &cell->queries);
+  }
+  if (key == "trace_seed") {  // SCENARIO_KEY(trace_seed)
+    return ParseU64(value, &cell->trace_seed);
+  }
+  if (key == "skew") {  // SCENARIO_KEY(skew)
+    if (value == "uniform") {
+      cell->skew = workload::SkewLevel::kUniform;
+    } else if (value == "default") {
+      cell->skew = workload::SkewLevel::kDefault;
+    } else if (value == "extreme") {
+      cell->skew = workload::SkewLevel::kExtreme;
+    } else {
+      return Status::InvalidArgument("unknown skew '" + value + "'");
+    }
+    return Status::OK();
+  }
+  if (key == "p_small") {  // SCENARIO_KEY(p_small)
+    return ParseDouble(value, &cell->p_small);
+  }
+  if (key == "arrival") {  // SCENARIO_KEY(arrival)
+    if (value == "poisson") {
+      cell->arrivals.kind = ArrivalSpec::Kind::kPoisson;
+    } else if (value == "uniform") {
+      cell->arrivals.kind = ArrivalSpec::Kind::kUniform;
+    } else if (value == "bursty") {
+      cell->arrivals.kind = ArrivalSpec::Kind::kBursty;
+    } else if (value == "diurnal") {
+      cell->arrivals.kind = ArrivalSpec::Kind::kDiurnal;
+    } else if (value == "flash_crowd") {
+      cell->arrivals.kind = ArrivalSpec::Kind::kFlashCrowd;
+    } else if (value == "saturated") {
+      // Everything arrives at t=0 (materialized as an all-zero trace).
+      cell->arrivals.kind = ArrivalSpec::Kind::kTrace;
+      cell->arrivals.trace.clear();
+    } else {
+      return Status::InvalidArgument("unknown arrival '" + value + "'");
+    }
+    return Status::OK();
+  }
+  if (key == "rate_qps") {  // SCENARIO_KEY(rate_qps)
+    return ParseDouble(value, &cell->arrivals.rate_qps);
+  }
+  if (key == "rate_off_qps") {  // SCENARIO_KEY(rate_off_qps)
+    return ParseDouble(value, &cell->arrivals.rate_off_qps);
+  }
+  if (key == "mean_phase_ms") {  // SCENARIO_KEY(mean_phase_ms)
+    return ParseDouble(value, &cell->arrivals.mean_phase_ms);
+  }
+  if (key == "amplitude") {  // SCENARIO_KEY(amplitude)
+    return ParseDouble(value, &cell->arrivals.amplitude);
+  }
+  if (key == "period_ms") {  // SCENARIO_KEY(period_ms)
+    return ParseDouble(value, &cell->arrivals.period_ms);
+  }
+  if (key == "spike_factor") {  // SCENARIO_KEY(spike_factor)
+    return ParseDouble(value, &cell->arrivals.spike_factor);
+  }
+  if (key == "spike_start_ms") {  // SCENARIO_KEY(spike_start_ms)
+    return ParseDouble(value, &cell->arrivals.spike_start_ms);
+  }
+  if (key == "decay_ms") {  // SCENARIO_KEY(decay_ms)
+    return ParseDouble(value, &cell->arrivals.decay_ms);
+  }
+  if (key == "arrival_seed") {  // SCENARIO_KEY(arrival_seed)
+    return ParseU64(value, &cell->arrivals.seed);
+  }
+  if (key == "volumes") {  // SCENARIO_KEY(volumes)
+    return ParseSize(value, &cell->volumes);
+  }
+  if (key == "placement") {  // SCENARIO_KEY(placement)
+    if (value == "range") {
+      cell->placement = storage::VolumePlacement::kRange;
+    } else if (value == "hash") {
+      cell->placement = storage::VolumePlacement::kHash;
+    } else {
+      return Status::InvalidArgument("unknown placement '" + value + "'");
+    }
+    return Status::OK();
+  }
+  if (key == "hetero") {  // SCENARIO_KEY(hetero)
+    return ParseBool(value, &cell->hetero);
+  }
+  if (key == "spill_arm") {  // SCENARIO_KEY(spill_arm)
+    return ParseBool(value, &cell->spill_arm);
+  }
+  if (key == "spill_budget") {  // SCENARIO_KEY(spill_budget)
+    return ParseU64(value, &cell->spill_budget);
+  }
+  if (key == "cache") {  // SCENARIO_KEY(cache)
+    return ParseSize(value, &cell->cache);
+  }
+  if (key == "prefetch_depth") {  // SCENARIO_KEY(prefetch_depth)
+    return ParseSize(value, &cell->prefetch_depth);
+  }
+  if (key == "adaptive_prefetch") {  // SCENARIO_KEY(adaptive_prefetch)
+    return ParseBool(value, &cell->adaptive_prefetch);
+  }
+  if (key == "alpha") {  // SCENARIO_KEY(alpha)
+    return ParseDouble(value, &cell->alpha);
+  }
+  if (key == "adaptive_alpha") {  // SCENARIO_KEY(adaptive_alpha)
+    return ParseBool(value, &cell->adaptive_alpha);
+  }
+  if (key == "interactive_max_parts") {  // SCENARIO_KEY(interactive_max_parts)
+    return ParseSize(value, &cell->interactive_max_parts);
+  }
+  if (key == "qos_sched") {  // SCENARIO_KEY(qos_sched)
+    return ParseBool(value, &cell->qos_sched);
+  }
+  if (key == "max_pending_queries") {  // SCENARIO_KEY(max_pending_queries)
+    return ParseSize(value, &cell->max_pending_queries);
+  }
+  if (key == "max_pending_objects") {  // SCENARIO_KEY(max_pending_objects)
+    return ParseU64(value, &cell->max_pending_objects);
+  }
+  if (key == "interactive_cap") {  // SCENARIO_KEY(interactive_cap)
+    return ParseSize(value, &cell->interactive_cap);
+  }
+  if (key == "batch_cap") {  // SCENARIO_KEY(batch_cap)
+    return ParseSize(value, &cell->batch_cap);
+  }
+  if (key == "expect_no_shed") {  // SCENARIO_KEY(expect_no_shed)
+    return ParseBool(value, &cell->expect_no_shed);
+  }
+  if (key == "check_qos") {  // SCENARIO_KEY(check_qos)
+    return ParseBool(value, &cell->check_qos);
+  }
+  if (key == "monotonic_group") {  // SCENARIO_KEY(monotonic_group)
+    cell->monotonic_group = value;
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown key '" + key + "'");
+}
+
+}  // namespace
+
+Result<std::vector<ScenarioCell>> ParseScenarioSpec(const std::string& text) {
+  std::vector<ScenarioCell> cells;
+  std::istringstream in(text);
+  std::string raw;
+  size_t line_no = 0;
+  auto fail = [&](const std::string& msg) {
+    return Status::InvalidArgument("spec line " + std::to_string(line_no) +
+                                   ": " + msg);
+  };
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line = raw;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    line = Trim(line);
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') return fail("unterminated cell header");
+      std::string name = Trim(line.substr(1, line.size() - 2));
+      if (name.empty()) return fail("empty cell name");
+      for (const ScenarioCell& cell : cells) {
+        if (cell.name == name) return fail("duplicate cell '" + name + "'");
+      }
+      ScenarioCell cell;
+      cell.name = name;
+      cells.push_back(std::move(cell));
+      continue;
+    }
+    size_t eq = line.find('=');
+    if (eq == std::string::npos) return fail("expected 'key = value'");
+    if (cells.empty()) return fail("key outside any [cell] section");
+    std::string key = Trim(line.substr(0, eq));
+    std::string value = Trim(line.substr(eq + 1));
+    Status s = ApplyKey(&cells.back(), key, value);
+    if (!s.ok()) return fail(s.message());
+  }
+  if (cells.empty()) return Status::InvalidArgument("spec defines no cells");
+  for (const ScenarioCell& cell : cells) {
+    Status s = cell.Validate();
+    if (!s.ok()) return s;
+  }
+  return cells;
+}
+
+// --------------------------------------------------------------- runner --
+
+namespace {
+
+Result<RunMetrics> RunCell(const ScenarioCell& cell,
+                           const ScenarioMatrixOptions& options,
+                           storage::Catalog* catalog,
+                           const std::vector<query::CrossMatchQuery>& trace) {
+  EngineConfig config;
+  config.cache_capacity = cell.cache;
+  config.topology.num_volumes = cell.volumes;
+  config.topology.placement = cell.placement;
+  config.topology.spill_arm = cell.spill_arm;
+  if (cell.hetero) {
+    // Heterogeneous axis: volume 0 is the slow arm (half transfer rate).
+    config.topology.volume_disk.assign(cell.volumes,
+                                       storage::DiskModelParams{});
+    config.topology.volume_disk[0].transfer_mb_per_s /= 2.0;
+  }
+  if (cell.prefetch_depth > 0) {
+    config.enable_prefetch = true;
+    config.prefetch_depth = cell.prefetch_depth;
+  }
+  config.adaptive_prefetch = cell.adaptive_prefetch;
+  if (cell.spill_budget > 0) {
+    if (options.spill_dir.empty()) {
+      return Status::InvalidArgument(
+          "cell '" + cell.name +
+          "' has a spill budget but ScenarioMatrixOptions::spill_dir is "
+          "empty");
+    }
+    config.spill_path =
+        options.spill_dir + "/scenario_" + cell.name + ".spill";
+    config.workload_memory_budget = cell.spill_budget;
+  }
+  sched::AlphaSelector selector = sched::ReferenceAlphaSelector();
+  if (cell.adaptive_alpha) config.alpha_selector = &selector;
+
+  sched::LifeRaftConfig lr;
+  lr.alpha = cell.alpha;
+  lr.qos.depreciate_long_queries = cell.qos_sched;
+  auto scheduler = std::make_unique<sched::LifeRaftScheduler>(
+      catalog->store(), storage::DiskModel{}, lr);
+
+  ServeConfig serve;
+  serve.arrivals = cell.arrivals;
+  if (serve.arrivals.kind == ArrivalSpec::Kind::kTrace &&
+      serve.arrivals.trace.empty()) {
+    serve.arrivals.trace.assign(trace.size(), 0.0);  // saturated drain
+  }
+  serve.interactive_max_parts = cell.interactive_max_parts;
+  serve.max_pending_queries = cell.max_pending_queries;
+  serve.max_pending_objects = cell.max_pending_objects;
+  serve.qos_prefetch[static_cast<size_t>(QosClass::kInteractive)].max_depth =
+      cell.interactive_cap;
+  serve.qos_prefetch[static_cast<size_t>(QosClass::kBatch)].max_depth =
+      cell.batch_cap;
+
+  SimEngine engine(catalog, std::move(scheduler), config);
+  return engine.Serve(trace, serve);
+}
+
+void CheckCellInvariants(ScenarioResult* result) {
+  const ScenarioCell& cell = result->cell;
+  const RunMetrics& m = result->metrics;
+  if (cell.expect_no_shed && m.queries_shed != 0) {
+    result->failures.push_back(
+        "expect_no_shed: " + std::to_string(m.queries_shed) +
+        " queries shed below the admission bound");
+  }
+  if (cell.check_qos) {
+    const QosClassMetrics* interactive = nullptr;
+    const QosClassMetrics* batch = nullptr;
+    for (const QosClassMetrics& qc : m.qos_classes) {
+      if (qc.name == QosClassName(QosClass::kInteractive)) interactive = &qc;
+      if (qc.name == QosClassName(QosClass::kBatch)) batch = &qc;
+    }
+    if (interactive == nullptr || batch == nullptr ||
+        interactive->completed == 0 || batch->completed == 0) {
+      result->failures.push_back(
+          "check_qos: needs completions in both QoS classes");
+    } else if (interactive->p99_response_ms > batch->p99_response_ms) {
+      result->failures.push_back(
+          "check_qos: interactive p99 " + Fmt(interactive->p99_response_ms) +
+          " ms exceeds batch p99 " + Fmt(batch->p99_response_ms) + " ms");
+    }
+  }
+}
+
+void CheckMonotonicGroups(std::vector<ScenarioResult>* results) {
+  std::map<std::string, std::vector<ScenarioResult*>> groups;
+  for (ScenarioResult& r : *results) {
+    if (!r.cell.monotonic_group.empty()) {
+      groups[r.cell.monotonic_group].push_back(&r);
+    }
+  }
+  for (auto& [group, members] : groups) {
+    std::sort(members.begin(), members.end(),
+              [](const ScenarioResult* a, const ScenarioResult* b) {
+                return a->cell.volumes < b->cell.volumes;
+              });
+    for (size_t i = 1; i < members.size(); ++i) {
+      const ScenarioResult& prev = *members[i - 1];
+      ScenarioResult& cur = *members[i];
+      if (cur.metrics.makespan_ms > prev.metrics.makespan_ms) {
+        cur.failures.push_back(
+            "monotonicity(" + group + "): " +
+            std::to_string(cur.cell.volumes) + " volumes makespan " +
+            Fmt(cur.metrics.makespan_ms) + " ms worse than " +
+            std::to_string(prev.cell.volumes) + " volumes (" +
+            Fmt(prev.metrics.makespan_ms) + " ms)");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::vector<ScenarioResult>> RunScenarioMatrix(
+    const std::vector<ScenarioCell>& cells,
+    const ScenarioMatrixOptions& options) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    Status s = cells[i].Validate();
+    if (!s.ok()) return s;
+    for (size_t j = 0; j < i; ++j) {
+      if (cells[j].name == cells[i].name) {
+        return Status::InvalidArgument("duplicate cell '" + cells[i].name +
+                                       "'");
+      }
+    }
+  }
+
+  // One shared catalog: cells differ in workload and configuration, never
+  // in the archive, so cross-cell comparisons (the monotonicity groups)
+  // are apples to apples.
+  workload::CatalogGenConfig gen;
+  gen.num_objects = options.catalog_objects;
+  gen.seed = options.catalog_seed;
+  auto objects = workload::GenerateCatalog(gen);
+  if (!objects.ok()) return objects.status();
+  storage::CatalogOptions catalog_options;
+  catalog_options.objects_per_bucket = options.objects_per_bucket;
+  auto catalog = storage::Catalog::Build(std::move(*objects), catalog_options);
+  if (!catalog.ok()) return catalog.status();
+
+  std::vector<ScenarioResult> results;
+  results.reserve(cells.size());
+  for (const ScenarioCell& cell : cells) {
+    workload::TraceConfig tc =
+        workload::SkewedTracePreset(cell.skew, cell.queries, cell.trace_seed);
+    tc.p_small = cell.p_small;
+    // Keep cells cheap enough for a per-PR gate: the serving behavior the
+    // invariants check is driven by scheduling and I/O, not by match
+    // volume, so cap fan-in the way the serving tests do.
+    tc.max_objects_per_query = 1500;
+    tc.match_radius_arcsec = 900.0;
+    auto trace = workload::GenerateTrace(tc);
+    if (!trace.ok()) return trace.status();
+
+    auto metrics = RunCell(cell, options, catalog->get(), *trace);
+    if (!metrics.ok()) {
+      return Status::InvalidArgument("cell '" + cell.name +
+                                     "': " + metrics.status().message());
+    }
+    ScenarioResult result;
+    result.cell = cell;
+    result.metrics = std::move(*metrics);
+    if (options.verify_determinism) {
+      auto replay = RunCell(cell, options, catalog->get(), *trace);
+      if (!replay.ok()) return replay.status();
+      if (MetricsJson(*replay) != MetricsJson(result.metrics)) {
+        result.failures.push_back(
+            "determinism: second run diverged from the first");
+      }
+    }
+    CheckCellInvariants(&result);
+    results.push_back(std::move(result));
+  }
+  CheckMonotonicGroups(&results);
+  return results;
+}
+
+std::string ScenarioReportJson(const std::vector<ScenarioResult>& results) {
+  std::string out = "{\n  \"cells\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    JsonObject o;
+    o.Str("name", r.cell.name);
+    o.Field("config", CellConfigJson(r.cell));
+    o.Field("metrics", MetricsJson(r.metrics));
+    std::string failures = "[";
+    for (size_t f = 0; f < r.failures.size(); ++f) {
+      if (f > 0) failures += ", ";
+      failures += "\"";
+      failures += JsonEscape(r.failures[f]);
+      failures += "\"";
+    }
+    failures += "]";
+    o.Field("failures", failures);
+    out += "    ";
+    out += o.Done();
+    out += i + 1 < results.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n  \"total_failures\": " +
+         std::to_string(CountScenarioFailures(results)) + "\n}\n";
+  return out;
+}
+
+size_t CountScenarioFailures(const std::vector<ScenarioResult>& results) {
+  size_t n = 0;
+  for (const ScenarioResult& r : results) n += r.failures.size();
+  return n;
+}
+
+}  // namespace liferaft::sim

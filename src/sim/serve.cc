@@ -18,6 +18,24 @@ const char* QosClassName(QosClass c) {
   return "?";
 }
 
+const char* ArrivalKindName(ArrivalSpec::Kind kind) {
+  switch (kind) {
+    case ArrivalSpec::Kind::kPoisson:
+      return "poisson";
+    case ArrivalSpec::Kind::kUniform:
+      return "uniform";
+    case ArrivalSpec::Kind::kBursty:
+      return "bursty";
+    case ArrivalSpec::Kind::kTrace:
+      return "trace";
+    case ArrivalSpec::Kind::kDiurnal:
+      return "diurnal";
+    case ArrivalSpec::Kind::kFlashCrowd:
+      return "flash-crowd";
+  }
+  return "?";
+}
+
 Status ArrivalSpec::Validate(size_t n) const {
   switch (kind) {
     case Kind::kTrace:
@@ -51,6 +69,38 @@ Status ArrivalSpec::Validate(size_t n) const {
             "ArrivalSpec: mean_phase_ms must be positive");
       }
       return Status::OK();
+    case Kind::kDiurnal:
+      if (!(rate_qps > 0.0)) {
+        return Status::InvalidArgument(
+            "ArrivalSpec: rate_qps must be positive");
+      }
+      if (!(amplitude >= 0.0) || !(amplitude <= 1.0)) {
+        return Status::InvalidArgument(
+            "ArrivalSpec: amplitude must be in [0, 1]");
+      }
+      if (!(period_ms > 0.0)) {
+        return Status::InvalidArgument(
+            "ArrivalSpec: period_ms must be positive");
+      }
+      return Status::OK();
+    case Kind::kFlashCrowd:
+      if (!(rate_qps > 0.0)) {
+        return Status::InvalidArgument(
+            "ArrivalSpec: rate_qps must be positive");
+      }
+      if (!(spike_factor >= 1.0)) {
+        return Status::InvalidArgument(
+            "ArrivalSpec: spike_factor must be >= 1");
+      }
+      if (!(spike_start_ms >= 0.0)) {
+        return Status::InvalidArgument(
+            "ArrivalSpec: spike_start_ms must be >= 0");
+      }
+      if (!(decay_ms > 0.0)) {
+        return Status::InvalidArgument(
+            "ArrivalSpec: decay_ms must be positive");
+      }
+      return Status::OK();
   }
   return Status::InvalidArgument("ArrivalSpec: unknown kind");
 }
@@ -66,6 +116,12 @@ Result<std::vector<TimeMs>> BuildArrivals(const ArrivalSpec& spec, size_t n) {
     case ArrivalSpec::Kind::kBursty:
       return BurstyArrivals(n, spec.rate_qps, spec.rate_off_qps,
                             spec.mean_phase_ms, &rng);
+    case ArrivalSpec::Kind::kDiurnal:
+      return DiurnalArrivals(n, spec.rate_qps, spec.amplitude,
+                             spec.period_ms, &rng);
+    case ArrivalSpec::Kind::kFlashCrowd:
+      return FlashCrowdArrivals(n, spec.rate_qps, spec.spike_factor,
+                                spec.spike_start_ms, spec.decay_ms, &rng);
     case ArrivalSpec::Kind::kTrace:
       return spec.trace;
   }

@@ -33,16 +33,36 @@ const char* QosClassName(QosClass c);
 
 /// How served queries arrive. kTrace replays explicit timestamps (and is
 /// the bridge for closed-workload equivalence tests); the stochastic kinds
-/// generate sim::PoissonArrivals / UniformArrivals / BurstyArrivals.
+/// generate sim::PoissonArrivals / UniformArrivals / BurstyArrivals /
+/// DiurnalArrivals / FlashCrowdArrivals.
 struct ArrivalSpec {
-  enum class Kind { kPoisson, kUniform, kBursty, kTrace };
+  enum class Kind {
+    kPoisson,
+    kUniform,
+    kBursty,
+    kTrace,
+    /// Sinusoidal day/night rate swing (DiurnalArrivals).
+    kDiurnal,
+    /// Steady base rate with one exponentially-decaying spike
+    /// (FlashCrowdArrivals).
+    kFlashCrowd,
+  };
   Kind kind = Kind::kPoisson;
-  /// Arrival rate (ON-phase rate for kBursty; ignored for kTrace).
+  /// Arrival rate (ON-phase rate for kBursty, base rate for kDiurnal /
+  /// kFlashCrowd; ignored for kTrace).
   double rate_qps = 0.5;
   /// OFF-phase rate for kBursty (0 = silent gaps).
   double rate_off_qps = 0.0;
   /// Mean phase duration for kBursty.
   TimeMs mean_phase_ms = 60'000.0;
+  /// kDiurnal: fractional rate swing in [0, 1] and swing period.
+  double amplitude = 0.5;
+  TimeMs period_ms = 3'600'000.0;
+  /// kFlashCrowd: the rate jumps to rate_qps * spike_factor at
+  /// spike_start_ms and decays back with time constant decay_ms.
+  double spike_factor = 8.0;
+  TimeMs spike_start_ms = 60'000.0;
+  TimeMs decay_ms = 120'000.0;
   /// Seed for the stochastic generators (deterministic replay).
   uint64_t seed = 1;
   /// Explicit ascending timestamps for kTrace; must match the query count.
@@ -52,8 +72,19 @@ struct ArrivalSpec {
   Status Validate(size_t n) const;
 };
 
+const char* ArrivalKindName(ArrivalSpec::Kind kind);
+
 /// Materializes `n` arrival timestamps from the spec (ascending from 0).
 Result<std::vector<TimeMs>> BuildArrivals(const ArrivalSpec& spec, size_t n);
+
+/// Per-QoS-class prefetch-controller override: while the class is active
+/// (see ServeConfig::qos_prefetch) the engine caps every disk arm's
+/// prefetch depth — adaptive or fixed — at max_depth. 0 = no class cap:
+/// the arm keeps the engine-wide EngineConfig depth configuration, byte
+/// for byte.
+struct QosPrefetchConfig {
+  size_t max_depth = 0;
+};
 
 /// Serving-mode configuration (see SimEngine::Serve).
 struct ServeConfig {
@@ -67,6 +98,13 @@ struct ServeConfig {
   /// objects in the workload manager.
   size_t max_pending_queries = 0;
   uint64_t max_pending_objects = 0;
+  /// Per-QoS-class prefetch depth caps, indexed by QosClass. The
+  /// interactive entry is active while any admitted interactive query is
+  /// still pending (deep speculative bets behind a latency-sensitive
+  /// query only delay it); the batch entry is active otherwise. Both
+  /// defaulting to 0 reproduces today's single prefetch config exactly —
+  /// the engine never touches the pipeline's depth cap.
+  QosPrefetchConfig qos_prefetch[kNumQosClasses];
 
   Status Validate() const;
 };

@@ -31,10 +31,12 @@ Status StorageTopologyConfig::Validate() const {
 
 StorageTopology::StorageTopology(size_t num_buckets,
                                  VolumePlacement placement,
-                                 std::vector<DiskModel> models)
+                                 std::vector<DiskModel> models,
+                                 bool spill_arm)
     : num_buckets_(num_buckets),
       placement_(placement),
-      models_(std::move(models)) {
+      models_(std::move(models)),
+      has_spill_arm_(spill_arm) {
   range_base_ = num_buckets_ / models_.size();
   range_rem_ = num_buckets_ % models_.size();
   const DiskModelParams& first = models_.front().params();
@@ -70,7 +72,8 @@ Result<StorageTopology> StorageTopology::Create(
     models.emplace_back(config.volume_disk.empty() ? default_disk
                                                    : config.volume_disk[v]);
   }
-  return StorageTopology(num_buckets, config.placement, std::move(models));
+  return StorageTopology(num_buckets, config.placement, std::move(models),
+                         config.spill_arm);
 }
 
 }  // namespace liferaft::storage

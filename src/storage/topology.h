@@ -60,6 +60,17 @@ struct StorageTopologyConfig {
   /// Per-volume disk parameters; empty = every volume uses the default
   /// model, otherwise must have exactly num_volumes entries.
   std::vector<DiskModelParams> volume_disk;
+  /// Dedicate an extra disk arm to the workload spill file. Spill
+  /// restores are then charged to that arm instead of the batch bucket's
+  /// arm, so prefetches on the bucket arm no longer queue behind (or slip
+  /// by) restore I/O — the deployment analogue of putting scratch on its
+  /// own spindle. The restore still serializes in the batch's foreground
+  /// phase (the join needs the restored objects), so the completion clock
+  /// is charged identically; only the per-arm busy accounting moves.
+  /// Off (the default), or with spill disabled, nothing changes byte for
+  /// byte. The spill arm owns no buckets: placement, cache sharding, and
+  /// per-volume T_b pricing are unaffected.
+  bool spill_arm = false;
 
   Status Validate() const;
 };
@@ -128,9 +139,20 @@ class StorageTopology {
   /// default; heterogeneous topologies make T_b placement-dependent).
   bool uniform() const { return uniform_; }
 
+  /// Whether a dedicated spill arm was configured (see
+  /// StorageTopologyConfig::spill_arm). The spill arm is NOT a bucket
+  /// volume: num_volumes() excludes it and VolumeOf never returns it.
+  bool has_spill_arm() const { return has_spill_arm_; }
+
+  /// Arm index of the spill arm within the pipeline's arm array: one past
+  /// the last bucket volume. Meaningful only when has_spill_arm().
+  VolumeIndex spill_volume() const {
+    return static_cast<VolumeIndex>(models_.size());
+  }
+
  private:
   StorageTopology(size_t num_buckets, VolumePlacement placement,
-                  std::vector<DiskModel> models);
+                  std::vector<DiskModel> models, bool spill_arm);
 
   size_t num_buckets_;
   VolumePlacement placement_;
@@ -140,6 +162,7 @@ class StorageTopology {
   size_t range_base_ = 0;
   size_t range_rem_ = 0;
   bool uniform_ = true;
+  bool has_spill_arm_ = false;
 };
 
 }  // namespace liferaft::storage

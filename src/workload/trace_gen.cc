@@ -25,6 +25,14 @@ Status TraceConfig::Validate() const {
   if (min_radius_deg <= 0.0 || max_radius_deg < min_radius_deg) {
     return Status::InvalidArgument("bad radius range");
   }
+  if (p_small < 0.0 || p_small > 1.0) {
+    return Status::InvalidArgument("p_small must be in [0, 1]");
+  }
+  if (p_small > 0.0 && (small_max_radius_deg < min_radius_deg ||
+                        small_max_radius_deg > max_radius_deg)) {
+    return Status::InvalidArgument(
+        "small_max_radius_deg must be in [min_radius_deg, max_radius_deg]");
+  }
   if (objects_per_sq_deg <= 0.0) {
     return Status::InvalidArgument("objects_per_sq_deg must be positive");
   }
@@ -62,6 +70,46 @@ TraceConfig LongRunningSkyQueryPreset() {
   //   NoShare service capacity ~ 0.089 q/s   (paper: ~0.085)
   //   top-10 buckets touched by ~60% of queries (paper Fig 5: 61%)
   //   2% of buckets carry 50% of the workload   (paper Fig 6: 2%)
+  return tc;
+}
+
+const char* SkewLevelName(SkewLevel level) {
+  switch (level) {
+    case SkewLevel::kUniform:
+      return "uniform";
+    case SkewLevel::kDefault:
+      return "default";
+    case SkewLevel::kExtreme:
+      return "extreme";
+  }
+  return "?";
+}
+
+TraceConfig SkewedTracePreset(SkewLevel level, size_t num_queries,
+                              uint64_t seed) {
+  TraceConfig tc;
+  tc.num_queries = num_queries;
+  tc.seed = seed;
+  switch (level) {
+    case SkewLevel::kUniform:
+      // No hotspot pull at all: every query explores a fresh region, so
+      // bucket mass spreads as evenly as the sky sampling allows.
+      tc.p_hotspot = 0.0;
+      tc.p_stay = 0.0;
+      tc.zipf_s = 0.0;
+      break;
+    case SkewLevel::kDefault:
+      break;  // the calibrated Fig 5/6 shape
+    case SkewLevel::kExtreme:
+      // Nearly all mass on a couple of hotspots with strong temporal
+      // stickiness — the starvation-pressure regime the adaptive alpha
+      // exists for.
+      tc.num_hotspots = 8;
+      tc.zipf_s = 3.0;
+      tc.p_hotspot = 0.97;
+      tc.p_stay = 0.85;
+      break;
+  }
   return tc;
 }
 
@@ -117,9 +165,15 @@ Result<std::vector<query::CrossMatchQuery>> GenerateTrace(
       center = RandomSkyPoint(&rng);
     }
 
-    // Footprint and workload size.
+    // Footprint and workload size. The small-mode Bernoulli is drawn only
+    // when the mix is enabled so p_small = 0 consumes no rng state and
+    // pre-mix traces reproduce byte for byte.
+    double hi = log_max;
+    if (config.p_small > 0.0 && rng.Bernoulli(config.p_small)) {
+      hi = std::log(config.small_max_radius_deg);
+    }
     double radius_deg =
-        std::exp(rng.UniformDouble(log_min, log_max));
+        std::exp(rng.UniformDouble(log_min, hi));
     double area = CapAreaSqDeg(radius_deg);
     auto target = static_cast<size_t>(area * config.objects_per_sq_deg);
     size_t n_objects = std::clamp(target, config.min_objects_per_query,

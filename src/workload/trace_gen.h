@@ -45,6 +45,15 @@ struct TraceConfig {
   double min_radius_deg = 0.4;
   double max_radius_deg = 25.0;
 
+  /// Bimodal footprint mix for QoS scenarios: with probability p_small the
+  /// radius is drawn log-uniform in [min_radius_deg, small_max_radius_deg]
+  /// instead of the full range, yielding a controllable share of
+  /// few-bucket (interactive-classified) queries next to sky-spanning
+  /// batch scans. p_small = 0 draws nothing extra from the rng, so the
+  /// default reproduces pre-mix traces byte for byte.
+  double p_small = 0.0;
+  double small_max_radius_deg = 1.0;
+
   /// Cross-match object density within the footprint.
   double objects_per_sq_deg = 2.0;
   size_t min_objects_per_query = 16;
@@ -71,6 +80,20 @@ Result<std::vector<query::CrossMatchQuery>> GenerateTrace(
 /// benchmark catalog the NoShare baseline's service capacity lands near the
 /// paper's measured ~0.085 q/s and the Fig 5/6 skew shapes hold.
 TraceConfig LongRunningSkyQueryPreset();
+
+/// Catalog-skew axis of the scenario matrix: how concentrated the query
+/// mass is over the sky. kUniform scatters queries with no hotspot pull;
+/// kDefault is the calibrated Fig 5/6 shape; kExtreme concentrates almost
+/// all mass on a couple of hotspots (the starvation-pressure regime).
+enum class SkewLevel { kUniform, kDefault, kExtreme };
+
+const char* SkewLevelName(SkewLevel level);
+
+/// TraceConfig for a skew level, starting from the defaults: only the
+/// hotspot-model knobs (num_hotspots, zipf_s, p_hotspot, p_stay) differ
+/// between levels, so skew is the single moving axis.
+TraceConfig SkewedTracePreset(SkewLevel level, size_t num_queries,
+                              uint64_t seed);
 
 /// Workload-characterization helpers for Figs 5 and 6.
 struct BucketTouch {

@@ -1,0 +1,231 @@
+// Tests for the scenario-matrix harness: spec parsing, the built-in
+// grids, cell validation, invariant evaluation, and the golden three-cell
+// matrix whose JSON report must stay byte-identical (tests/data/).
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/scenario_matrix.h"
+
+namespace liferaft::sim {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+// ------------------------------------------------------------- parsing --
+
+TEST(ScenarioSpecTest, ParsesCellsAndKeys) {
+  auto cells = ParseScenarioSpec(R"(# a comment
+[first]
+queries = 12
+trace_seed = 9
+skew = extreme
+p_small = 0.5
+arrival = diurnal       # trailing comment
+amplitude = 0.8
+period_ms = 120000
+arrival_seed = 3
+volumes = 4
+placement = hash
+hetero = true
+spill_arm = true
+spill_budget = 20000
+cache = 10
+prefetch_depth = 2
+adaptive_prefetch = false
+alpha = 0.5
+adaptive_alpha = true
+interactive_max_parts = 4
+max_pending_queries = 8
+max_pending_objects = 100000
+interactive_cap = 1
+batch_cap = 3
+expect_no_shed = false
+check_qos = true
+monotonic_group = sweep
+
+[second]
+arrival = saturated
+)");
+  ASSERT_TRUE(cells.ok()) << cells.status().ToString();
+  ASSERT_EQ(cells->size(), 2u);
+  const ScenarioCell& c = (*cells)[0];
+  EXPECT_EQ(c.name, "first");
+  EXPECT_EQ(c.queries, 12u);
+  EXPECT_EQ(c.trace_seed, 9u);
+  EXPECT_EQ(c.skew, workload::SkewLevel::kExtreme);
+  EXPECT_DOUBLE_EQ(c.p_small, 0.5);
+  EXPECT_EQ(c.arrivals.kind, ArrivalSpec::Kind::kDiurnal);
+  EXPECT_DOUBLE_EQ(c.arrivals.amplitude, 0.8);
+  EXPECT_DOUBLE_EQ(c.arrivals.period_ms, 120'000.0);
+  EXPECT_EQ(c.arrivals.seed, 3u);
+  EXPECT_EQ(c.volumes, 4u);
+  EXPECT_EQ(c.placement, storage::VolumePlacement::kHash);
+  EXPECT_TRUE(c.hetero);
+  EXPECT_TRUE(c.spill_arm);
+  EXPECT_EQ(c.spill_budget, 20'000u);
+  EXPECT_EQ(c.cache, 10u);
+  EXPECT_EQ(c.prefetch_depth, 2u);
+  EXPECT_FALSE(c.adaptive_prefetch);
+  EXPECT_DOUBLE_EQ(c.alpha, 0.5);
+  EXPECT_TRUE(c.adaptive_alpha);
+  EXPECT_EQ(c.interactive_max_parts, 4u);
+  EXPECT_EQ(c.max_pending_queries, 8u);
+  EXPECT_EQ(c.max_pending_objects, 100'000u);
+  EXPECT_EQ(c.interactive_cap, 1u);
+  EXPECT_EQ(c.batch_cap, 3u);
+  EXPECT_FALSE(c.expect_no_shed);
+  EXPECT_TRUE(c.check_qos);
+  EXPECT_EQ(c.monotonic_group, "sweep");
+
+  // The saturated shorthand: an empty kTrace spec, materialized at run
+  // time as everything arriving at t=0.
+  const ScenarioCell& s = (*cells)[1];
+  EXPECT_EQ(s.arrivals.kind, ArrivalSpec::Kind::kTrace);
+  EXPECT_TRUE(s.arrivals.trace.empty());
+}
+
+TEST(ScenarioSpecTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(ParseScenarioSpec("").ok());
+  EXPECT_FALSE(ParseScenarioSpec("queries = 5\n").ok());  // outside a cell
+  EXPECT_FALSE(ParseScenarioSpec("[a]\nnot a kv line\n").ok());
+  EXPECT_FALSE(ParseScenarioSpec("[a]\nbogus_key = 1\n").ok());
+  EXPECT_FALSE(ParseScenarioSpec("[a]\nqueries = twelve\n").ok());
+  EXPECT_FALSE(ParseScenarioSpec("[a]\nskew = sideways\n").ok());
+  EXPECT_FALSE(ParseScenarioSpec("[a]\n[a]\n").ok());  // duplicate name
+  EXPECT_FALSE(ParseScenarioSpec("[a\nqueries = 5\n").ok());
+  // Per-cell validation runs on the parsed result.
+  EXPECT_FALSE(ParseScenarioSpec("[a]\nqueries = 0\n").ok());
+  EXPECT_FALSE(ParseScenarioSpec("[a]\np_small = 1.5\n").ok());
+  EXPECT_FALSE(ParseScenarioSpec("[a]\nalpha = 2.0\n").ok());
+  EXPECT_FALSE(ParseScenarioSpec("[a]\nrate_qps = 0\n").ok());
+}
+
+TEST(ScenarioCellTest, ValidateChecksRanges) {
+  ScenarioCell cell;
+  cell.name = "ok";
+  EXPECT_TRUE(cell.Validate().ok());
+  cell.volumes = 0;
+  EXPECT_FALSE(cell.Validate().ok());
+  cell.volumes = 1;
+  cell.cache = 0;
+  EXPECT_FALSE(cell.Validate().ok());
+  cell.cache = 20;
+  cell.name.clear();
+  EXPECT_FALSE(cell.Validate().ok());
+}
+
+// ------------------------------------------------------- built-in grids --
+
+TEST(ScenarioGridTest, SmokeGridShape) {
+  auto cells = BuiltinScenarioGrid("smoke");
+  ASSERT_TRUE(cells.ok());
+  EXPECT_GE(cells->size(), 6u);
+  // Every axis of the matrix appears somewhere in the smoke subset.
+  bool has_multi_volume = false, has_qos = false, has_spill = false,
+       has_hetero = false, has_monotonic = false, has_no_shed = false;
+  for (const ScenarioCell& cell : *cells) {
+    EXPECT_TRUE(cell.Validate().ok()) << cell.name;
+    has_multi_volume |= cell.volumes > 1;
+    has_qos |= cell.check_qos;
+    has_spill |= cell.spill_budget > 0 && cell.spill_arm;
+    has_hetero |= cell.hetero;
+    has_monotonic |= !cell.monotonic_group.empty();
+    has_no_shed |= cell.expect_no_shed;
+  }
+  EXPECT_TRUE(has_multi_volume);
+  EXPECT_TRUE(has_qos);
+  EXPECT_TRUE(has_spill);
+  EXPECT_TRUE(has_hetero);
+  EXPECT_TRUE(has_monotonic);
+  EXPECT_TRUE(has_no_shed);
+}
+
+TEST(ScenarioGridTest, FullGridIsLargerAndValid) {
+  auto smoke = BuiltinScenarioGrid("smoke");
+  auto full = BuiltinScenarioGrid("full");
+  ASSERT_TRUE(smoke.ok() && full.ok());
+  EXPECT_GT(full->size(), smoke->size());
+  for (const ScenarioCell& cell : *full) {
+    EXPECT_TRUE(cell.Validate().ok()) << cell.name;
+  }
+}
+
+TEST(ScenarioGridTest, UnknownGridIsAnError) {
+  EXPECT_FALSE(BuiltinScenarioGrid("medium").ok());
+}
+
+// -------------------------------------------------------------- running --
+
+// The golden matrix: three tiny cells checked into tests/data/. The run
+// must reproduce the checked-in JSON report byte for byte — this is the
+// determinism claim of docs/SCENARIOS.md made enforceable, and it also
+// locks the report schema (a schema change must regenerate the golden).
+TEST(ScenarioMatrixTest, GoldenThreeCellReportIsByteIdentical) {
+  const std::string dir = LIFERAFT_TEST_DATA_DIR;
+  auto cells = ParseScenarioSpec(ReadFileOrDie(dir + "/scenario_golden.spec"));
+  ASSERT_TRUE(cells.ok()) << cells.status().ToString();
+  ASSERT_EQ(cells->size(), 3u);
+
+  ScenarioMatrixOptions options;
+  auto results = RunScenarioMatrix(*cells, options);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  for (const ScenarioResult& r : *results) {
+    EXPECT_TRUE(r.failures.empty())
+        << r.cell.name << ": " << r.failures.front();
+  }
+  EXPECT_EQ(ScenarioReportJson(*results),
+            ReadFileOrDie(dir + "/scenario_golden.json"));
+}
+
+TEST(ScenarioMatrixTest, InvariantFailuresAreReported) {
+  // A no-shed claim that cannot hold: a saturated drain against a
+  // one-query admission bound must shed, so expect_no_shed fails the cell
+  // (rather than passing vacuously).
+  ScenarioCell cell;
+  cell.name = "impossible-no-shed";
+  cell.queries = 8;
+  cell.arrivals.kind = ArrivalSpec::Kind::kTrace;
+  cell.arrivals.trace.clear();
+  cell.max_pending_queries = 1;
+  cell.expect_no_shed = true;
+  ScenarioMatrixOptions options;
+  options.verify_determinism = false;
+  auto results = RunScenarioMatrix({cell}, options);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  ASSERT_EQ(results->size(), 1u);
+  ASSERT_EQ((*results)[0].failures.size(), 1u);
+  EXPECT_NE((*results)[0].failures[0].find("expect_no_shed"),
+            std::string::npos);
+  EXPECT_EQ(CountScenarioFailures(*results), 1u);
+}
+
+TEST(ScenarioMatrixTest, DuplicateCellNamesAreRejected) {
+  ScenarioCell cell;
+  cell.name = "twin";
+  cell.queries = 4;
+  ScenarioMatrixOptions options;
+  EXPECT_FALSE(RunScenarioMatrix({cell, cell}, options).ok());
+}
+
+TEST(ScenarioMatrixTest, SpillCellWithoutSpillDirIsAnError) {
+  ScenarioCell cell;
+  cell.name = "spiller";
+  cell.queries = 4;
+  cell.spill_budget = 1000;
+  ScenarioMatrixOptions options;
+  options.spill_dir.clear();
+  EXPECT_FALSE(RunScenarioMatrix({cell}, options).ok());
+}
+
+}  // namespace
+}  // namespace liferaft::sim

@@ -109,6 +109,88 @@ TEST(ArrivalsTest, BurstyZeroOffRateKeepsAlternating) {
   EXPECT_GE(phase_gaps, 3u);
 }
 
+TEST(ArrivalsTest, DiurnalPeakBeatsTrough) {
+  // The sinusoid puts the peak rate in the first half of each period and
+  // the trough in the second (sin > 0 on [0, period/2)). Binning arrivals
+  // by half-period must show the swing: with amplitude 0.9 the peak half
+  // carries rate ~1.57x base and the trough half ~0.43x on average.
+  Rng rng(445);
+  const TimeMs period_ms = 100'000.0;
+  auto arrivals = *DiurnalArrivals(6'000, 1.0, 0.9, period_ms, &rng);
+  ASSERT_EQ(arrivals.size(), 6'000u);
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+  size_t peak = 0, trough = 0;
+  for (TimeMs t : arrivals) {
+    double phase = std::fmod(t, period_ms) / period_ms;
+    (phase < 0.5 ? peak : trough) += 1;
+  }
+  EXPECT_GT(static_cast<double>(peak), 2.0 * static_cast<double>(trough));
+}
+
+TEST(ArrivalsTest, DiurnalZeroAmplitudeMatchesPoissonRate) {
+  // amplitude 0 degenerates to a homogeneous Poisson process (thinning
+  // accepts everything): same mean rate as PoissonArrivals even though
+  // the draw sequences differ.
+  Rng rng(447);
+  auto arrivals = *DiurnalArrivals(5'000, 0.5, 0.0, 3'600'000.0, &rng);
+  EXPECT_NEAR(arrivals.back() / 1000.0, 10'000.0, 600.0);
+}
+
+TEST(ArrivalsTest, FlashCrowdSpikesThenDecays) {
+  // Windows of one decay constant each: before the spike the rate is the
+  // 0.2 q/s base; in the first window after spike_start it approaches
+  // base * spike_factor; a few constants later it is back near base.
+  Rng rng(449);
+  const double base = 0.2, factor = 10.0;
+  const TimeMs start_ms = 200'000.0, decay_ms = 100'000.0;
+  auto arrivals = *FlashCrowdArrivals(2'000, base, factor, start_ms,
+                                      decay_ms, &rng);
+  ASSERT_EQ(arrivals.size(), 2'000u);
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+  auto rate_in = [&](TimeMs from, TimeMs to) {
+    size_t n = 0;
+    for (TimeMs t : arrivals) n += t >= from && t < to;
+    return static_cast<double>(n) / ((to - from) / 1000.0);
+  };
+  double before = rate_in(0.0, start_ms);
+  double spike = rate_in(start_ms, start_ms + decay_ms);
+  double after = rate_in(start_ms + 5.0 * decay_ms,
+                         start_ms + 10.0 * decay_ms);
+  EXPECT_NEAR(before, base, 0.1);
+  EXPECT_GT(spike, 3.0 * base);   // mean over the window ~0.63 * peak
+  EXPECT_LT(after, 2.0 * base);   // decayed back toward base
+  EXPECT_GT(spike, 2.0 * after);
+}
+
+TEST(ArrivalsTest, NonHomogeneousGeneratorsAreSeedDeterministic) {
+  Rng a1(451), a2(451), b(452);
+  EXPECT_EQ(*DiurnalArrivals(500, 1.0, 0.5, 60'000.0, &a1),
+            *DiurnalArrivals(500, 1.0, 0.5, 60'000.0, &a2));
+  EXPECT_NE(*DiurnalArrivals(500, 1.0, 0.5, 60'000.0, &b),
+            *DiurnalArrivals(500, 1.0, 0.5, 60'000.0, &a1));
+  Rng c1(453), c2(453);
+  EXPECT_EQ(*FlashCrowdArrivals(500, 0.5, 8.0, 60'000.0, 120'000.0, &c1),
+            *FlashCrowdArrivals(500, 0.5, 8.0, 60'000.0, 120'000.0, &c2));
+}
+
+TEST(ArrivalsTest, NonHomogeneousGeneratorsRejectInvalidParameters) {
+  Rng rng(455);
+  EXPECT_FALSE(DiurnalArrivals(10, 0.0, 0.5, 60'000.0, &rng).ok());
+  EXPECT_FALSE(DiurnalArrivals(10, 1.0, -0.1, 60'000.0, &rng).ok());
+  EXPECT_FALSE(DiurnalArrivals(10, 1.0, 1.5, 60'000.0, &rng).ok());
+  EXPECT_FALSE(DiurnalArrivals(10, 1.0, 0.5, 0.0, &rng).ok());
+  EXPECT_FALSE(DiurnalArrivals(10, 1.0, 0.5, 60'000.0, nullptr).ok());
+  EXPECT_FALSE(
+      FlashCrowdArrivals(10, 0.0, 8.0, 60'000.0, 120'000.0, &rng).ok());
+  EXPECT_FALSE(
+      FlashCrowdArrivals(10, 1.0, 0.5, 60'000.0, 120'000.0, &rng).ok());
+  EXPECT_FALSE(
+      FlashCrowdArrivals(10, 1.0, 8.0, -1.0, 120'000.0, &rng).ok());
+  EXPECT_FALSE(FlashCrowdArrivals(10, 1.0, 8.0, 60'000.0, 0.0, &rng).ok());
+  EXPECT_FALSE(
+      FlashCrowdArrivals(10, 1.0, 8.0, 60'000.0, 120'000.0, nullptr).ok());
+}
+
 // ---------------------------------------------------------------- Engine --
 
 class EngineFixture : public ::testing::Test {

@@ -127,6 +127,25 @@ TEST(StorageTopologyTest, PerVolumeModelsAndUniformFlag) {
                    topology->model(1).SequentialReadMs(bytes));
 }
 
+TEST(StorageTopologyTest, SpillArmIsNotABucketVolume) {
+  StorageTopologyConfig config;
+  config.num_volumes = 3;
+  config.spill_arm = true;
+  auto topology = StorageTopology::Create(9, config, DiskModelParams{});
+  ASSERT_TRUE(topology.ok());
+  EXPECT_TRUE(topology->has_spill_arm());
+  // The spill arm sits one past the bucket volumes and owns no buckets.
+  EXPECT_EQ(topology->num_volumes(), 3u);
+  EXPECT_EQ(topology->spill_volume(), 3u);
+  for (BucketIndex b = 0; b < 9; ++b) {
+    EXPECT_LT(topology->VolumeOf(b), 3u);
+  }
+  config.spill_arm = false;
+  auto plain = StorageTopology::Create(9, config, DiskModelParams{});
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->has_spill_arm());
+}
+
 // Volume-aligned sharding maps every bucket into [0, num_volumes), so a
 // shard count beyond the volume count would strand capacity on shards no
 // bucket can reach — the constructor must clamp it.
@@ -487,6 +506,106 @@ TEST_F(MultiVolumeDrainFixture, RestoreArenaOnOffIsByteIdentical) {
   EXPECT_EQ(on.makespan_ms, off.makespan_ms);
   EXPECT_EQ(on.store.bucket_reads, off.store.bucket_reads);
   EXPECT_EQ(on_matches, off_matches);
+}
+
+// ------------------------------------------------ spill-arm satellite --
+
+// A dedicated spill arm with spilling disabled is pure configuration: no
+// restore ever runs, so every modeled time and counter must reproduce the
+// plain topology byte for byte — the only visible difference is the
+// spill arm's empty telemetry row.
+TEST_F(MultiVolumeDrainFixture, SpillArmWithoutSpillIsByteIdentical) {
+  std::map<query::QueryId, uint64_t> base_matches, arm_matches;
+  RunMetrics base = Drain(PrefetchConfig(2), &base_matches);
+  EngineConfig with_arm = PrefetchConfig(2);
+  with_arm.topology.spill_arm = true;
+  RunMetrics m = Drain(with_arm, &arm_matches);
+
+  EXPECT_EQ(m.makespan_ms, base.makespan_ms);
+  EXPECT_EQ(m.prefetch_hidden_ms, base.prefetch_hidden_ms);
+  EXPECT_EQ(m.cache.hits, base.cache.hits);
+  EXPECT_EQ(m.cache.misses, base.cache.misses);
+  EXPECT_EQ(m.cache.prefetch_issued, base.cache.prefetch_issued);
+  EXPECT_EQ(m.store.bucket_reads, base.store.bucket_reads);
+  EXPECT_EQ(arm_matches, base_matches);
+  ASSERT_EQ(base.volumes.size(), 2u);
+  ASSERT_EQ(m.volumes.size(), 3u);
+  for (size_t v = 0; v < 2; ++v) {
+    EXPECT_EQ(m.volumes[v].busy_ms, base.volumes[v].busy_ms);
+    EXPECT_EQ(m.volumes[v].foreground_reads, base.volumes[v].foreground_reads);
+    EXPECT_EQ(m.volumes[v].prefetch_issued, base.volumes[v].prefetch_issued);
+  }
+  EXPECT_EQ(m.volumes[2].busy_ms, 0.0);
+  EXPECT_EQ(m.volumes[2].foreground_reads, 0u);
+  EXPECT_EQ(m.volumes[2].foreground_bytes, 0u);
+}
+
+// With prefetching off, the spill arm is pure accounting: restores cost
+// the same foreground time (the join still waits for its objects), so the
+// run is identical — the restore busy time just moves from the bucket arm
+// onto the spill arm's row.
+TEST_F(MultiVolumeDrainFixture, SpillArmMovesRestoreBusyTimeOffBucketArm) {
+  auto spill_config = [&](bool spill_arm) {
+    EngineConfig config;  // no prefetch: scheduling independent of arms
+    config.collect_matches = true;
+    config.topology.spill_arm = spill_arm;
+    config.spill_path =
+        (std::filesystem::temp_directory_path() /
+         ("liferaft_spill_arm_" + std::to_string(::getpid()) +
+          (spill_arm ? "_on" : "_off")))
+            .string();
+    config.workload_memory_budget = 2000;  // force spilling
+    return config;
+  };
+  std::map<query::QueryId, uint64_t> on_matches, off_matches;
+  RunMetrics on = Drain(spill_config(true), &on_matches);
+  RunMetrics off = Drain(spill_config(false), &off_matches);
+
+  ASSERT_GT(on.spill.segments_restored, 0u) << "budget never triggered";
+  EXPECT_EQ(on.spill.bytes_restored, off.spill.bytes_restored);
+  EXPECT_EQ(on.makespan_ms, off.makespan_ms);
+  EXPECT_EQ(on.store.bucket_reads, off.store.bucket_reads);
+  EXPECT_EQ(on_matches, off_matches);
+  ASSERT_EQ(off.volumes.size(), 1u);
+  ASSERT_EQ(on.volumes.size(), 2u);
+  // The restore I/O moved arm: bucket arm plus spill arm add back up to
+  // the single-arm busy total (separate accumulators, so allow FP slack).
+  EXPECT_GT(on.volumes[1].busy_ms, 0.0);
+  EXPECT_LT(on.volumes[0].busy_ms, off.volumes[0].busy_ms);
+  EXPECT_NEAR(on.volumes[0].busy_ms + on.volumes[1].busy_ms,
+              off.volumes[0].busy_ms, 1e-6);
+  EXPECT_EQ(on.volumes[1].foreground_bytes, on.spill.bytes_restored);
+  EXPECT_EQ(on.volumes[0].foreground_reads, off.volumes[0].foreground_reads);
+}
+
+// With prefetching on, the spill arm changes the modeled timeline — bets
+// no longer slip by restore I/O — but never the matching, and the run
+// stays deterministic.
+TEST_F(MultiVolumeDrainFixture, SpillArmWithPrefetchKeepsResultsDeterministic) {
+  auto spill_config = [&](bool spill_arm, const char* tag) {
+    EngineConfig config = PrefetchConfig(2);
+    config.topology.spill_arm = spill_arm;
+    config.spill_path =
+        (std::filesystem::temp_directory_path() /
+         ("liferaft_spill_arm_pf_" + std::to_string(::getpid()) + tag))
+            .string();
+    config.workload_memory_budget = 2000;
+    return config;
+  };
+  std::map<query::QueryId, uint64_t> on_matches, off_matches, again_matches;
+  RunMetrics on = Drain(spill_config(true, "_on"), &on_matches);
+  RunMetrics off = Drain(spill_config(false, "_off"), &off_matches);
+  RunMetrics again = Drain(spill_config(true, "_again"), &again_matches);
+
+  ASSERT_GT(on.spill.segments_restored, 0u) << "budget never triggered";
+  EXPECT_EQ(on_matches, off_matches);
+  EXPECT_EQ(on.total_matches, off.total_matches);
+  // Deterministic replay with the arm on.
+  EXPECT_EQ(on.makespan_ms, again.makespan_ms);
+  EXPECT_EQ(on.prefetch_hidden_ms, again.prefetch_hidden_ms);
+  EXPECT_EQ(on_matches, again_matches);
+  // Freeing the bucket arm from restore I/O can only help the drain.
+  EXPECT_LE(on.makespan_ms, off.makespan_ms);
 }
 
 }  // namespace

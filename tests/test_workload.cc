@@ -244,6 +244,102 @@ TEST_F(TraceFixture, CharacterizeTraceSortsByMass) {
   EXPECT_EQ(total_objects, expected);
 }
 
+TEST_F(TraceFixture, PSmallZeroIsByteIdenticalToLegacyTrace) {
+  // p_small = 0 draws nothing extra from the rng, so the bimodal-mix knob
+  // at its default must reproduce pre-mix traces exactly.
+  TraceConfig legacy;
+  legacy.num_queries = 120;
+  TraceConfig mixed = legacy;
+  mixed.p_small = 0.0;
+  mixed.small_max_radius_deg = 2.0;  // irrelevant while p_small == 0
+  auto a = GenerateTrace(legacy);
+  auto b = GenerateTrace(mixed);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    ASSERT_EQ((*a)[i].objects.size(), (*b)[i].objects.size()) << i;
+    for (size_t j = 0; j < (*a)[i].objects.size(); ++j) {
+      EXPECT_EQ((*a)[i].objects[j].ra_deg, (*b)[i].objects[j].ra_deg);
+      EXPECT_EQ((*a)[i].objects[j].dec_deg, (*b)[i].objects[j].dec_deg);
+    }
+  }
+}
+
+TEST_F(TraceFixture, PSmallBiasesTowardSmallFootprints) {
+  // With most queries drawn from the small mode the mean footprint (query
+  // objects, and with it bucket fan-out) must drop well below the
+  // unimodal trace's.
+  TraceConfig wide;
+  wide.num_queries = 300;
+  TraceConfig mixed = wide;
+  mixed.p_small = 0.9;
+  mixed.small_max_radius_deg = 1.0;
+  auto a = GenerateTrace(wide);
+  auto b = GenerateTrace(mixed);
+  ASSERT_TRUE(a.ok() && b.ok());
+  auto mean_objects = [](const std::vector<query::CrossMatchQuery>& t) {
+    double sum = 0.0;
+    for (const auto& q : t) sum += static_cast<double>(q.objects.size());
+    return sum / static_cast<double>(t.size());
+  };
+  EXPECT_LT(mean_objects(*b), 0.5 * mean_objects(*a));
+}
+
+TEST_F(TraceFixture, PSmallValidation) {
+  TraceConfig c;
+  c.p_small = -0.1;
+  EXPECT_FALSE(GenerateTrace(c).ok());
+  c = TraceConfig{};
+  c.p_small = 1.1;
+  EXPECT_FALSE(GenerateTrace(c).ok());
+  // small_max_radius must stay inside [min_radius, max_radius] when the
+  // small mode is live.
+  c = TraceConfig{};
+  c.p_small = 0.5;
+  c.small_max_radius_deg = 0.1;  // below min_radius_deg = 0.4
+  EXPECT_FALSE(GenerateTrace(c).ok());
+  c.small_max_radius_deg = 100.0;  // above max_radius_deg
+  EXPECT_FALSE(GenerateTrace(c).ok());
+  c.small_max_radius_deg = 1.0;
+  EXPECT_TRUE(GenerateTrace(c).ok());
+}
+
+TEST_F(TraceFixture, SkewPresetsOrderConcentration) {
+  // The scenario matrix's skew axis: hotspot concentration must rise
+  // monotonically from kUniform through kDefault to kExtreme, measured as
+  // the fraction of queries touching the ten most-reused buckets.
+  auto frac_for = [&](SkewLevel level) {
+    auto trace = GenerateTrace(SkewedTracePreset(level, 400, 31));
+    EXPECT_TRUE(trace.ok());
+    return TopKTouchFraction(*trace, catalog_->bucket_map(), 10);
+  };
+  double uniform = frac_for(SkewLevel::kUniform);
+  double fallback = frac_for(SkewLevel::kDefault);
+  double extreme = frac_for(SkewLevel::kExtreme);
+  EXPECT_LT(uniform, fallback);
+  EXPECT_LT(fallback, extreme);
+  EXPECT_GT(extreme, 0.9) << "extreme skew should touch the head constantly";
+}
+
+TEST(SkewPresetTest, NamesAndPassthrough) {
+  EXPECT_STREQ(SkewLevelName(SkewLevel::kUniform), "uniform");
+  EXPECT_STREQ(SkewLevelName(SkewLevel::kDefault), "default");
+  EXPECT_STREQ(SkewLevelName(SkewLevel::kExtreme), "extreme");
+  TraceConfig c = SkewedTracePreset(SkewLevel::kDefault, 77, 5);
+  EXPECT_EQ(c.num_queries, 77u);
+  EXPECT_EQ(c.seed, 5u);
+  // kDefault is exactly the calibrated default hotspot model.
+  TraceConfig d;
+  EXPECT_EQ(c.num_hotspots, d.num_hotspots);
+  EXPECT_EQ(c.zipf_s, d.zipf_s);
+  EXPECT_EQ(c.p_hotspot, d.p_hotspot);
+  EXPECT_EQ(c.p_stay, d.p_stay);
+  // kUniform turns the hotspot pull off entirely.
+  TraceConfig u = SkewedTracePreset(SkewLevel::kUniform, 77, 5);
+  EXPECT_EQ(u.p_hotspot, 0.0);
+  EXPECT_EQ(u.p_stay, 0.0);
+}
+
 TEST(BucketFractionForMassTest, HandCheckedExample) {
   std::vector<BucketTouch> touches = {
       {0, 1, 500}, {1, 1, 300}, {2, 1, 150}, {3, 1, 50}};
@@ -296,6 +392,30 @@ TEST_F(TraceIoTest, RoundTrip) {
       // Covers are recomputed deterministically.
       EXPECT_EQ(a.objects[j].htm_ranges.ToString(),
                 b.objects[j].htm_ranges.ToString());
+    }
+  }
+}
+
+TEST_F(TraceIoTest, SkewedMixedTraceRoundTripsExactly) {
+  // The scenario matrix persists skew-preset traces with the bimodal QoS
+  // mix live; the new generator paths must survive the format round trip
+  // object for object.
+  TraceConfig config = SkewedTracePreset(SkewLevel::kExtreme, 40, 19);
+  config.p_small = 0.5;
+  auto trace = GenerateTrace(config);
+  ASSERT_TRUE(trace.ok());
+  ASSERT_TRUE(SaveTrace(path_.string(), *trace).ok());
+  auto loaded = LoadTrace(path_.string());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), trace->size());
+  for (size_t i = 0; i < trace->size(); ++i) {
+    const auto& a = (*trace)[i];
+    const auto& b = (*loaded)[i];
+    EXPECT_EQ(a.id, b.id);
+    ASSERT_EQ(a.objects.size(), b.objects.size());
+    for (size_t j = 0; j < a.objects.size(); ++j) {
+      EXPECT_DOUBLE_EQ(a.objects[j].ra_deg, b.objects[j].ra_deg);
+      EXPECT_DOUBLE_EQ(a.objects[j].dec_deg, b.objects[j].dec_deg);
     }
   }
 }

@@ -3,6 +3,11 @@
 # keeping the architecture map from rotting as the tree grows. A file
 # src/<dir>/<name>.<ext> counts as mentioned if the string "<dir>/<name>"
 # appears in the doc (so one row covers a .h/.cc pair).
+#
+# Also fails if any scenario-spec key accepted by the parser in
+# src/sim/scenario_matrix.cc (each marked with a SCENARIO_KEY(<key>)
+# comment) is missing from docs/SCENARIOS.md, so the spec-format reference
+# cannot silently fall behind the parser.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,3 +29,21 @@ if [ "$missing" -ne 0 ]; then
   exit 1
 fi
 echo "docs check OK: every src/ file is mapped in $DOC"
+
+SCEN_DOC=docs/SCENARIOS.md
+SCEN_SRC=src/sim/scenario_matrix.cc
+[ -f "$SCEN_DOC" ] || { echo "missing $SCEN_DOC" >&2; exit 1; }
+
+missing=0
+while IFS= read -r key; do
+  if ! grep -qF "\`$key\`" "$SCEN_DOC"; then
+    echo "undocumented scenario key: $key (add \`$key\` to $SCEN_DOC)" >&2
+    missing=1
+  fi
+done < <(grep -o 'SCENARIO_KEY([a-z_]*)' "$SCEN_SRC" | sed 's/SCENARIO_KEY(\(.*\))/\1/' | sort -u)
+
+if [ "$missing" -ne 0 ]; then
+  echo "docs check FAILED: update $SCEN_DOC" >&2
+  exit 1
+fi
+echo "docs check OK: every scenario-spec key is documented in $SCEN_DOC"

@@ -62,3 +62,14 @@ cmake -B build -S . && cmake --build build -j && cd build && \
 # adaptive alpha) end to end — fast and deterministic, so any drift in the
 # serving loop fails CI here before the bench gate sees it.
 cd .. && ./build/test_serve --gtest_brief=1
+
+# Scenario-matrix smoke (docs/SCENARIOS.md): the declarative grid of
+# arrival shape x topology x QoS cells, with machine-checked invariants.
+# The runner exits non-zero on any invariant failure; on top of that the
+# report must be byte-identical across two runs (same seed => same JSON).
+scenario_tmp="$(mktemp -d)"
+trap 'rm -rf "$scenario_tmp"' EXIT
+./build/scenario_matrix --grid smoke --out "$scenario_tmp/run1.json"
+./build/scenario_matrix --grid smoke --out "$scenario_tmp/run2.json"
+cmp "$scenario_tmp/run1.json" "$scenario_tmp/run2.json"
+echo "scenario smoke OK: grid deterministic, invariants hold"

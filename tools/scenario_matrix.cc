@@ -1,0 +1,139 @@
+// scenario_matrix — the scenario-matrix harness CLI (docs/SCENARIOS.md).
+//
+//   scenario_matrix --grid smoke|full [--out F] [--spill-dir D]
+//                   [--no-determinism]
+//   scenario_matrix --spec F [--out F] [--spill-dir D] [--no-determinism]
+//   scenario_matrix --list smoke|full
+//
+// Runs every cell of the grid through SimEngine::Serve, checks the
+// machine-readable invariants (determinism, volume monotonicity, QoS
+// ordering, no-shed bound), writes the deterministic JSON report to --out
+// (default stdout), and exits non-zero if any invariant failed — that exit
+// code is what the CI job gates on.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/scenario_matrix.h"
+
+namespace liferaft::tool {
+namespace {
+
+struct Options {
+  std::string grid;
+  std::string spec_path;
+  std::string out_path;
+  std::string list;
+  std::string spill_dir;
+  bool verify_determinism = true;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: scenario_matrix --grid smoke|full | --spec FILE | "
+               "--list smoke|full\n"
+               "                       [--out FILE] [--spill-dir DIR] "
+               "[--no-determinism]\n");
+  return 2;
+}
+
+int Run(const Options& options) {
+  using sim::ScenarioCell;
+
+  Result<std::vector<ScenarioCell>> cells =
+      Status::InvalidArgument("no grid selected");
+  if (!options.spec_path.empty()) {
+    std::ifstream in(options.spec_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read spec %s\n", options.spec_path.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    cells = sim::ParseScenarioSpec(text.str());
+  } else {
+    cells = sim::BuiltinScenarioGrid(options.grid.empty() ? options.list
+                                                          : options.grid);
+  }
+  if (!cells.ok()) {
+    std::fprintf(stderr, "%s\n", cells.status().ToString().c_str());
+    return 2;
+  }
+
+  if (!options.list.empty()) {
+    for (const ScenarioCell& cell : *cells) {
+      std::printf("%s\n", cell.name.c_str());
+    }
+    return 0;
+  }
+
+  sim::ScenarioMatrixOptions run_options;
+  run_options.verify_determinism = options.verify_determinism;
+  run_options.spill_dir = options.spill_dir;
+
+  auto results = sim::RunScenarioMatrix(*cells, run_options);
+  if (!results.ok()) {
+    std::fprintf(stderr, "%s\n", results.status().ToString().c_str());
+    return 2;
+  }
+
+  std::string report = sim::ScenarioReportJson(*results);
+  if (options.out_path.empty()) {
+    std::fputs(report.c_str(), stdout);
+  } else {
+    std::ofstream out(options.out_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", options.out_path.c_str());
+      return 2;
+    }
+    out << report;
+  }
+
+  size_t failures = sim::CountScenarioFailures(*results);
+  for (const sim::ScenarioResult& r : *results) {
+    for (const std::string& f : r.failures) {
+      std::fprintf(stderr, "FAIL [%s] %s\n", r.cell.name.c_str(), f.c_str());
+    }
+  }
+  std::fprintf(stderr, "%zu cells, %zu invariant failure(s)\n",
+               results->size(), failures);
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace liferaft::tool
+
+int main(int argc, char** argv) {
+  using liferaft::tool::Options;
+  Options options;
+  // Default scratch for spill cells; --spill-dir overrides (CI points it
+  // at the job workspace).
+  options.spill_dir = std::filesystem::temp_directory_path().string();
+  std::map<std::string, std::string*> string_flags = {
+      {"--grid", &options.grid},     {"--spec", &options.spec_path},
+      {"--out", &options.out_path},  {"--list", &options.list},
+      {"--spill-dir", &options.spill_dir},
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--no-determinism") == 0) {
+      options.verify_determinism = false;
+      continue;
+    }
+    auto it = string_flags.find(argv[i]);
+    if (it == string_flags.end() || i + 1 >= argc) {
+      return liferaft::tool::Usage();
+    }
+    *it->second = argv[++i];
+  }
+  if (options.grid.empty() == options.spec_path.empty() &&
+      options.list.empty()) {
+    return liferaft::tool::Usage();  // exactly one of --grid / --spec
+  }
+  return liferaft::tool::Run(options);
+}

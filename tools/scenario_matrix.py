@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Report and compare scenario-matrix JSON output (docs/SCENARIOS.md).
+
+The C++ runner (build/scenario_matrix) produces the deterministic per-cell
+JSON; this wrapper renders it for humans and diffs two reports:
+
+  tools/scenario_matrix.py report RUN.json
+      Print a per-cell summary table plus any invariant failures.
+
+  tools/scenario_matrix.py compare BASE.json CURRENT.json [--threshold F]
+      Compare the cells present in both reports. Invariant failures in
+      CURRENT always fail the comparison; makespan drift beyond the
+      threshold fraction (default 0.10) is reported as a regression when
+      slower, as info when faster. Cells unique to either side are
+      informational (grids grow).
+
+Exit status: 0 = clean, 1 = invariant failure or regression, 2 = usage or
+unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if "cells" not in report:
+        print(f"error: {path} is not a scenario-matrix report", file=sys.stderr)
+        sys.exit(2)
+    return report
+
+
+def cell_summary(cell):
+    m = cell["metrics"]
+    qos = {q["class"]: q for q in m.get("qos_classes", [])}
+    interactive_p99 = qos.get("interactive", {}).get("p99_response_ms", 0.0)
+    return (
+        f"{cell['name']:<24} "
+        f"{m['queries_completed']:>5}/{m['queries_offered']:<5} "
+        f"shed={m['queries_shed']:<4} "
+        f"makespan={m['makespan_ms']:>12.1f}ms "
+        f"sustained={m['sustained_qps']:.3f}q/s "
+        f"hit={m['cache_hit_rate']:.2f} "
+        f"int_p99={interactive_p99:.0f}ms"
+    )
+
+
+def cmd_report(args):
+    report = load_report(args.report)
+    failures = 0
+    for cell in report["cells"]:
+        print(cell_summary(cell))
+        for failure in cell["failures"]:
+            failures += 1
+            print(f"  FAIL {failure}")
+    print(f"{len(report['cells'])} cells, {failures} invariant failure(s)")
+    return 0 if failures == 0 else 1
+
+
+def cmd_compare(args):
+    base = {c["name"]: c for c in load_report(args.base)["cells"]}
+    cur = {c["name"]: c for c in load_report(args.current)["cells"]}
+    bad = 0
+    for name in sorted(set(base) | set(cur)):
+        if name not in cur:
+            print(f"INFO {name}: only in base")
+            continue
+        if name not in base:
+            print(f"INFO {name}: only in current")
+            continue
+        for failure in cur[name]["failures"]:
+            bad += 1
+            print(f"FAIL {name}: {failure}")
+        b = base[name]["metrics"]["makespan_ms"]
+        c = cur[name]["metrics"]["makespan_ms"]
+        if b > 0 and c > b * (1.0 + args.threshold):
+            bad += 1
+            print(f"FAIL {name}: makespan {b:.1f} -> {c:.1f} ms "
+                  f"(+{(c / b - 1.0) * 100:.1f}%)")
+        elif b > 0 and c < b * (1.0 - args.threshold):
+            print(f"INFO {name}: makespan {b:.1f} -> {c:.1f} ms "
+                  f"({(c / b - 1.0) * 100:.1f}%)")
+    print(f"{bad} failure(s)")
+    return 0 if bad == 0 else 1
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_report = sub.add_parser("report", help="summarize one report")
+    p_report.add_argument("report")
+    p_compare = sub.add_parser("compare", help="diff two reports")
+    p_compare.add_argument("base")
+    p_compare.add_argument("current")
+    p_compare.add_argument("--threshold", type=float, default=0.10)
+    args = parser.parse_args(argv)
+    if args.command == "report":
+        return cmd_report(args)
+    return cmd_compare(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
