@@ -281,9 +281,8 @@ Result<std::optional<StepOutcome>> BatchPipeline::Step(TimeMs now) {
       arm_free_ms = std::max(arm_free_ms, p.done_ms);
     }
     for (storage::BucketIndex b : newly_predicted[v]) {
-      const uint64_t bytes =
-          static_cast<uint64_t>(cache_->store().BucketObjectCount(b)) *
-          storage::Bucket::kBytesPerObject;
+      const uint64_t bytes = cache_->store().ModeledBucketBytes(
+          b, config_.charge_encoded_bytes);
       const TimeMs fetch_ms = ModelFor(b).SequentialReadMs(bytes);
       arm_free_ms += fetch_ms;
       arm.bets.push_back(PendingPrefetch{b, arm_free_ms, fetch_ms});
@@ -302,9 +301,8 @@ Result<std::optional<StepOutcome>> BatchPipeline::Step(TimeMs now) {
       std::max(pick_arm.stats.consumed_until_ms, pick_arm_done_ms);
   if (result.strategy == join::JoinStrategy::kScan && !result.cache_hit) {
     ++pick_arm.stats.foreground_reads;
-    pick_arm.stats.foreground_bytes +=
-        static_cast<uint64_t>(cache_->store().BucketObjectCount(*pick)) *
-        storage::Bucket::kBytesPerObject;
+    pick_arm.stats.foreground_bytes += cache_->store().ModeledBucketBytes(
+        *pick, config_.charge_encoded_bytes);
   }
   if (restore_on_spill_arm) {
     // The restore occupies the spill arm from the end of the batch's scan

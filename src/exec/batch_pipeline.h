@@ -111,6 +111,12 @@ struct PipelineConfig {
   bool prefetch_aware_eviction = true;
   /// Materialize match tuples (disable for scheduling-scale experiments).
   bool collect_matches = true;
+  /// Price prefetch bets and foreground reads by the store's real encoded
+  /// page bytes instead of the kBytesPerObject estimate (see
+  /// JoinEvaluator::set_charge_encoded_bytes; keep the two in sync so bet
+  /// fetch times match foreground fetch times). Off by default — v1/v2
+  /// runs stay byte-identical.
+  bool charge_encoded_bytes = false;
 };
 
 /// Everything one pipeline step produced; the driver advances its clock by

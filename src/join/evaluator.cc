@@ -140,7 +140,7 @@ Result<BatchResult> JoinEvaluator::EvaluateBucket(
     // is uniform or absent); T_m stays global — matching is CPU.
     result.io_ms = cached ? 0.0
                           : SequentialModelFor(bucket).SequentialReadMs(
-                                b->EstimatedBytes());
+                                ModeledBytes(bucket));
     result.cpu_ms = model_.MatchMs(queue_objects);
     result.cost_ms = result.io_ms + result.cpu_ms;
     if (parallel) {
@@ -271,7 +271,7 @@ Result<std::vector<PerQueryResult>> JoinEvaluator::EvaluatePerQueryWindow(
         // set_topology).
         eval.result.cost_ms +=
             SequentialModelFor(w.bucket)
-                .SequentialReadMs(b->EstimatedBytes()) +
+                .SequentialReadMs(ModeledBytes(w.bucket)) +
             model_.MatchMs(w.objects.size());
         // b drops here, so a materializing store holds at most one bucket
         // per worker at a time.

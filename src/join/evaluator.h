@@ -157,6 +157,13 @@ class JoinEvaluator {
   }
   const storage::StorageTopology* topology() const { return topology_; }
 
+  /// When on, T_b charges use the store's real encoded page size instead
+  /// of the kBytesPerObject estimate (no-op on stores without encoded
+  /// pages). Off by default so v1/v2 runs stay byte-identical; turn on to
+  /// let smaller columnar pages actually shrink modeled fetch time.
+  void set_charge_encoded_bytes(bool on) { charge_encoded_bytes_ = on; }
+  bool charge_encoded_bytes() const { return charge_encoded_bytes_; }
+
   const storage::DiskModel& disk_model() const { return model_; }
   const HybridConfig& hybrid_config() const { return config_; }
   /// The spatial index (null forces the scan path); exec::BatchPipeline
@@ -173,6 +180,12 @@ class JoinEvaluator {
     return topology_ != nullptr ? topology_->ModelFor(b) : model_;
   }
 
+  /// Bytes T_b is charged for moving bucket `b` (see
+  /// set_charge_encoded_bytes).
+  uint64_t ModeledBytes(storage::BucketIndex b) const {
+    return cache_->store().ModeledBucketBytes(b, charge_encoded_bytes_);
+  }
+
   storage::BucketCache* cache_;
   const storage::BTreeIndex* index_;
   storage::DiskModel model_;
@@ -181,6 +194,7 @@ class JoinEvaluator {
   util::ThreadPool* pool_ = nullptr;
   bool use_match_arenas_ = true;
   bool use_io_arenas_ = true;
+  bool charge_encoded_bytes_ = false;
   EvaluatorStats stats_;
 };
 

@@ -6,7 +6,12 @@ namespace liferaft::join {
 
 bool WithinRadius(const query::QueryObject& qo,
                   const storage::CatalogObject& co, double* sep_arcsec) {
-  double sep = AngleBetween(qo.pos, co.pos) * kRadToDeg * kArcsecPerDeg;
+  return WithinRadius(qo, co.pos, sep_arcsec);
+}
+
+bool WithinRadius(const query::QueryObject& qo, const Vec3& pos,
+                  double* sep_arcsec) {
+  double sep = AngleBetween(qo.pos, pos) * kRadToDeg * kArcsecPerDeg;
   if (sep_arcsec != nullptr) *sep_arcsec = sep;
   return sep <= qo.radius_arcsec;
 }

@@ -43,10 +43,44 @@ class ZoneIndex {
   std::vector<Zone> zones_;  // zone 0 starts at dec = -90
 };
 
+/// Zone index over a columnar page: zones hold row indices sorted by the
+/// ra column, so candidate generation walks the column spans in place and
+/// no CatalogObject row is ever materialized.
+class ColumnarZoneIndex {
+ public:
+  ColumnarZoneIndex(const storage::ColumnarBucketView& view,
+                    double zone_height_deg);
+
+  /// Row indices of all page objects within `radius_arcsec` of the query
+  /// object.
+  void Candidates(const query::QueryObject& qo,
+                  std::vector<uint32_t>* out) const;
+
+  size_t num_zones() const { return zones_.size(); }
+
+ private:
+  struct Zone {
+    std::vector<uint32_t> by_ra;  // row indices sorted by ra column
+  };
+
+  int ZoneOf(double dec_deg) const;
+
+  storage::ColumnarBucketView view_;
+  double zone_height_deg_;
+  std::vector<Zone> zones_;  // zone 0 starts at dec = -90
+};
+
 /// Cross-matches a workload batch against a bucket using the zones
 /// algorithm. Result set is identical to MergeCrossMatch (order may
-/// differ).
+/// differ). Columnar buckets dispatch to the zero-copy overload below.
 JoinCounters ZonesCrossMatch(const storage::Bucket& bucket,
+                             const std::vector<query::WorkloadEntry>& batch,
+                             double zone_height_deg,
+                             std::vector<query::Match>* out);
+
+/// Zones over one columnar page, scanning the ra/dec/mag/color columns in
+/// place. Result set identical to the row form on the same objects.
+JoinCounters ZonesCrossMatch(const storage::ColumnarBucketView& view,
                              const std::vector<query::WorkloadEntry>& batch,
                              double zone_height_deg,
                              std::vector<query::Match>* out);

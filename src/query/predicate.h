@@ -22,8 +22,14 @@ struct Predicate {
   float max_color = std::numeric_limits<float>::infinity();
 
   bool Matches(const storage::CatalogObject& o) const {
-    return o.mag >= min_mag && o.mag <= max_mag && o.color >= min_color &&
-           o.color <= max_color;
+    return Matches(o.mag, o.color);
+  }
+
+  /// Attribute-column form for the columnar scan path (identical result to
+  /// the row form by construction).
+  bool Matches(float mag, float color) const {
+    return mag >= min_mag && mag <= max_mag && color >= min_color &&
+           color <= max_color;
   }
 
   bool IsTrivial() const {

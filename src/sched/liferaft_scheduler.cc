@@ -82,8 +82,8 @@ std::optional<storage::BucketIndex> LifeRaftScheduler::RankBest(
       continue;
     }
     const query::WorkloadQueue& queue = manager.queue(b);
-    uint64_t bytes = static_cast<uint64_t>(store_->BucketObjectCount(b)) *
-                     storage::Bucket::kBytesPerObject;
+    uint64_t bytes =
+        store_->ModeledBucketBytes(b, config_.charge_encoded_bytes);
     double ut = WorkloadThroughputOnVolume(topology_, model_, b,
                                            queue.total_objects(), bytes,
                                            cached(b));

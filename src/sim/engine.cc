@@ -152,6 +152,11 @@ Status SimEngine::PrepareRun(size_t expected_queries) {
     // Cost-based policies price T_b with the owning volume's model
     // (heterogeneous volume_disk; uniform topologies rank identically).
     scheduler_->AttachTopology(topology_.get());
+    if (auto* lr = dynamic_cast<sched::LifeRaftScheduler*>(scheduler_.get())) {
+      // One flag governs every T_b consumer: ranking must price fetches
+      // the same way the evaluator and pipeline charge them.
+      lr->set_charge_encoded_bytes(config_.charge_encoded_bytes);
+    }
   }
   // Volume-aligned cache sharding only when there genuinely are volumes
   // to align with: a single-volume topology would collapse every bucket
@@ -159,12 +164,14 @@ Status SimEngine::PrepareRun(size_t expected_queries) {
   cache_ = std::make_unique<storage::BucketCache>(
       catalog_->store(), std::max<size_t>(config_.cache_capacity, 1),
       config_.cache_shards,
-      topology_->num_volumes() > 1 ? topology_.get() : nullptr);
+      topology_->num_volumes() > 1 ? topology_.get() : nullptr,
+      config_.cache_capacity_bytes);
   evaluator_ = std::make_unique<join::JoinEvaluator>(
       cache_.get(), catalog_->index(), model_, config_.hybrid);
   evaluator_->set_use_match_arenas(config_.match_arenas);
   evaluator_->set_use_io_arenas(config_.io_arenas);
   evaluator_->set_topology(topology_.get());
+  evaluator_->set_charge_encoded_bytes(config_.charge_encoded_bytes);
   if (config_.num_threads > 1) {
     if (pool_ == nullptr || pool_->num_threads() != config_.num_threads) {
       pool_ = std::make_unique<util::ThreadPool>(config_.num_threads);
@@ -192,6 +199,7 @@ Status SimEngine::PrepareRun(size_t expected_queries) {
         std::max<size_t>(config_.max_prefetch_depth, 1);
     pipeline_config.prefetch_aware_eviction = config_.prefetch_aware_eviction;
     pipeline_config.collect_matches = config_.collect_matches;
+    pipeline_config.charge_encoded_bytes = config_.charge_encoded_bytes;
     pipeline_ = std::make_unique<exec::BatchPipeline>(
         scheduler_.get(), manager_.get(), evaluator_.get(), pipeline_config,
         topology_.get());

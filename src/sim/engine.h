@@ -53,6 +53,18 @@ struct EngineConfig {
   /// patterns (and with them modeled timings) deterministically while
   /// join results stay exact.
   size_t cache_shards = 1;
+  /// Optional cache byte budget (BucketCache capacity_bytes; 0 = off).
+  /// When set, residency is additionally bounded by charged bytes — real
+  /// encoded page size for columnar buckets, the kBytesPerObject estimate
+  /// otherwise — so at a fixed MB budget a compressed catalog keeps more
+  /// buckets resident. Combine with a generous cache_capacity (e.g. the
+  /// bucket count) for a pure byte budget.
+  uint64_t cache_capacity_bytes = 0;
+  /// Price every T_b consumer (scheduler U_t, evaluator scan/NoShare
+  /// fetches, pipeline bets) by the store's real encoded page bytes when
+  /// it has them. Off by default: runs are then provably independent of
+  /// the on-disk format, which is what the v1/v2 identity tests pin down.
+  bool charge_encoded_bytes = false;
   join::HybridConfig hybrid;
   /// Disk cost model; with a multi-volume topology this is the default
   /// every volume inherits unless topology.volume_disk overrides it.

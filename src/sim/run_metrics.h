@@ -113,6 +113,13 @@ struct RunMetrics {
   std::string Summary() const;
 };
 
+/// Deterministic JSON serialization of a run: explicit key order, every
+/// double printed %.17g (bit-exact round trip), no timestamps. Two runs
+/// produce the same string iff their metrics agree bit for bit, so this
+/// is both the report format and the determinism/format-identity digest
+/// (the v1-vs-v2 page-format tests compare these strings directly).
+std::string RunMetricsJson(const RunMetrics& m);
+
 }  // namespace liferaft::sim
 
 #endif  // LIFERAFT_SIM_RUN_METRICS_H_

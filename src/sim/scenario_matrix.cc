@@ -10,56 +10,18 @@
 #include "sched/liferaft_scheduler.h"
 #include "sim/engine.h"
 #include "storage/catalog.h"
+#include "util/json.h"
 #include "workload/catalog_gen.h"
 
 namespace liferaft::sim {
 namespace {
 
-// %.17g survives a binary64 round trip, so two runs of a cell agree in the
-// report iff they agree bit for bit — the JSON string doubles as the
-// determinism digest.
-std::string Fmt(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
+using util::JsonEscape;
+using util::JsonObject;
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  return out;
-}
-
-// Minimal object writer with explicit key order (determinism by
-// construction; std::map iteration would also be stable but hides the
-// ordering decision).
-class JsonObject {
- public:
-  void Field(const std::string& key, const std::string& raw) {
-    if (!first_) body_ += ", ";
-    first_ = false;
-    body_ += "\"" + key + "\": " + raw;
-  }
-  void Str(const std::string& key, const std::string& value) {
-    Field(key, "\"" + JsonEscape(value) + "\"");
-  }
-  void Num(const std::string& key, double value) { Field(key, Fmt(value)); }
-  void Int(const std::string& key, uint64_t value) {
-    Field(key, std::to_string(value));
-  }
-  void Bool(const std::string& key, bool value) {
-    Field(key, value ? "true" : "false");
-  }
-  std::string Done() const { return "{" + body_ + "}"; }
-
- private:
-  std::string body_;
-  bool first_ = true;
-};
+// Report doubles print with %.17g (see util/json.h): the JSON string
+// doubles as the determinism digest.
+std::string Fmt(double v) { return util::JsonDouble(v); }
 
 std::string CellConfigJson(const ScenarioCell& cell) {
   JsonObject o;
@@ -76,6 +38,7 @@ std::string CellConfigJson(const ScenarioCell& cell) {
   o.Int("volumes", cell.volumes);
   o.Str("placement", storage::VolumePlacementName(cell.placement));
   o.Bool("hetero", cell.hetero);
+  o.Num("transfer_scale", cell.transfer_scale);
   o.Bool("spill_arm", cell.spill_arm);
   o.Int("spill_budget", cell.spill_budget);
   o.Int("cache", cell.cache);
@@ -92,77 +55,7 @@ std::string CellConfigJson(const ScenarioCell& cell) {
   o.Bool("expect_no_shed", cell.expect_no_shed);
   o.Bool("check_qos", cell.check_qos);
   o.Str("monotonic_group", cell.monotonic_group);
-  return o.Done();
-}
-
-std::string MetricsJson(const RunMetrics& m) {
-  JsonObject o;
-  o.Int("queries_offered", m.queries_offered);
-  o.Int("queries_shed", m.queries_shed);
-  o.Int("queries_completed", m.queries_completed);
-  o.Num("makespan_ms", m.makespan_ms);
-  o.Num("offered_qps", m.offered_qps);
-  o.Num("sustained_qps", m.sustained_qps);
-  o.Num("avg_response_ms", m.avg_response_ms);
-  o.Num("p50_response_ms", m.p50_response_ms);
-  o.Num("p95_response_ms", m.p95_response_ms);
-  o.Num("p99_response_ms", m.p99_response_ms);
-  o.Num("response_cov", m.response_cov);
-  o.Num("alpha_final", m.alpha_final);
-  o.Int("total_matches", m.total_matches);
-  o.Int("peak_pending_objects", m.peak_pending_objects);
-  o.Int("bucket_reads", m.store.bucket_reads);
-  o.Int("bytes_read", m.store.bytes_read);
-  o.Int("cache_hits", m.cache.hits);
-  o.Int("cache_misses", m.cache.misses);
-  o.Num("cache_hit_rate", m.cache.HitRate());
-  o.Int("prefetch_issued", m.cache.prefetch_issued);
-  o.Int("prefetch_claims", m.cache.prefetch_claims);
-  o.Num("prefetch_hidden_ms", m.prefetch_hidden_ms);
-  o.Int("segments_spilled", m.spill.segments_spilled);
-  o.Int("segments_restored", m.spill.segments_restored);
-  o.Int("bytes_restored", m.spill.bytes_restored);
-
-  std::string qos = "[";
-  for (size_t i = 0; i < m.qos_classes.size(); ++i) {
-    const QosClassMetrics& qc = m.qos_classes[i];
-    JsonObject q;
-    q.Str("class", qc.name);
-    q.Int("completed", qc.completed);
-    q.Int("shed", qc.shed);
-    q.Num("mean_response_ms", qc.mean_response_ms);
-    q.Num("p50_response_ms", qc.p50_response_ms);
-    q.Num("p95_response_ms", qc.p95_response_ms);
-    q.Num("p99_response_ms", qc.p99_response_ms);
-    if (i > 0) qos += ", ";
-    qos += q.Done();
-  }
-  qos += "]";
-  o.Field("qos_classes", qos);
-
-  std::string arms = "[";
-  for (size_t v = 0; v < m.volumes.size(); ++v) {
-    const storage::VolumeIoStats& arm = m.volumes[v];
-    JsonObject a;
-    a.Int("foreground_reads", arm.foreground_reads);
-    a.Int("foreground_bytes", arm.foreground_bytes);
-    a.Int("prefetch_issued", arm.prefetch_issued);
-    a.Int("prefetch_claims", arm.prefetch_claims);
-    a.Num("busy_ms", arm.busy_ms);
-    a.Num("hidden_ms", arm.hidden_ms);
-    if (v > 0) arms += ", ";
-    arms += a.Done();
-  }
-  arms += "]";
-  o.Field("arms", arms);
-
-  std::string depths = "[";
-  for (size_t v = 0; v < m.arm_final_depths.size(); ++v) {
-    if (v > 0) depths += ", ";
-    depths += std::to_string(m.arm_final_depths[v]);
-  }
-  depths += "]";
-  o.Field("arm_final_depths", depths);
+  o.Str("not_worse_than", cell.not_worse_than);
   return o.Done();
 }
 
@@ -179,6 +72,14 @@ Status ScenarioCell::Validate() const {
   }
   if (volumes == 0) {
     return Status::InvalidArgument("cell '" + name + "': volumes must be > 0");
+  }
+  if (!(transfer_scale > 0.0)) {
+    return Status::InvalidArgument("cell '" + name +
+                                   "': transfer_scale must be > 0");
+  }
+  if (not_worse_than == name) {
+    return Status::InvalidArgument("cell '" + name +
+                                   "': not_worse_than must name another cell");
   }
   if (cache == 0) {
     return Status::InvalidArgument("cell '" + name + "': cache must be > 0");
@@ -277,12 +178,28 @@ Result<std::vector<ScenarioCell>> BuiltinScenarioGrid(
       cells.push_back(cell);
     }
     {
-      ScenarioCell cell = base("hetero-adaptive");
-      cell.volumes = 2;
+      // All-slow uniform twin of hetero-adaptive: both arms run at the
+      // hetero cell's SLOW rate. The hetero cell's fast arm is a strict
+      // hardware upgrade over this, so its makespan must not be worse —
+      // the not_worse_than invariant below pins that down. Both cells are
+      // saturated drains: under open-loop arrivals the makespan is
+      // arrival-bound and the comparison would be vacuous.
+      ScenarioCell cell = saturated("hetero-uniform-twin", 2);
+      cell.monotonic_group.clear();  // not part of the volume sweep
+      cell.transfer_scale = 0.5;
+      cell.placement = storage::VolumePlacement::kHash;
+      cell.adaptive_prefetch = true;
+      cell.adaptive_alpha = true;
+      cells.push_back(cell);
+    }
+    {
+      ScenarioCell cell = saturated("hetero-adaptive", 2);
+      cell.monotonic_group.clear();
       cell.hetero = true;
       cell.placement = storage::VolumePlacement::kHash;
       cell.adaptive_prefetch = true;
       cell.adaptive_alpha = true;
+      cell.not_worse_than = "hetero-uniform-twin";
       cells.push_back(cell);
     }
     return cells;
@@ -487,6 +404,9 @@ Status ApplyKey(ScenarioCell* cell, const std::string& key,
   if (key == "hetero") {  // SCENARIO_KEY(hetero)
     return ParseBool(value, &cell->hetero);
   }
+  if (key == "transfer_scale") {  // SCENARIO_KEY(transfer_scale)
+    return ParseDouble(value, &cell->transfer_scale);
+  }
   if (key == "spill_arm") {  // SCENARIO_KEY(spill_arm)
     return ParseBool(value, &cell->spill_arm);
   }
@@ -534,6 +454,10 @@ Status ApplyKey(ScenarioCell* cell, const std::string& key,
   }
   if (key == "monotonic_group") {  // SCENARIO_KEY(monotonic_group)
     cell->monotonic_group = value;
+    return Status::OK();
+  }
+  if (key == "not_worse_than") {  // SCENARIO_KEY(not_worse_than)
+    cell->not_worse_than = value;
     return Status::OK();
   }
   return Status::InvalidArgument("unknown key '" + key + "'");
@@ -604,6 +528,18 @@ Result<RunMetrics> RunCell(const ScenarioCell& cell,
                                        storage::DiskModelParams{});
     config.topology.volume_disk[0].transfer_mb_per_s /= 2.0;
   }
+  if (cell.transfer_scale != 1.0) {
+    // Uniform hardware scaling (applied after the hetero halving): a cell
+    // with transfer_scale = 0.5 is the all-slow uniform twin of a hetero
+    // cell, which is what the not_worse_than invariant compares against.
+    if (config.topology.volume_disk.empty()) {
+      config.topology.volume_disk.assign(cell.volumes,
+                                         storage::DiskModelParams{});
+    }
+    for (storage::DiskModelParams& params : config.topology.volume_disk) {
+      params.transfer_mb_per_s *= cell.transfer_scale;
+    }
+  }
   if (cell.prefetch_depth > 0) {
     config.enable_prefetch = true;
     config.prefetch_depth = cell.prefetch_depth;
@@ -670,6 +606,30 @@ void CheckCellInvariants(ScenarioResult* result) {
       result->failures.push_back(
           "check_qos: interactive p99 " + Fmt(interactive->p99_response_ms) +
           " ms exceeds batch p99 " + Fmt(batch->p99_response_ms) + " ms");
+    }
+  }
+}
+
+// Pairwise cross-cell bound: a cell naming another via `not_worse_than`
+// claims its makespan does not exceed the named cell's (e.g. heterogeneous
+// hardware with one upgraded arm vs its all-slow uniform twin).
+void CheckNotWorse(std::vector<ScenarioResult>* results) {
+  std::map<std::string, const ScenarioResult*> by_name;
+  for (const ScenarioResult& r : *results) by_name[r.cell.name] = &r;
+  for (ScenarioResult& r : *results) {
+    if (r.cell.not_worse_than.empty()) continue;
+    auto it = by_name.find(r.cell.not_worse_than);
+    if (it == by_name.end()) {
+      r.failures.push_back("not_worse_than: no cell named '" +
+                           r.cell.not_worse_than + "' in this matrix");
+      continue;
+    }
+    const RunMetrics& ref = it->second->metrics;
+    if (r.metrics.makespan_ms > ref.makespan_ms) {
+      r.failures.push_back(
+          "not_worse_than(" + r.cell.not_worse_than + "): makespan " +
+          Fmt(r.metrics.makespan_ms) + " ms worse than " +
+          Fmt(ref.makespan_ms) + " ms");
     }
   }
 }
@@ -755,7 +715,7 @@ Result<std::vector<ScenarioResult>> RunScenarioMatrix(
     if (options.verify_determinism) {
       auto replay = RunCell(cell, options, catalog->get(), *trace);
       if (!replay.ok()) return replay.status();
-      if (MetricsJson(*replay) != MetricsJson(result.metrics)) {
+      if (RunMetricsJson(*replay) != RunMetricsJson(result.metrics)) {
         result.failures.push_back(
             "determinism: second run diverged from the first");
       }
@@ -764,6 +724,7 @@ Result<std::vector<ScenarioResult>> RunScenarioMatrix(
     results.push_back(std::move(result));
   }
   CheckMonotonicGroups(&results);
+  CheckNotWorse(&results);
   return results;
 }
 
@@ -774,7 +735,7 @@ std::string ScenarioReportJson(const std::vector<ScenarioResult>& results) {
     JsonObject o;
     o.Str("name", r.cell.name);
     o.Field("config", CellConfigJson(r.cell));
-    o.Field("metrics", MetricsJson(r.metrics));
+    o.Field("metrics", RunMetricsJson(r.metrics));
     std::string failures = "[";
     for (size_t f = 0; f < r.failures.size(); ++f) {
       if (f > 0) failures += ", ";

@@ -14,7 +14,10 @@
 //   * QoS ordering — cells flagged `check_qos` assert interactive p99 <=
 //     batch p99 under mixed load;
 //   * no-shed bound — cells flagged `expect_no_shed` assert the admission
-//     controller shed nothing (offered load below the admission bound).
+//     controller shed nothing (offered load below the admission bound);
+//   * pairwise bound — a cell naming a reference via `not_worse_than`
+//     asserts its makespan does not exceed the reference's (used to pin
+//     hetero-with-one-fast-arm <= its all-slow uniform twin).
 //
 // Cells come from a built-in grid ("smoke" — the per-PR CI subset — or
 // "full", the nightly sweep) or from a line-based spec file (see
@@ -66,6 +69,10 @@ struct ScenarioCell {
   storage::VolumePlacement placement = storage::VolumePlacement::kRange;
   /// Heterogeneous volumes: volume 0 runs at half transfer rate.
   bool hetero = false;
+  /// Uniform transfer-rate multiplier applied to every volume (after the
+  /// hetero halving). 0.5 on a non-hetero cell builds the all-slow
+  /// uniform twin of a hetero cell, the reference for `not_worse_than`.
+  double transfer_scale = 1.0;
   /// Dedicated spill arm (StorageTopologyConfig::spill_arm).
   bool spill_arm = false;
   /// Workload spill budget in objects; 0 = spilling off.
@@ -106,6 +113,10 @@ struct ScenarioCell {
   /// Cells sharing a tag form a volume sweep: sorted by `volumes`, the
   /// makespan must be non-increasing.
   std::string monotonic_group;
+  /// Names another cell this one's makespan must not exceed (e.g. hetero
+  /// hardware with one upgraded arm vs its all-slow uniform twin). Empty
+  /// = no claim; naming a cell absent from the matrix is a failure.
+  std::string not_worse_than;
 
   Status Validate() const;
 };

@@ -8,6 +8,7 @@ namespace liferaft::storage {
 Bucket::Bucket(BucketIndex index, htm::IdRange range,
                std::vector<CatalogObject> objects)
     : index_(index), range_(range), objects_(std::move(objects)) {
+  size_ = objects_.size();
   assert(std::is_sorted(objects_.begin(), objects_.end(), ObjectHtmLess));
 #ifndef NDEBUG
   for (const auto& o : objects_) {
@@ -16,20 +17,26 @@ Bucket::Bucket(BucketIndex index, htm::IdRange range,
 #endif
 }
 
+Bucket::Bucket(BucketIndex index, std::shared_ptr<const ColumnarPage> page)
+    : index_(index), range_(page->range()), page_(std::move(page)) {
+  size_ = page_->size();
+}
+
 std::span<const CatalogObject> Bucket::ObjectsInRange(htm::HtmId lo,
                                                       htm::HtmId hi) const {
+  const std::vector<CatalogObject>& objs = objects();
   auto first = std::lower_bound(
-      objects_.begin(), objects_.end(), lo,
+      objs.begin(), objs.end(), lo,
       [](const CatalogObject& o, htm::HtmId v) { return o.htm_id < v; });
   auto last = std::upper_bound(
-      objects_.begin(), objects_.end(), hi,
+      objs.begin(), objs.end(), hi,
       [](htm::HtmId v, const CatalogObject& o) { return v < o.htm_id; });
-  return {objects_.data() + (first - objects_.begin()),
+  return {objs.data() + (first - objs.begin()),
           static_cast<size_t>(last - first)};
 }
 
 uint64_t Bucket::EstimatedBytes() const {
-  return static_cast<uint64_t>(objects_.size()) * kBytesPerObject;
+  return static_cast<uint64_t>(size_) * kBytesPerObject;
 }
 
 }  // namespace liferaft::storage

@@ -1,15 +1,24 @@
 // A bucket: one equal-sized, HTM-contiguous partition of the fact table.
 // Buckets are LifeRaft's unit of I/O and of scheduling.
+//
+// A bucket holds its objects in one of two representations:
+//   - row: a sorted std::vector<CatalogObject> (MemStore, v1 file pages);
+//   - columnar: a shared, parsed v2 page (storage/columnar.h) whose
+//     fixed-width columns are scanned zero-copy by the join kernels.
+// Both answer the same queries; objects() materializes rows lazily from a
+// columnar page, so row-oriented consumers keep working unchanged.
 
 #ifndef LIFERAFT_STORAGE_BUCKET_H_
 #define LIFERAFT_STORAGE_BUCKET_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "htm/range_set.h"
+#include "storage/columnar.h"
 #include "storage/object.h"
 
 namespace liferaft::storage {
@@ -23,18 +32,42 @@ class Bucket {
   Bucket(BucketIndex index, htm::IdRange range,
          std::vector<CatalogObject> objects);
 
+  /// Columnar representation: the bucket borrows nothing and copies
+  /// nothing — it shares the parsed page (cache entries, in-flight
+  /// prefetches, and scan slices all point at the same bytes).
+  Bucket(BucketIndex index, std::shared_ptr<const ColumnarPage> page);
+
   /// Position of this bucket in its catalog (HTM-curve order).
   BucketIndex index() const { return index_; }
   /// Inclusive level-14 HTM ID range this bucket owns. Bucket ranges of a
   /// catalog tile the whole curve without gaps.
   const htm::IdRange& range() const { return range_; }
-  /// All objects, sorted by (htm_id, object_id).
-  const std::vector<CatalogObject>& objects() const { return objects_; }
+  /// All objects, sorted by (htm_id, object_id). Columnar buckets
+  /// materialize the rows on first call (thread-safe, cached in the shared
+  /// page); the zero-copy scan paths never call this.
+  const std::vector<CatalogObject>& objects() const {
+    return page_ == nullptr ? objects_ : page_->rows();
+  }
   /// Object count (the equal-count partitioning target).
-  size_t size() const { return objects_.size(); }
+  size_t size() const { return size_; }
+
+  /// True when this bucket is backed by a v2 columnar page.
+  bool is_columnar() const { return page_ != nullptr; }
+  /// The backing page (columnar buckets only; nullptr otherwise).
+  const ColumnarPage* page() const { return page_.get(); }
+  /// Zero-copy scan handle (columnar buckets only; callers must check
+  /// is_columnar() first).
+  ColumnarBucketView view() const { return ColumnarBucketView(page_.get()); }
+
+  /// Real encoded on-disk page bytes, or 0 when the bucket has no encoded
+  /// form (row buckets from MemStore / v1 pages).
+  uint64_t encoded_bytes() const {
+    return page_ == nullptr ? 0 : page_->encoded_bytes();
+  }
 
   /// Objects whose HTM ID lies in [lo, hi] (binary search; objects are
-  /// sorted by HTM ID).
+  /// sorted by HTM ID). Materializes rows on columnar buckets — kernels
+  /// that can scan zero-copy use view().EqualRange() instead.
   std::span<const CatalogObject> ObjectsInRange(htm::HtmId lo,
                                                 htm::HtmId hi) const;
 
@@ -51,6 +84,8 @@ class Bucket {
   BucketIndex index_;
   htm::IdRange range_;
   std::vector<CatalogObject> objects_;  // sorted by (htm_id, object_id)
+  std::shared_ptr<const ColumnarPage> page_;
+  size_t size_ = 0;
 };
 
 }  // namespace liferaft::storage

@@ -16,8 +16,12 @@ BucketCache::BucketFuture ReadyFuture(Result<std::shared_ptr<const Bucket>> r) {
 }  // namespace
 
 BucketCache::BucketCache(BucketStore* store, size_t capacity,
-                         size_t num_shards, const StorageTopology* topology)
-    : store_(store), capacity_(capacity), topology_(topology) {
+                         size_t num_shards, const StorageTopology* topology,
+                         uint64_t capacity_bytes)
+    : store_(store),
+      capacity_(capacity),
+      capacity_bytes_(capacity_bytes),
+      topology_(topology) {
   assert(store_ != nullptr);
   assert(capacity_ > 0);
   // Every shard must hold at least one bucket, so the shard count is capped
@@ -32,9 +36,12 @@ BucketCache::BucketCache(BucketStore* store, size_t capacity,
   shards_.reserve(num_shards);
   const size_t base = capacity_ / num_shards;
   const size_t rem = capacity_ % num_shards;
+  const uint64_t byte_base = capacity_bytes_ / num_shards;
+  const uint64_t byte_rem = capacity_bytes_ % num_shards;
   for (size_t i = 0; i < num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
     shard->capacity = base + (i < rem ? 1 : 0);
+    shard->capacity_bytes = byte_base + (i < byte_rem ? 1 : 0);
     shards_.push_back(std::move(shard));
   }
 }
@@ -77,6 +84,15 @@ size_t BucketCache::size() const {
   return total;
 }
 
+uint64_t BucketCache::resident_bytes() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->bytes_used;
+  }
+  return total;
+}
+
 CacheStats BucketCache::stats() const {
   CacheStats snapshot;
   snapshot.hits = stats_.hits.load(std::memory_order_relaxed);
@@ -111,7 +127,9 @@ void BucketCache::Touch(Shard& shard, std::list<Entry>::iterator it) {
 }
 
 void BucketCache::EvictOverCapacity(Shard& shard) {
-  while (shard.map.size() > shard.capacity) {
+  while (shard.map.size() > shard.capacity ||
+         (shard.capacity_bytes > 0 &&
+          shard.bytes_used > shard.capacity_bytes)) {
     // Victim order, scanning LRU-to-MRU and never the front entry (the
     // one the triggering insert/claim just touched) until nothing else
     // is evictable:
@@ -152,6 +170,7 @@ void BucketCache::EvictOverCapacity(Shard& shard) {
       stats_.evictions_protected.fetch_add(1, std::memory_order_relaxed);
     }
     stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    shard.bytes_used -= victim->bytes;
     shard.map.erase(victim->index);
     shard.lru.erase(victim);
   }
@@ -183,8 +202,13 @@ uint64_t BucketCache::RecordWastedPrefetch(const Inflight& inflight) {
 
 void BucketCache::InsertMru(Shard& shard, BucketIndex index,
                             std::shared_ptr<const Bucket> bucket) {
-  shard.lru.push_front(Entry{index, std::move(bucket), /*pins=*/0});
+  // Charges are only tracked in byte mode, keeping count-only shards
+  // bit-for-bit on their pre-byte-mode behavior.
+  const uint64_t bytes =
+      shard.capacity_bytes > 0 ? ChargedBytes(*bucket) : 0;
+  shard.lru.push_front(Entry{index, std::move(bucket), /*pins=*/0, bytes});
   shard.map[index] = shard.lru.begin();
+  shard.bytes_used += bytes;
   EvictOverCapacity(shard);
 }
 
@@ -304,6 +328,7 @@ void BucketCache::Clear() {
     shard->lru.clear();
     shard->map.clear();
     shard->window.clear();
+    shard->bytes_used = 0;
   }
 }
 

@@ -129,8 +129,21 @@ class BucketCache {
   ///                   to the volume count, since shards beyond it could
   ///                   never receive an entry. Irrelevant at
   ///                   num_shards == 1.
+  /// @param capacity_bytes optional byte budget, split across shards like
+  ///                   the count capacity. 0 (default) disables byte
+  ///                   accounting entirely — byte-identical to the
+  ///                   pre-byte-mode cache. When set, each resident bucket
+  ///                   is charged its real encoded page size when it has
+  ///                   one (columnar v2 buckets) and the kBytesPerObject
+  ///                   estimate otherwise, and eviction also runs while a
+  ///                   shard is over its byte slice — so at a fixed MB
+  ///                   budget, smaller encoded pages mean more resident
+  ///                   buckets. The count bound still applies; callers
+  ///                   wanting a pure byte budget pass capacity =
+  ///                   num_buckets.
   BucketCache(BucketStore* store, size_t capacity, size_t num_shards = 1,
-              const StorageTopology* topology = nullptr);
+              const StorageTopology* topology = nullptr,
+              uint64_t capacity_bytes = 0);
 
   /// Drains any in-flight prefetches before destruction.
   ~BucketCache();
@@ -197,9 +210,14 @@ class BucketCache {
   BucketStore* mutable_store() { return store_; }
 
   size_t capacity() const { return capacity_; }
+  /// The byte budget (0 = byte accounting off).
+  uint64_t capacity_bytes() const { return capacity_bytes_; }
   size_t num_shards() const { return shards_.size(); }
   /// Resident buckets across all shards.
   size_t size() const;
+  /// Charged bytes resident across all shards (0 when byte accounting is
+  /// off — charges are only tracked in byte mode).
+  uint64_t resident_bytes() const;
   /// Atomic cross-shard snapshot of the aggregated counters.
   CacheStats stats() const;
   void ResetStats();
@@ -210,6 +228,9 @@ class BucketCache {
     std::shared_ptr<const Bucket> bucket;
     /// Unclaimed prefetches holding this entry in place (0 = evictable).
     uint32_t pins = 0;
+    /// Bytes charged against the shard's byte slice (0 in count-only
+    /// mode).
+    uint64_t bytes = 0;
   };
 
   /// One issued, unclaimed prefetch.
@@ -223,6 +244,11 @@ class BucketCache {
   struct Shard {
     mutable std::mutex mu;
     size_t capacity = 0;
+    /// This shard's slice of the byte budget (0 = byte accounting off).
+    uint64_t capacity_bytes = 0;
+    /// Charged bytes of the resident entries (maintained only in byte
+    /// mode).
+    uint64_t bytes_used = 0;
     std::list<Entry> lru;  // front = most recently used
     std::unordered_map<BucketIndex, std::list<Entry>::iterator> map;
     std::unordered_map<BucketIndex, Inflight> inflight;
@@ -270,8 +296,17 @@ class BucketCache {
                  std::shared_ptr<const Bucket> bucket);
   void EvictOverCapacity(Shard& shard);
 
+  /// Bytes a resident bucket is charged in byte mode: the real encoded
+  /// page size when the bucket carries one, the modeled estimate
+  /// otherwise.
+  static uint64_t ChargedBytes(const Bucket& b) {
+    const uint64_t encoded = b.encoded_bytes();
+    return encoded > 0 ? encoded : b.EstimatedBytes();
+  }
+
   BucketStore* store_;
   size_t capacity_;
+  uint64_t capacity_bytes_ = 0;
   const StorageTopology* topology_ = nullptr;
   util::ThreadPool* pool_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -56,6 +56,28 @@ class BucketStore {
   /// decision with this.
   virtual size_t BucketObjectCount(BucketIndex index) const = 0;
 
+  /// Real encoded on-disk bytes of bucket `index`'s page, or 0 when the
+  /// store has no encoded form (MemStore). Never performs I/O.
+  virtual uint64_t EncodedBucketBytes(BucketIndex index) const {
+    (void)index;
+    return 0;
+  }
+
+  /// The byte size the I/O cost model should charge for moving bucket
+  /// `index`: the paper's kBytesPerObject estimate by default, or the real
+  /// encoded page size when `charge_encoded` is set and the store has one.
+  /// Every T_b consumer (scheduler U_t, evaluator, pipeline bets) prices
+  /// through this so a format change shifts costs in one place — or, with
+  /// the flag off, provably nowhere.
+  uint64_t ModeledBucketBytes(BucketIndex index, bool charge_encoded) const {
+    if (charge_encoded) {
+      uint64_t encoded = EncodedBucketBytes(index);
+      if (encoded > 0) return encoded;
+    }
+    return static_cast<uint64_t>(BucketObjectCount(index)) *
+           Bucket::kBytesPerObject;
+  }
+
   /// Reads bucket `index` in full. Returned buckets are immutable and
   /// shareable (the cache hands out the same pointer). Owner thread only.
   virtual Result<std::shared_ptr<const Bucket>> ReadBucket(

@@ -33,4 +33,39 @@ Result<std::unique_ptr<Catalog>> Catalog::Build(
   return catalog;
 }
 
+Result<std::unique_ptr<Catalog>> Catalog::FromStore(
+    std::unique_ptr<BucketStore> store, bool build_index) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("store must not be null");
+  }
+  auto catalog = std::unique_ptr<Catalog>(new Catalog());
+  catalog->store_ = std::move(store);
+
+  size_t num_objects = 0;
+  for (BucketIndex b = 0; b < catalog->store_->num_buckets(); ++b) {
+    num_objects += catalog->store_->BucketObjectCount(b);
+  }
+  catalog->num_objects_ = num_objects;
+
+  if (build_index) {
+    std::vector<CatalogObject> objects;
+    objects.reserve(num_objects);
+    for (BucketIndex b = 0; b < catalog->store_->num_buckets(); ++b) {
+      LIFERAFT_ASSIGN_OR_RETURN(std::shared_ptr<const Bucket> bucket,
+                                catalog->store_->ReadBucket(b));
+      const std::vector<CatalogObject>& objs = bucket->objects();
+      objects.insert(objects.end(), objs.begin(), objs.end());
+    }
+    // Buckets arrive in curve order with sorted contents, but re-sort in
+    // case a store implementation relaxes that.
+    std::sort(objects.begin(), objects.end(), ObjectHtmLess);
+    LIFERAFT_ASSIGN_OR_RETURN(BTreeIndex index,
+                              BTreeIndex::BulkLoad(std::move(objects)));
+    catalog->index_ = std::move(index);
+    // The index build read every bucket; start runs with a clean ledger.
+    catalog->store_->ResetStats();
+  }
+  return catalog;
+}
+
 }  // namespace liferaft::storage

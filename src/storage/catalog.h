@@ -25,16 +25,23 @@ struct CatalogOptions {
   bool build_index = true;
 };
 
-/// An immutable partitioned archive held in memory, with optional B+tree
-/// index. Use FileStore directly for the persistent path; Catalog is the
-/// common in-process setup for experiments and examples.
+/// An immutable partitioned archive with optional B+tree index. Build()
+/// partitions in-memory objects into a MemStore; FromStore() wraps any
+/// already-built BucketStore (e.g. an opened FileStore), so the simulation
+/// engine runs unchanged over file-backed catalogs in either page format.
 class Catalog {
  public:
   /// Partitions `objects` and builds the store (and index if requested).
   static Result<std::unique_ptr<Catalog>> Build(
       std::vector<CatalogObject> objects, const CatalogOptions& options);
 
-  /// The archive's bucket store (in-memory; owned by the catalog).
+  /// Wraps an existing store. When `build_index` is set, every bucket is
+  /// read back once to bulk-load the B+tree (the store's I/O counters are
+  /// reset afterwards so runs start with a clean ledger).
+  static Result<std::unique_ptr<Catalog>> FromStore(
+      std::unique_ptr<BucketStore> store, bool build_index = true);
+
+  /// The archive's bucket store (owned by the catalog).
   BucketStore* store() { return store_.get(); }
   const BucketStore* store() const { return store_.get(); }
   /// The HTM-curve partitioning the store was built with.
@@ -50,7 +57,7 @@ class Catalog {
  private:
   Catalog() = default;
 
-  std::unique_ptr<MemStore> store_;
+  std::unique_ptr<BucketStore> store_;
   std::optional<BTreeIndex> index_;
   size_t num_objects_ = 0;
 };

@@ -1,0 +1,185 @@
+// The v2 columnar bucket page: one bucket's objects stored column-major in
+// a single checksummed byte buffer, scanned in place by the join kernels.
+//
+// Page layout (all integers little-endian, offsets relative to page start):
+//
+//   [page header, 60 bytes]
+//     0   page magic u32        "LFP2"
+//     4   page version u32      = 2
+//     8   object count u32
+//     12  object-id encoding u8 | 3 zero pad bytes
+//     16  range_lo u64 | range_hi u64       (inclusive HTM range)
+//     32  column offsets u32 x 6: ids, object_id, ra, dec, mag, color
+//     56  crc offset u32                    (== encoded payload end)
+//   [ids column]      sorted HTM ids, delta + varint (util/coding.h)
+//   [object_id column] kSequential: base varint64 (ids are base..base+n-1)
+//                      kPackedFor:  base varint64 | bit width u8 | packed
+//                                   little-endian (id - base) at `width`
+//                                   bits each
+//   [zero padding to the next 8-byte boundary]
+//   [ra column]       count x f64   — 8-aligned, scanned zero-copy
+//   [dec column]      count x f64   — 8-aligned, scanned zero-copy
+//   [mag column]      count x f32   — 4-aligned, scanned zero-copy
+//   [color column]    count x f32   — 4-aligned, scanned zero-copy
+//   [page crc u32]    Crc32 (util/crc32.h) over [0, crc offset)
+//
+// The fixed-width position/attribute columns are stored raw so a
+// ColumnarBucketView can hand out std::span views straight off the cached
+// page bytes (little-endian hosts; the same assumption every fixed-width
+// decode in util/coding.h optimizes to). The unit-vector position is
+// recomputed from ra/dec on first use — same doubles in, same bits out as
+// the v1 row decode, which is what keeps join results byte-identical
+// across formats.
+//
+// Parse() validates structure, checksum, and the decoded id column (in
+// range, monotone by construction of the delta code) and returns a clean
+// Status on any corruption; no decoded state outlives a failed Parse.
+
+#ifndef LIFERAFT_STORAGE_COLUMNAR_H_
+#define LIFERAFT_STORAGE_COLUMNAR_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "geom/vec3.h"
+#include "htm/range_set.h"
+#include "storage/object.h"
+#include "util/status.h"
+
+namespace liferaft::storage {
+
+class Bucket;
+
+/// Byte offsets of the fixed page-header fields (shared with tests that
+/// craft corrupt pages deliberately).
+struct ColumnarPageLayout {
+  static constexpr uint32_t kPageMagic = 0x3250464C;  // "LFP2"
+  static constexpr uint32_t kPageVersion = 2;
+  static constexpr size_t kCountOffset = 8;
+  static constexpr size_t kOidEncodingOffset = 12;
+  static constexpr size_t kRangeLoOffset = 16;
+  static constexpr size_t kRangeHiOffset = 24;
+  static constexpr size_t kColumnOffsets = 32;  // 6 x u32
+  static constexpr size_t kCrcOffsetField = 56;
+  static constexpr size_t kHeaderBytes = 60;
+};
+
+/// How the object_id column is encoded (header byte 12).
+enum class ObjectIdEncoding : uint8_t {
+  /// ids are exactly base..base+count-1 (clustered-index catalogs; the
+  /// generator assigns ids in HTM-curve order, so every bucket — a
+  /// contiguous slice of the curve — hits this). Payload: base varint64.
+  kSequential = 0,
+  /// Frame-of-reference bit packing: base varint64, bit width u8, then
+  /// (id - base) packed little-endian at `width` bits each.
+  kPackedFor = 1,
+};
+
+/// Serializes one bucket's objects into a v2 page, appended to `*out`.
+void EncodeColumnarPage(const Bucket& bucket, std::string* out);
+
+/// One parsed, validated, immutable columnar page. Owns the page bytes;
+/// shared between the cache, in-flight prefetches, and scan slices.
+class ColumnarPage {
+ public:
+  /// Takes ownership of `data` (a full page of `size` bytes, 8-aligned as
+  /// operator new[] guarantees) and validates everything up front except
+  /// the lazily materialized derived state.
+  static Result<std::shared_ptr<const ColumnarPage>> Parse(
+      std::unique_ptr<char[]> data, size_t size);
+
+  size_t size() const { return ids_.size(); }
+  const htm::IdRange& range() const { return range_; }
+  uint64_t encoded_bytes() const { return encoded_bytes_; }
+
+  /// The decoded sorted HTM-id column (monotone non-decreasing, every id
+  /// inside range()).
+  std::span<const htm::HtmId> ids() const { return ids_; }
+
+  /// Fixed-width columns, zero-copy views into the page bytes.
+  std::span<const double> ra() const { return {ra_, size()}; }
+  std::span<const double> dec() const { return {dec_, size()}; }
+  std::span<const float> mag() const { return {mag_, size()}; }
+  std::span<const float> color() const { return {color_, size()}; }
+
+  /// Object id at row `i` (O(1) for both encodings; no materialized
+  /// column).
+  uint64_t object_id(size_t i) const {
+    if (oid_encoding_ == ObjectIdEncoding::kSequential) return oid_base_ + i;
+    return oid_base_ + UnpackFor(i);
+  }
+
+  /// Unit-vector positions, materialized from ra/dec on first use
+  /// (thread-safe; scan slices share one page). Bit-identical to the v1
+  /// row decode's cached pos.
+  std::span<const Vec3> positions() const;
+
+  /// Full rows, materialized on first use for row-oriented consumers
+  /// (ZoneIndex, tools, legacy tests). Sorted by (htm_id, object_id) like
+  /// every v1 bucket.
+  const std::vector<CatalogObject>& rows() const;
+
+  /// Row `i` materialized alone (match output, predicate application on
+  /// the slow path).
+  CatalogObject MaterializeObject(size_t i) const;
+
+ private:
+  ColumnarPage() = default;
+
+  uint64_t UnpackFor(size_t i) const;
+
+  std::unique_ptr<char[]> data_;
+  uint64_t encoded_bytes_ = 0;
+  htm::IdRange range_{0, 0};
+  std::vector<htm::HtmId> ids_;
+  ObjectIdEncoding oid_encoding_ = ObjectIdEncoding::kSequential;
+  uint64_t oid_base_ = 0;
+  uint8_t oid_width_ = 0;
+  const char* oid_packed_ = nullptr;
+  const double* ra_ = nullptr;
+  const double* dec_ = nullptr;
+  const float* mag_ = nullptr;
+  const float* color_ = nullptr;
+
+  mutable std::once_flag pos_once_;
+  mutable std::vector<Vec3> pos_;
+  mutable std::once_flag rows_once_;
+  mutable std::vector<CatalogObject> rows_;
+};
+
+/// Lightweight scan handle over one page: the join kernels' zero-copy
+/// interface (binary search over the id column, column spans, per-row
+/// materialization only on match). Copyable; borrows the page.
+class ColumnarBucketView {
+ public:
+  explicit ColumnarBucketView(const ColumnarPage* page) : page_(page) {}
+
+  size_t size() const { return page_->size(); }
+  const htm::IdRange& range() const { return page_->range(); }
+  std::span<const htm::HtmId> ids() const { return page_->ids(); }
+  std::span<const Vec3> positions() const { return page_->positions(); }
+  std::span<const double> ra() const { return page_->ra(); }
+  std::span<const double> dec() const { return page_->dec(); }
+  std::span<const float> mag() const { return page_->mag(); }
+  std::span<const float> color() const { return page_->color(); }
+  uint64_t object_id(size_t i) const { return page_->object_id(i); }
+  CatalogObject MaterializeObject(size_t i) const {
+    return page_->MaterializeObject(i);
+  }
+
+  /// Row index window [first, last) of ids in [lo, hi] (binary search on
+  /// the sorted id column; mirrors Bucket::ObjectsInRange).
+  std::pair<size_t, size_t> EqualRange(htm::HtmId lo, htm::HtmId hi) const;
+
+ private:
+  const ColumnarPage* page_;
+};
+
+}  // namespace liferaft::storage
+
+#endif  // LIFERAFT_STORAGE_COLUMNAR_H_

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "geom/spherical.h"
+#include "storage/columnar.h"
 #include "util/arena.h"
 #include "util/coding.h"
 #include "util/crc32.h"
@@ -13,9 +14,9 @@ namespace {
 
 constexpr char kHeaderMagic[8] = {'L', 'F', 'R', 'B', 'K', 'T', '0', '1'};
 constexpr char kFooterMagic[8] = {'L', 'F', 'R', 'B', 'K', 'T', 'I', 'X'};
-constexpr uint32_t kFormatVersion = 1;
 constexpr size_t kRecordBytes = 8 + 8 + 8 + 8 + 4 + 4;
 constexpr size_t kBucketHeaderBytes = 8 + 8 + 4;
+constexpr size_t kFileHeaderBytes = 8 + 4 + 8;
 constexpr size_t kFooterBytes = 8 + 4 + 8;
 
 void AppendRecord(std::string* out, const CatalogObject& o) {
@@ -51,12 +52,15 @@ Status ReadExact(std::FILE* f, uint64_t offset, void* buf, size_t len) {
 
 }  // namespace
 
-FileStore::FileStore(std::FILE* file, std::string path,
+FileStore::FileStore(std::FILE* file, std::string path, uint32_t version,
                      std::vector<uint64_t> offsets,
+                     std::vector<uint64_t> page_sizes,
                      std::vector<uint32_t> counts,
                      std::shared_ptr<const BucketMap> map)
     : path_(std::move(path)),
+      version_(version),
       offsets_(std::move(offsets)),
+      page_sizes_(std::move(page_sizes)),
       counts_(std::move(counts)),
       map_(std::move(map)) {
   auto lane = std::make_unique<IoLane>();
@@ -95,7 +99,8 @@ Status FileStore::AttachTopology(const StorageTopology* topology) {
 }
 
 Status FileStore::Create(const std::string& path,
-                         const std::vector<Bucket>& buckets) {
+                         const std::vector<Bucket>& buckets,
+                         BucketFormat format) {
   if (buckets.empty()) {
     return Status::InvalidArgument("cannot create a store with no buckets");
   }
@@ -105,21 +110,25 @@ Status FileStore::Create(const std::string& path,
   }
   std::string out;
   out.append(kHeaderMagic, sizeof(kHeaderMagic));
-  PutFixed32(&out, kFormatVersion);
+  PutFixed32(&out, static_cast<uint32_t>(format));
   PutFixed64(&out, buckets.size());
 
   std::vector<uint64_t> offsets;
   offsets.reserve(buckets.size());
   for (const Bucket& b : buckets) {
     offsets.push_back(out.size());
-    std::string payload;
-    PutFixed64(&payload, b.range().lo);
-    PutFixed64(&payload, b.range().hi);
-    PutFixed32(&payload, static_cast<uint32_t>(b.size()));
-    for (const auto& o : b.objects()) AppendRecord(&payload, o);
-    uint32_t crc = Crc32(payload.data(), payload.size());
-    out += payload;
-    PutFixed32(&out, crc);
+    if (format == BucketFormat::kColumnarV2) {
+      EncodeColumnarPage(b, &out);
+    } else {
+      std::string payload;
+      PutFixed64(&payload, b.range().lo);
+      PutFixed64(&payload, b.range().hi);
+      PutFixed32(&payload, static_cast<uint32_t>(b.size()));
+      for (const auto& o : b.objects()) AppendRecord(&payload, o);
+      uint32_t crc = Crc32(payload.data(), payload.size());
+      out += payload;
+      PutFixed32(&out, crc);
+    }
   }
 
   uint64_t index_offset = out.size();
@@ -151,14 +160,15 @@ Result<std::unique_ptr<FileStore>> FileStore::Open(const std::string& path) {
   };
 
   // Header.
-  char header[8 + 4 + 8];
+  char header[kFileHeaderBytes];
   Status st = ReadExact(f, 0, header, sizeof(header));
   if (!st.ok()) return fail(st);
   if (std::memcmp(header, kHeaderMagic, 8) != 0) {
     return fail(Status::Corruption("bad header magic in " + path));
   }
   uint32_t version = GetFixed32(header + 8);
-  if (version != kFormatVersion) {
+  if (version != static_cast<uint32_t>(BucketFormat::kRowV1) &&
+      version != static_cast<uint32_t>(BucketFormat::kColumnarV2)) {
     return fail(Status::Corruption("unsupported format version " +
                                    std::to_string(version)));
   }
@@ -192,22 +202,47 @@ Result<std::unique_ptr<FileStore>> FileStore::Open(const std::string& path) {
   for (uint64_t i = 0; i < num_buckets; ++i) {
     offsets[i] = GetFixed64(index.data() + i * 8);
   }
+  // Page sizes fall out of adjacent offsets (the last page ends where the
+  // index starts). Monotone offsets are part of the format contract; a
+  // violation means a corrupt index that happened to checksum clean.
+  std::vector<uint64_t> page_sizes(num_buckets);
+  for (uint64_t i = 0; i < num_buckets; ++i) {
+    uint64_t end = i + 1 < num_buckets ? offsets[i + 1] : index_offset;
+    if (offsets[i] < kFileHeaderBytes || end <= offsets[i] ||
+        end > static_cast<uint64_t>(file_size)) {
+      return fail(Status::Corruption("non-monotone page offsets in " + path));
+    }
+    page_sizes[i] = end - offsets[i];
+  }
 
   // Reconstruct the bucket map and cardinality metadata from the page
-  // headers.
+  // headers (range/count live at version-specific offsets).
   std::vector<htm::HtmId> bounds(num_buckets);
   std::vector<uint32_t> counts(num_buckets);
+  const bool columnar = version == static_cast<uint32_t>(BucketFormat::kColumnarV2);
+  const size_t page_header_bytes =
+      columnar ? ColumnarPageLayout::kHeaderBytes : kBucketHeaderBytes;
   for (uint64_t i = 0; i < num_buckets; ++i) {
-    char page_header[kBucketHeaderBytes];
-    st = ReadExact(f, offsets[i], page_header, sizeof(page_header));
+    char page_header[ColumnarPageLayout::kHeaderBytes];
+    if (page_sizes[i] < page_header_bytes) {
+      return fail(Status::Corruption("bucket " + std::to_string(i) +
+                                     " page smaller than its header"));
+    }
+    st = ReadExact(f, offsets[i], page_header, page_header_bytes);
     if (!st.ok()) return fail(st);
-    bounds[i] = GetFixed64(page_header);
-    counts[i] = GetFixed32(page_header + 16);
+    if (columnar) {
+      bounds[i] = GetFixed64(page_header + ColumnarPageLayout::kRangeLoOffset);
+      counts[i] = GetFixed32(page_header + ColumnarPageLayout::kCountOffset);
+    } else {
+      bounds[i] = GetFixed64(page_header);
+      counts[i] = GetFixed32(page_header + 16);
+    }
   }
   auto map = std::make_shared<const BucketMap>(std::move(bounds));
 
   return std::unique_ptr<FileStore>(new FileStore(
-      f, path, std::move(offsets), std::move(counts), std::move(map)));
+      f, path, version, std::move(offsets), std::move(page_sizes),
+      std::move(counts), std::move(map)));
 }
 
 Result<std::shared_ptr<const Bucket>> FileStore::ReadBucket(
@@ -228,6 +263,22 @@ Result<std::shared_ptr<const Bucket>> FileStore::ReadBucketForPrefetchScratch(
   return ReadBucketPage(index, scratch);
 }
 
+Result<std::shared_ptr<const Bucket>> FileStore::ReadColumnarPage(
+    BucketIndex index, IoLane& lane) {
+  const uint64_t page_size = page_sizes_[index];
+  // operator new[] aligns to max_align_t, which is what makes the in-place
+  // f64 column spans legal; the pad inside the page does the rest.
+  std::unique_ptr<char[]> buf(new char[page_size]);
+  LIFERAFT_RETURN_IF_ERROR(
+      ReadExact(lane.file, offsets_[index], buf.get(), page_size));
+  auto page = ColumnarPage::Parse(std::move(buf), page_size);
+  if (!page.ok()) {
+    return Status::Corruption("bucket " + std::to_string(index) + ": " +
+                              page.status().message());
+  }
+  return std::make_shared<const Bucket>(index, std::move(page).value());
+}
+
 Result<std::shared_ptr<const Bucket>> FileStore::ReadBucketPage(
     BucketIndex index, util::Arena* scratch) {
   if (index >= offsets_.size()) {
@@ -235,6 +286,9 @@ Result<std::shared_ptr<const Bucket>> FileStore::ReadBucketPage(
   }
   IoLane& lane = LaneFor(index);
   std::lock_guard<std::mutex> lock(lane.mu);
+  if (version_ == static_cast<uint32_t>(BucketFormat::kColumnarV2)) {
+    return ReadColumnarPage(index, lane);
+  }
   char page_header[kBucketHeaderBytes];
   LIFERAFT_RETURN_IF_ERROR(
       ReadExact(lane.file, offsets_[index], page_header, sizeof(page_header)));

@@ -1,15 +1,25 @@
 // File-backed BucketStore: a single packed file of checksummed bucket pages
 // plus a trailing offset index.
 //
-// Layout (all integers little-endian):
+// File layout (all integers little-endian):
 //
 //   [header]   magic "LFRBKT01" (8) | format version u32 | num_buckets u64
-//   [bucket]*  per bucket: range_lo u64 | range_hi u64 | count u32 |
+//   [bucket]*  one page per bucket, format per the version field
+//   [index]    num_buckets * offset u64 (byte offset of each bucket page)
+//   [footer]   index_offset u64 | index_crc u32 | magic "LFRBKTIX" (8)
+//
+// Version 1 (row) pages:
+//
+//   [bucket]   range_lo u64 | range_hi u64 | count u32 |
 //              count * record | payload_crc u32
 //   [record]   object_id u64 | htm_id u64 | ra f64 | dec f64 |
 //              mag f32 | color f32        (40 bytes)
-//   [index]    num_buckets * offset u64 (byte offset of each bucket page)
-//   [footer]   index_offset u64 | index_crc u32 | magic "LFRBKTIX" (8)
+//
+// Version 2 (columnar) pages are the self-describing checksummed pages of
+// storage/columnar.h: delta+varint HTM-id column, compressed object-id
+// column, raw fixed-width position/attribute columns scanned zero-copy.
+// Open() auto-detects the version from the file header; a store holds pages
+// of one version only.
 //
 // The unit-vector position is recomputed from ra/dec at load time rather
 // than stored, keeping records compact and making the file byte-stable
@@ -29,6 +39,13 @@
 
 namespace liferaft::storage {
 
+/// On-disk bucket page format, selectable at write time and auto-detected
+/// at read time. Values match the file header's version field.
+enum class BucketFormat : uint32_t {
+  kRowV1 = 1,
+  kColumnarV2 = 2,
+};
+
 /// Bucket store reading from the packed-file format above. Bucket pages are
 /// read (and checksum-verified) on every ReadBucket call; caching is the
 /// BucketCache's job, exactly as in the paper where bucket caching is
@@ -40,13 +57,14 @@ class FileStore : public BucketStore {
   FileStore(const FileStore&) = delete;
   FileStore& operator=(const FileStore&) = delete;
 
-  /// Serializes a partitioned catalog to `path`, overwriting any existing
-  /// file.
+  /// Serializes a partitioned catalog to `path` in the given format,
+  /// overwriting any existing file.
   static Status Create(const std::string& path,
-                       const std::vector<Bucket>& buckets);
+                       const std::vector<Bucket>& buckets,
+                       BucketFormat format = BucketFormat::kRowV1);
 
-  /// Opens an existing store, validating magic, version, and index
-  /// checksum.
+  /// Opens an existing store, validating magic, version (1 or 2), and
+  /// index checksum.
   static Result<std::unique_ptr<FileStore>> Open(const std::string& path);
 
   /// Routes page I/O per volume (the multi-arm topology): each volume gets
@@ -58,10 +76,18 @@ class FileStore : public BucketStore {
   /// single shared handle).
   Status AttachTopology(const StorageTopology* topology);
 
+  /// The page format this store was written with.
+  BucketFormat format() const { return static_cast<BucketFormat>(version_); }
+
   size_t num_buckets() const override { return offsets_.size(); }
   const BucketMap& bucket_map() const override { return *map_; }
   size_t BucketObjectCount(BucketIndex index) const override {
     return index < counts_.size() ? counts_[index] : 0;
+  }
+  /// Real on-disk page size in bytes (both formats; derived from the
+  /// offset index at Open).
+  uint64_t EncodedBucketBytes(BucketIndex index) const override {
+    return index < page_sizes_.size() ? page_sizes_[index] : 0;
   }
   Result<std::shared_ptr<const Bucket>> ReadBucket(BucketIndex index) override;
   /// Page reads share one FILE handle per volume, so prefetch reads
@@ -83,15 +109,23 @@ class FileStore : public BucketStore {
     std::mutex mu;
   };
 
-  FileStore(std::FILE* file, std::string path, std::vector<uint64_t> offsets,
+  FileStore(std::FILE* file, std::string path, uint32_t version,
+            std::vector<uint64_t> offsets, std::vector<uint64_t> page_sizes,
             std::vector<uint32_t> counts,
             std::shared_ptr<const BucketMap> map);
 
   /// The raw seek+read+checksum+decode of one bucket page, serialized on
   /// its volume's lane mutex; records no stats. `scratch`, when non-null,
-  /// backs the transient page buffer.
+  /// backs the transient v1 page buffer (v2 pages live on in the returned
+  /// bucket, so they always own their bytes on the heap).
   Result<std::shared_ptr<const Bucket>> ReadBucketPage(BucketIndex index,
                                                        util::Arena* scratch);
+
+  /// v2: one aligned whole-page read handed to ColumnarPage::Parse. Any
+  /// corruption — truncation, checksum, bad columns — comes back as a
+  /// clean Status naming the bucket.
+  Result<std::shared_ptr<const Bucket>> ReadColumnarPage(BucketIndex index,
+                                                         IoLane& lane);
 
   IoLane& LaneFor(BucketIndex index) {
     return *lanes_[topology_ != nullptr
@@ -104,10 +138,20 @@ class FileStore : public BucketStore {
   /// per additional volume.
   std::vector<std::unique_ptr<IoLane>> lanes_;
   const StorageTopology* topology_ = nullptr;
+  uint32_t version_ = 1;
   std::vector<uint64_t> offsets_;
+  std::vector<uint64_t> page_sizes_;
   std::vector<uint32_t> counts_;
   std::shared_ptr<const BucketMap> map_;
 };
+
+/// Convenience: serialize a partitioned catalog to `path` in the given
+/// format (the write-side twin of FileStore::Open's auto-detection).
+inline Status WriteCatalog(const std::string& path,
+                           const std::vector<Bucket>& buckets,
+                           BucketFormat format = BucketFormat::kRowV1) {
+  return FileStore::Create(path, buckets, format);
+}
 
 }  // namespace liferaft::storage
 

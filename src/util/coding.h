@@ -1,13 +1,21 @@
-// Fixed-width little-endian serialization helpers for the on-disk bucket
-// format (RocksDB-style PutFixed/GetFixed idiom). All multi-byte values are
-// written explicitly little-endian so files are portable across hosts.
+// Serialization helpers for the on-disk bucket formats (RocksDB-style
+// PutFixed/GetFixed idiom plus LEB128 varints, zigzag, and delta coding for
+// the v2 columnar pages). All multi-byte values are written explicitly
+// little-endian so files are portable across hosts.
+//
+// The Get* varint readers are bounds-checked: they take a [p, limit) window
+// and return the position past the value, or nullptr when the input is
+// truncated or overlong — a corrupt page must surface as a clean error, not
+// a read past the buffer.
 
 #ifndef LIFERAFT_UTIL_CODING_H_
 #define LIFERAFT_UTIL_CODING_H_
 
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <string>
+#include <vector>
 
 namespace liferaft {
 
@@ -63,6 +71,122 @@ inline float GetFloat(const char* p) {
   float v;
   std::memcpy(&v, &bits, 4);
   return v;
+}
+
+// --------------------------------------------------------------- varints --
+//
+// LEB128: 7 value bits per byte, high bit = continuation. A uint32 takes at
+// most 5 bytes, a uint64 at most 10.
+
+constexpr size_t kMaxVarint32Bytes = 5;
+constexpr size_t kMaxVarint64Bytes = 10;
+
+inline void PutVarint32(std::string* dst, uint32_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+inline void PutVarint64(std::string* dst, uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+/// Decodes one varint from [p, limit) into *v. Returns the position past
+/// the value, or nullptr if the window ends mid-value or the encoding
+/// overflows 64 bits.
+inline const char* GetVarint64(const char* p, const char* limit,
+                               uint64_t* v) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && p < limit; shift += 7) {
+    uint64_t byte = static_cast<unsigned char>(*p++);
+    if (byte & 0x80) {
+      result |= (byte & 0x7F) << shift;
+    } else {
+      // The final byte must not overflow: at shift 63 only the low bit may
+      // be set.
+      if (shift == 63 && byte > 1) return nullptr;
+      result |= byte << shift;
+      *v = result;
+      return p;
+    }
+  }
+  return nullptr;  // truncated (or > 10 bytes)
+}
+
+/// 32-bit form of GetVarint64; rejects encodings above UINT32_MAX.
+inline const char* GetVarint32(const char* p, const char* limit,
+                               uint32_t* v) {
+  uint64_t wide = 0;
+  const char* q = GetVarint64(p, limit, &wide);
+  if (q == nullptr || wide > UINT32_MAX) return nullptr;
+  *v = static_cast<uint32_t>(wide);
+  return q;
+}
+
+// ---------------------------------------------------------------- zigzag --
+//
+// Maps signed to unsigned so small-magnitude values (of either sign) get
+// short varints: 0 -> 0, -1 -> 1, 1 -> 2, -2 -> 3, ...
+
+inline uint32_t ZigZagEncode32(int32_t v) {
+  return (static_cast<uint32_t>(v) << 1) ^
+         static_cast<uint32_t>(v >> 31);
+}
+
+inline int32_t ZigZagDecode32(uint32_t v) {
+  return static_cast<int32_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+inline uint64_t ZigZagEncode64(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^
+         static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t ZigZagDecode64(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+// ----------------------------------------------------------------- delta --
+//
+// Delta + varint coding of a non-decreasing u64 sequence (the sorted HTM-id
+// column of a columnar bucket page): the first value absolute, then each
+// successor's difference. Non-decreasing input is the caller's contract —
+// deltas are encoded unsigned, so a decreasing sequence is unrepresentable
+// and the decoder's output is monotone by construction.
+
+inline void PutDeltaVarint64(std::string* dst, std::span<const uint64_t> vs) {
+  uint64_t prev = 0;
+  for (size_t i = 0; i < vs.size(); ++i) {
+    PutVarint64(dst, i == 0 ? vs[0] : vs[i] - prev);
+    prev = vs[i];
+  }
+}
+
+/// Decodes `count` delta-varint values from [p, limit) into `out` (appends;
+/// caller reserves). Returns the position past the last value, or nullptr
+/// on truncated/overlong input or on accumulator overflow.
+inline const char* GetDeltaVarint64(const char* p, const char* limit,
+                                    size_t count,
+                                    std::vector<uint64_t>* out) {
+  uint64_t prev = 0;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t v = 0;
+    p = GetVarint64(p, limit, &v);
+    if (p == nullptr) return nullptr;
+    if (i > 0) {
+      if (v > UINT64_MAX - prev) return nullptr;  // accumulator overflow
+      v += prev;
+    }
+    out->push_back(v);
+    prev = v;
+  }
+  return p;
 }
 
 }  // namespace liferaft

@@ -69,6 +69,20 @@ Result<std::vector<storage::CatalogObject>> GenerateCatalog(
     float color = static_cast<float>(rng.Normal(0.6, 0.4));
     objects.push_back(storage::MakeObject(i, p, mag, color));
   }
+
+  // Assign ids in HTM-curve order (a clustered-index layout): after the
+  // catalog is bucketed by contiguous htm_id ranges, every bucket holds a
+  // contiguous run of object ids, which the columnar v2 page format stores
+  // as a single base value. The stable sort keeps generation order within
+  // an htm cell so the result is still fully deterministic.
+  std::stable_sort(objects.begin(), objects.end(),
+                   [](const storage::CatalogObject& a,
+                      const storage::CatalogObject& b) {
+                     return a.htm_id < b.htm_id;
+                   });
+  for (size_t i = 0; i < objects.size(); ++i) {
+    objects[i].object_id = i;
+  }
   return objects;
 }
 

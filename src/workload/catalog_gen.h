@@ -32,7 +32,10 @@ struct CatalogGenConfig {
   uint64_t seed = 7;
 };
 
-/// Generates the catalog. Object ids are 0..n-1.
+/// Generates the catalog. Object ids are 0..n-1 assigned in HTM-curve
+/// order (clustered-index layout), so each equal-count bucket covers a
+/// contiguous id run — the columnar page format's sequential object-id
+/// encoding depends on this.
 Result<std::vector<storage::CatalogObject>> GenerateCatalog(
     const CatalogGenConfig& config);
 

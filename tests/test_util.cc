@@ -11,6 +11,7 @@
 
 #include "util/arena.h"
 #include "util/clock.h"
+#include "util/coding.h"
 #include "util/random.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -384,6 +385,157 @@ TEST(ArenaAllocatorTest, EqualityFollowsArenaIdentity) {
   EXPECT_TRUE(util::ArenaAllocator<int>(&a) != util::ArenaAllocator<int>(&b));
   EXPECT_TRUE(util::ArenaAllocator<int>(nullptr) ==
               util::ArenaAllocator<double>(nullptr));
+}
+
+// ---------------------------------------------------------------- coding --
+
+TEST(CodingTest, FixedRoundTrip) {
+  std::string buf;
+  PutFixed32(&buf, 0xDEADBEEFu);
+  PutFixed64(&buf, 0x0123456789ABCDEFull);
+  PutDouble(&buf, -1.5e-300);
+  PutFloat(&buf, 3.25f);
+  ASSERT_EQ(buf.size(), 4u + 8u + 8u + 4u);
+  EXPECT_EQ(GetFixed32(buf.data()), 0xDEADBEEFu);
+  EXPECT_EQ(GetFixed64(buf.data() + 4), 0x0123456789ABCDEFull);
+  EXPECT_EQ(GetDouble(buf.data() + 12), -1.5e-300);
+  EXPECT_EQ(GetFloat(buf.data() + 20), 3.25f);
+  // Explicitly little-endian on disk.
+  EXPECT_EQ(static_cast<unsigned char>(buf[0]), 0xEF);
+  EXPECT_EQ(static_cast<unsigned char>(buf[3]), 0xDE);
+}
+
+TEST(CodingTest, Varint64RoundTripBoundaries) {
+  // Every 7-bit length boundary, both sides.
+  std::vector<uint64_t> values = {0, 1, 0x7F, 0x80, 0x3FFF, 0x4000};
+  for (int shift = 21; shift <= 63; shift += 7) {
+    values.push_back((1ull << shift) - 1);
+    values.push_back(1ull << shift);
+  }
+  values.push_back(UINT64_MAX - 1);
+  values.push_back(UINT64_MAX);
+  for (uint64_t v : values) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    ASSERT_LE(buf.size(), kMaxVarint64Bytes);
+    uint64_t out = 0;
+    const char* end = GetVarint64(buf.data(), buf.data() + buf.size(), &out);
+    ASSERT_NE(end, nullptr) << v;
+    EXPECT_EQ(end, buf.data() + buf.size()) << v;
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(CodingTest, Varint32RoundTripAndRejectsOverflow) {
+  for (uint32_t v : {0u, 1u, 127u, 128u, 16383u, 16384u, UINT32_MAX}) {
+    std::string buf;
+    PutVarint32(&buf, v);
+    ASSERT_LE(buf.size(), kMaxVarint32Bytes);
+    uint32_t out = 0;
+    ASSERT_NE(GetVarint32(buf.data(), buf.data() + buf.size(), &out),
+              nullptr);
+    EXPECT_EQ(out, v);
+  }
+  // A value above UINT32_MAX decodes as a varint64 but must be rejected by
+  // the 32-bit reader.
+  std::string buf;
+  PutVarint64(&buf, uint64_t{UINT32_MAX} + 1);
+  uint32_t out = 0;
+  EXPECT_EQ(GetVarint32(buf.data(), buf.data() + buf.size(), &out), nullptr);
+}
+
+TEST(CodingTest, VarintRejectsTruncation) {
+  std::string buf;
+  PutVarint64(&buf, UINT64_MAX);  // 10 bytes
+  uint64_t out = 0;
+  for (size_t len = 0; len < buf.size(); ++len) {
+    EXPECT_EQ(GetVarint64(buf.data(), buf.data() + len, &out), nullptr)
+        << "prefix of " << len << " bytes must not decode";
+  }
+  EXPECT_NE(GetVarint64(buf.data(), buf.data() + buf.size(), &out), nullptr);
+}
+
+TEST(CodingTest, VarintRejectsOverlongAndOverflow) {
+  // 10 continuation bytes: longer than any valid u64 varint.
+  std::string overlong(10, static_cast<char>(0x80));
+  overlong.push_back(0x01);
+  uint64_t out = 0;
+  EXPECT_EQ(
+      GetVarint64(overlong.data(), overlong.data() + overlong.size(), &out),
+      nullptr);
+  // 10-byte encoding whose final byte carries bits above bit 63.
+  std::string overflow(9, static_cast<char>(0xFF));
+  overflow.push_back(0x02);  // shift 63, byte > 1
+  EXPECT_EQ(
+      GetVarint64(overflow.data(), overflow.data() + overflow.size(), &out),
+      nullptr);
+  // Same final-byte position with only the low bit set is exactly
+  // UINT64_MAX's encoding tail and must decode.
+  std::string max_enc(9, static_cast<char>(0xFF));
+  max_enc.push_back(0x01);
+  ASSERT_NE(
+      GetVarint64(max_enc.data(), max_enc.data() + max_enc.size(), &out),
+      nullptr);
+  EXPECT_EQ(out, UINT64_MAX);
+}
+
+TEST(CodingTest, ZigZagRoundTripAndOrdering) {
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1}, int64_t{-2},
+                    int64_t{INT64_MAX}, int64_t{INT64_MIN}}) {
+    EXPECT_EQ(ZigZagDecode64(ZigZagEncode64(v)), v);
+  }
+  for (int32_t v : {0, -1, 1, -2, INT32_MAX, INT32_MIN}) {
+    EXPECT_EQ(ZigZagDecode32(ZigZagEncode32(v)), v);
+  }
+  // Small magnitudes map to small codes (the property varints exploit).
+  EXPECT_EQ(ZigZagEncode64(0), 0u);
+  EXPECT_EQ(ZigZagEncode64(-1), 1u);
+  EXPECT_EQ(ZigZagEncode64(1), 2u);
+  EXPECT_EQ(ZigZagEncode64(-2), 3u);
+}
+
+TEST(CodingTest, DeltaVarintRoundTrip) {
+  std::vector<uint64_t> vs = {5, 5, 6, 100, 100, 1ull << 40, UINT64_MAX};
+  std::string buf;
+  PutDeltaVarint64(&buf, vs);
+  std::vector<uint64_t> out;
+  out.reserve(vs.size());
+  const char* end = GetDeltaVarint64(buf.data(), buf.data() + buf.size(),
+                                     vs.size(), &out);
+  ASSERT_NE(end, nullptr);
+  EXPECT_EQ(end, buf.data() + buf.size());
+  EXPECT_EQ(out, vs);
+}
+
+TEST(CodingTest, DeltaVarintEmptyAndSingle) {
+  std::string buf;
+  PutDeltaVarint64(&buf, std::span<const uint64_t>{});
+  EXPECT_TRUE(buf.empty());
+  std::vector<uint64_t> one = {42};
+  PutDeltaVarint64(&buf, one);
+  std::vector<uint64_t> out;
+  ASSERT_NE(GetDeltaVarint64(buf.data(), buf.data() + buf.size(), 1, &out),
+            nullptr);
+  EXPECT_EQ(out, one);
+}
+
+TEST(CodingTest, DeltaVarintRejectsTruncationAndOverflow) {
+  std::vector<uint64_t> vs = {10, 20, 30};
+  std::string buf;
+  PutDeltaVarint64(&buf, vs);
+  std::vector<uint64_t> out;
+  EXPECT_EQ(GetDeltaVarint64(buf.data(), buf.data() + buf.size() - 1,
+                             vs.size(), &out),
+            nullptr);
+  // First value UINT64_MAX then a positive delta: the accumulator would
+  // wrap, which the decoder must reject rather than emit a non-monotone id.
+  std::string wrap;
+  PutVarint64(&wrap, UINT64_MAX);
+  PutVarint64(&wrap, 1);
+  std::vector<uint64_t> out2;
+  EXPECT_EQ(
+      GetDeltaVarint64(wrap.data(), wrap.data() + wrap.size(), 2, &out2),
+      nullptr);
 }
 
 }  // namespace

@@ -10,10 +10,12 @@
 #                        # sharded-cache races + per-volume FileStore lanes +
 #                        # concurrent admission control)
 #   tools/ci.sh --asan   # ASan+UBSan smoke: builds test_exec, test_storage,
-#                        # and test_topology with
+#                        # test_topology, and test_columnar with
 #                        # -fsanitize=address,undefined and runs them (arena
 #                        # lifetimes incl. I/O scratch, prefetch
-#                        # claim/cancel memory, eviction-tier bookkeeping)
+#                        # claim/cancel memory, eviction-tier bookkeeping,
+#                        # and columnar page decode over corrupted input:
+#                        # truncation, bad crc, out-of-order id column)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,12 +27,14 @@ if [ "${1:-}" = "--asan" ]; then
     -DLIFERAFT_BUILD_BENCH=OFF \
     -DLIFERAFT_BUILD_EXAMPLES=OFF \
     -DLIFERAFT_BUILD_TOOLS=OFF
-  cmake --build build-asan -j --target test_exec test_storage test_topology
+  cmake --build build-asan -j --target test_exec test_storage test_topology \
+    test_columnar
   # Leak checking is on by default under ASan; -fno-sanitize-recover
   # already turned every UBSan diagnostic into a hard failure.
   ./build-asan/test_exec
   ./build-asan/test_storage
   ./build-asan/test_topology
+  ./build-asan/test_columnar
   echo "asan+ubsan smoke OK"
   exit 0
 fi

@@ -1,7 +1,8 @@
 // liferaft_tool — command-line utility for working with LifeRaft archives
 // and traces (the `ldb` of this project).
 //
-//   liferaft_tool gen-catalog  --objects N [--per-bucket K] [--seed S] --out F
+//   liferaft_tool gen-catalog  --objects N [--per-bucket K] [--seed S]
+//                              [--format row|columnar] --out F
 //   liferaft_tool inspect      --store F
 //   liferaft_tool verify       --store F
 //   liferaft_tool gen-trace    --queries N [--seed S] [--preset long] --out F
@@ -132,11 +133,23 @@ int GenCatalog(const Flags& flags) {
   auto partition = storage::PartitionCatalog(std::move(*objects),
                                              per_bucket);
   if (!partition.ok()) return Fail(partition.status());
+  const std::string format = flags.GetString("format", "columnar");
+  storage::BucketFormat bucket_format;
+  if (format == "row") {
+    bucket_format = storage::BucketFormat::kRowV1;
+  } else if (format == "columnar") {
+    bucket_format = storage::BucketFormat::kColumnarV2;
+  } else {
+    std::fprintf(stderr, "unknown --format %s (row|columnar)\n",
+                 format.c_str());
+    return 2;
+  }
   Status st = storage::FileStore::Create(flags.GetString("out"),
-                                         partition->buckets);
+                                         partition->buckets, bucket_format);
   if (!st.ok()) return Fail(st);
-  std::printf("wrote %zu objects in %zu buckets to %s\n", gen.num_objects,
-              partition->buckets.size(), flags.GetString("out").c_str());
+  std::printf("wrote %zu objects in %zu buckets to %s (%s)\n",
+              gen.num_objects, partition->buckets.size(),
+              flags.GetString("out").c_str(), format.c_str());
   return 0;
 }
 
@@ -152,6 +165,10 @@ int Inspect(const Flags& flags) {
     largest = std::max(largest, n);
   }
   std::printf("store:        %s\n", flags.GetString("store").c_str());
+  std::printf("format:       %s\n",
+              (*store)->format() == storage::BucketFormat::kColumnarV2
+                  ? "columnar v2"
+                  : "row v1");
   std::printf("buckets:      %zu\n", (*store)->num_buckets());
   std::printf("objects:      %zu (min %zu / max %zu per bucket)\n", total,
               smallest, largest);
@@ -270,7 +287,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: liferaft_tool <command> [flags]\n"
-      "  gen-catalog  --objects N [--per-bucket K] [--seed S] --out F\n"
+      "  gen-catalog  --objects N [--per-bucket K] [--seed S]\n"
+      "               [--format row|columnar] --out F\n"
       "  inspect      --store F\n"
       "  verify       --store F\n"
       "  gen-trace    --queries N [--seed S] [--preset long] --out F\n"
