@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "join/hybrid.h"
+#include "storage/async_io.h"
 #include "storage/bucket.h"
 
 namespace liferaft::exec {
@@ -86,6 +87,7 @@ std::vector<storage::VolumeIoStats> BatchPipeline::volume_stats() const {
 }
 
 Result<std::optional<StepOutcome>> BatchPipeline::Step(TimeMs now) {
+  if (async_reader_ != nullptr) return StepReal(now);
   // Adaptive mode reads each arm's depth from its controller (0 = off for
   // now) and always drops bets that leave the prediction window — the
   // drop doubles as that arm's controller's mispredict signal.
@@ -336,12 +338,223 @@ Result<std::optional<StepOutcome>> BatchPipeline::Step(TimeMs now) {
   return std::optional<StepOutcome>(std::move(outcome));
 }
 
+void BatchPipeline::SubmitRealBet(storage::BucketIndex b) {
+  // The completion callback runs on THIS thread, inside the reader's
+  // Poll()/Wait() — never concurrently — so real_bets_ needs no lock. The
+  // ticket check drops a late completion whose bet was already canceled
+  // (and possibly resubmitted under the same bucket index).
+  const uint64_t ticket = async_reader_->SubmitRead(
+      b, [this](const storage::AsyncReadCompletion& c) {
+        auto it = real_bets_.find(c.index);
+        if (it == real_bets_.end() || it->second.ticket != c.ticket) return;
+        it->second.completed = true;
+        it->second.status = c.status;
+        it->second.bucket = c.bucket;
+        it->second.latency_ms = c.latency_ms;
+        it->second.bytes = c.bytes;
+      });
+  RealBet slot;
+  slot.ticket = ticket;
+  real_bets_[b] = std::move(slot);
+}
+
+TimeMs BatchPipeline::WaitForRealBet(storage::BucketIndex b) {
+  const TimeMs t0 = wall_.NowMs();
+  for (;;) {
+    auto it = real_bets_.find(b);
+    if (it == real_bets_.end() || it->second.completed) break;
+    // Wait() parks until ANY completion arrives; completions for other
+    // arms' bets delivered along the way are the overlap this mode
+    // measures. The in_flight guard breaks a (should-be-impossible)
+    // wait on a bet the queues no longer know about.
+    if (async_reader_->Wait() == 0 && async_reader_->in_flight() == 0) break;
+  }
+  return wall_.NowMs() - t0;
+}
+
+Result<std::optional<StepOutcome>> BatchPipeline::StepReal(TimeMs now) {
+  // The measured-time twin of Step: the same pick → prefetch → claim →
+  // evaluate loop, but bets are REAL reads on the per-volume submission
+  // queues and every I/O charge below is a wall-clock measurement, not
+  // DiskModel arithmetic. There are no modeled arm clocks to maintain —
+  // the physical queues ARE the arm serialization — so the whole
+  // done_ms/slip block of the modeled path has no counterpart here.
+  const bool prefetch_on =
+      config_.enable_prefetch || config_.adaptive_prefetch;
+  const bool drop_stale =
+      config_.cancel_on_mispredict || config_.adaptive_prefetch;
+  const size_t volumes = bucket_volumes_;
+  std::vector<PrefetchFeedback> feedback(volumes);
+
+  // Harvest whatever the queues finished since the last step so the
+  // residency probe sees completed bets.
+  async_reader_->Poll();
+
+  const sched::CacheProbe cached = [this](storage::BucketIndex b) {
+    if (cache_->Contains(b)) return true;
+    auto it = real_bets_.find(b);
+    return it != real_bets_.end() && it->second.completed &&
+           it->second.status.ok();
+  };
+  std::optional<storage::BucketIndex> pick =
+      scheduler_->PickBucket(*manager_, now, cached);
+  if (!pick.has_value()) return std::optional<StepOutcome>{};
+
+  StepOutcome outcome;
+  outcome.bucket = *pick;
+  outcome.volume = VolumeOf(*pick);
+  Arm& pick_arm = arms_[outcome.volume];
+  uint64_t restored_bytes = 0;
+  std::vector<query::WorkloadEntry> entries =
+      manager_->TakeBucket(*pick, &outcome.completed, &restored_bytes);
+
+  uint64_t queue_objects = 0;
+  for (const query::WorkloadEntry& e : entries) {
+    queue_objects += e.objects.size();
+  }
+  const bool will_scan = WillScan(*pick, queue_objects);
+
+  // Claim the bet on this bucket: block until its read completes (the
+  // measured wait is the step's fetch residual), hand the bucket to the
+  // cache so the evaluator sees a hit. Latency already hidden behind
+  // earlier steps' compute is the claim's hidden time.
+  auto bet_it = std::find_if(
+      pick_arm.bets.begin(), pick_arm.bets.end(),
+      [&](const PendingPrefetch& p) { return p.bucket == *pick; });
+  if (bet_it != pick_arm.bets.end() && will_scan) {
+    const TimeMs waited = WaitForRealBet(*pick);
+    RealBet bet = std::move(real_bets_[*pick]);
+    real_bets_.erase(*pick);
+    pick_arm.bets.erase(bet_it);  // callbacks never touch arm queues
+    if (!bet.status.ok()) return bet.status;
+    cache_->Put(*pick, bet.bucket);
+    cache_->mutable_store()->RecordPrefetchedRead(*bet.bucket);
+    outcome.fetch_residual_ms = waited;
+    const TimeMs hidden = std::max(0.0, bet.latency_ms - waited);
+    prefetch_hidden_ms_ += hidden;
+    pick_arm.stats.hidden_ms += hidden;
+    pick_arm.stats.busy_ms += bet.latency_ms;
+    ++pick_arm.stats.prefetch_claims;
+    ++feedback[outcome.volume].claims;
+    feedback[outcome.volume].hidden_ms += hidden;
+    if (hidden <= 0.0) ++feedback[outcome.volume].stale_claims;
+  } else if (will_scan && !cache_->Contains(*pick) &&
+             real_bets_.find(*pick) == real_bets_.end()) {
+    // Foreground miss: route it through the same submission queue as the
+    // bets so it physically serializes behind them on the bucket's own
+    // volume, and charge the measured blocked time.
+    SubmitRealBet(*pick);
+    const TimeMs waited = WaitForRealBet(*pick);
+    RealBet fetched = std::move(real_bets_[*pick]);
+    real_bets_.erase(*pick);
+    if (!fetched.status.ok()) return fetched.status;
+    cache_->Put(*pick, fetched.bucket);
+    cache_->mutable_store()->RecordPrefetchedRead(*fetched.bucket);
+    outcome.fetch_residual_ms = waited;
+    pick_arm.stats.busy_ms += fetched.latency_ms;
+    ++pick_arm.stats.foreground_reads;
+    pick_arm.stats.foreground_bytes += fetched.bytes;
+  }
+
+  // Predict the next picks and submit their reads NOW, before the join
+  // below — the queues work through them while the CPU matches, which is
+  // the overlap real mode exists to measure. Window publishing and
+  // stale-bet dropping mirror the modeled path; a dropped real bet is
+  // simply forgotten (the ticket check discards its late completion) and
+  // its fetched bytes, if any, are charged to the controller as waste.
+  if (prefetch_on) {
+    std::vector<size_t> want(volumes);
+    for (size_t v = 0; v < volumes; ++v) {
+      want[v] = std::max(current_prefetch_depth(v), arms_[v].bets.size());
+    }
+    std::vector<storage::BucketIndex> predicted =
+        scheduler_->PeekNextBucketsCovering(
+            *manager_, now, cached,
+            [this](storage::BucketIndex b) { return VolumeOf(b); }, want);
+    if (config_.prefetch_aware_eviction && predicted != last_window_) {
+      cache_->SetPredictionWindow(predicted);
+      last_window_ = predicted;
+    }
+    if (drop_stale) {
+      for (size_t v = 0; v < volumes; ++v) {
+        for (auto it = arms_[v].bets.begin(); it != arms_[v].bets.end();) {
+          if (std::find(predicted.begin(), predicted.end(), it->bucket) ==
+              predicted.end()) {
+            auto rb = real_bets_.find(it->bucket);
+            if (rb != real_bets_.end()) {
+              if (rb->second.completed && rb->second.status.ok()) {
+                feedback[v].wasted_bytes += rb->second.bytes;
+              }
+              real_bets_.erase(rb);
+            }
+            it = arms_[v].bets.erase(it);
+            ++feedback[v].cancels;
+          } else {
+            ++it;
+          }
+        }
+      }
+    }
+    for (storage::BucketIndex b : predicted) {
+      const storage::VolumeIndex v = VolumeOf(b);
+      if (arms_[v].bets.size() >= current_prefetch_depth(v)) continue;
+      if (cache_->Contains(b)) continue;
+      const bool already_queued = std::any_of(
+          arms_[v].bets.begin(), arms_[v].bets.end(),
+          [&](const PendingPrefetch& p) { return p.bucket == b; });
+      if (already_queued) continue;
+      SubmitRealBet(b);
+      // Queue order only; the modeled completion fields stay zero.
+      arms_[v].bets.push_back(PendingPrefetch{b, 0.0, 0.0});
+      ++arms_[v].stats.prefetch_issued;
+    }
+  }
+
+  Result<join::BatchResult> evaluated =
+      evaluator_->EvaluateBucket(*pick, entries, config_.collect_matches);
+  // On error the just-submitted bets stay pending in real_bets_; they hold
+  // no cache pins, and teardown's CancelOutstandingPrefetches drains them.
+  if (!evaluated.ok()) return evaluated.status();
+  join::BatchResult result = std::move(*evaluated);
+  // Spill restores happened physically inside TakeBucket (the spill file
+  // read is real I/O on every path); the modeled price is kept for the
+  // outcome's telemetry but no wall charge is added here — the driver's
+  // wall clock already contains the blocked time.
+  outcome.restore_ms =
+      restored_bytes > 0
+          ? evaluator_->disk_model().SequentialReadMs(restored_bytes)
+          : 0.0;
+
+  outcome.strategy = result.strategy;
+  outcome.cache_hit = result.cache_hit;
+  outcome.cost_ms = result.cost_ms;
+  outcome.io_ms = result.io_ms;
+  outcome.cpu_ms = result.cpu_ms;
+  outcome.counters = result.counters;
+  outcome.matches = std::move(result.matches);
+  for (size_t v = 0; v < volumes; ++v) {
+    if (arms_[v].controller != nullptr) {
+      arms_[v].controller->Observe(feedback[v]);
+    }
+  }
+  return std::optional<StepOutcome>(std::move(outcome));
+}
+
 void BatchPipeline::CancelOutstandingPrefetches() {
   for (Arm& arm : arms_) {
-    for (const PendingPrefetch& p : arm.bets) {
-      cache_->CancelPrefetch(p.bucket);
+    if (async_reader_ == nullptr) {
+      for (const PendingPrefetch& p : arm.bets) {
+        cache_->CancelPrefetch(p.bucket);
+      }
     }
     arm.bets.clear();
+  }
+  if (async_reader_ != nullptr) {
+    // Real bets hold no cache pins. Forget them first (late completions
+    // then fail the ticket lookup and drop), then drain the queues so no
+    // worker still references the store when the caller tears down.
+    real_bets_.clear();
+    async_reader_->Drain();
   }
   // End of run: no prediction is live, so stop protecting anything.
   if (config_.prefetch_aware_eviction) {

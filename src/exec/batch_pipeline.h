@@ -75,6 +75,7 @@
 #include <limits>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "exec/prefetch_controller.h"
@@ -85,6 +86,10 @@
 #include "storage/topology.h"
 #include "util/clock.h"
 #include "util/status.h"
+
+namespace liferaft::storage {
+class AsyncReader;  // storage/async_io.h
+}  // namespace liferaft::storage
 
 namespace liferaft::exec {
 
@@ -168,8 +173,21 @@ class BatchPipeline {
 
   /// Runs one scheduling step at virtual time `now`. Returns nullopt when
   /// no queue has pending work (outstanding prefetch bets stay pending —
-  /// work may still arrive for them).
+  /// work may still arrive for them). With a real-I/O reader attached
+  /// (AttachRealIo) this dispatches to the measured-time path instead of
+  /// the DiskModel arithmetic.
   Result<std::optional<StepOutcome>> Step(TimeMs now);
+
+  /// Switches the pipeline into real-I/O mode: prefetch bets and
+  /// foreground misses are submitted to `reader`'s per-volume submission
+  /// queues (storage/async_io.h) and the step's fetch_residual_ms carries
+  /// the MEASURED wall time the step blocked on the queues, not a modeled
+  /// quantity. The modeled Step path is untouched — a pipeline that never
+  /// attaches a reader is bit-identical to one built before this API
+  /// existed. Call before the first Step; `reader` must outlive the
+  /// pipeline (or a CancelOutstandingPrefetches + AttachRealIo(nullptr)).
+  void AttachRealIo(storage::AsyncReader* reader) { async_reader_ = reader; }
+  bool real_io() const { return async_reader_ != nullptr; }
 
   /// Drops every outstanding prefetch bet on every arm (end of run /
   /// drain).
@@ -249,6 +267,30 @@ class BatchPipeline {
     storage::VolumeIoStats stats;
   };
 
+  /// Completion-side record of one real-I/O bet: filled in by the
+  /// submission-queue callback (which the reader invokes on THIS thread,
+  /// inside Poll()/Wait() — never on a worker, so no locking). The ticket
+  /// guards against a late completion of a dropped-and-resubmitted bet
+  /// resurrecting under the same bucket index.
+  struct RealBet {
+    uint64_t ticket = 0;
+    bool completed = false;
+    Status status;
+    std::shared_ptr<const storage::Bucket> bucket;
+    /// Measured submit-to-completion wall latency.
+    TimeMs latency_ms = 0.0;
+    /// Physical bytes the read moved (encoded page size when known).
+    uint64_t bytes = 0;
+  };
+
+  /// The measured-time twin of Step (see AttachRealIo).
+  Result<std::optional<StepOutcome>> StepReal(TimeMs now);
+  /// Submits bucket `b` to the reader and records the bet in real_bets_.
+  void SubmitRealBet(storage::BucketIndex b);
+  /// Blocks on the reader until real_bets_[b] completes, harvesting other
+  /// arms' completions along the way; returns the measured wall wait.
+  TimeMs WaitForRealBet(storage::BucketIndex b);
+
   storage::VolumeIndex VolumeOf(storage::BucketIndex b) const {
     return topology_ != nullptr ? topology_->VolumeOf(b) : 0;
   }
@@ -286,6 +328,13 @@ class BatchPipeline {
   /// Last window published to the cache (skip republishing unchanged
   /// windows — the cache locks every shard to swap them).
   std::vector<storage::BucketIndex> last_window_;
+
+  /// Real-I/O mode (null = modeled). Not owned.
+  storage::AsyncReader* async_reader_ = nullptr;
+  /// Outstanding real bets by bucket; arm.bets still carries the queue
+  /// ORDER (with zeroed modeled times), this map carries the completions.
+  std::unordered_map<storage::BucketIndex, RealBet> real_bets_;
+  WallClock wall_;
 };
 
 }  // namespace liferaft::exec

@@ -40,7 +40,11 @@ double LifeRaftScheduler::EffectiveAge(const query::WorkloadQueue& queue,
 std::optional<storage::BucketIndex> LifeRaftScheduler::PickBucket(
     const query::WorkloadManager& manager, TimeMs now,
     const CacheProbe& cached) {
-  return RankBest(manager, now, cached, {});
+  std::vector<Candidate> candidates = PriceCandidates(manager, now, cached);
+  const size_t best =
+      SelectBest(candidates, std::vector<char>(candidates.size(), 0));
+  if (best == candidates.size()) return std::nullopt;
+  return candidates[best].bucket;
 }
 
 std::vector<storage::BucketIndex> LifeRaftScheduler::PeekNextBuckets(
@@ -48,39 +52,85 @@ std::vector<storage::BucketIndex> LifeRaftScheduler::PeekNextBuckets(
     const CacheProbe& cached, size_t k) const {
   // Rank iteratively: each prediction assumes the previous ones were
   // served (queue drained → no longer a candidate) and re-normalizes the
-  // metric over the survivors, exactly as PickBucket would see them.
+  // metric over the survivors, exactly as PickBucket would see them. The
+  // per-bucket U_t and age are invariant across rounds, so they are
+  // priced once; only the maxima and scores are re-taken per round. (The
+  // deep peeks PeekNextBucketsCovering issues on multi-volume topologies
+  // made the from-scratch re-ranking a measured CPU sink in real-I/O
+  // mode.)
+  std::vector<Candidate> candidates = PriceCandidates(manager, now, cached);
+  std::vector<char> taken(candidates.size(), 0);
   std::vector<storage::BucketIndex> predicted;
-  predicted.reserve(k);
+  predicted.reserve(std::min(k, candidates.size()));
   while (predicted.size() < k) {
-    std::optional<storage::BucketIndex> next =
-        RankBest(manager, now, cached, predicted);
-    if (!next.has_value()) break;
-    predicted.push_back(*next);
+    const size_t best = SelectBest(candidates, taken);
+    if (best == candidates.size()) break;
+    taken[best] = 1;
+    predicted.push_back(candidates[best].bucket);
   }
   return predicted;
 }
 
-std::optional<storage::BucketIndex> LifeRaftScheduler::RankBest(
+std::vector<storage::BucketIndex> LifeRaftScheduler::PeekNextBucketsCovering(
     const query::WorkloadManager& manager, TimeMs now,
     const CacheProbe& cached,
-    const std::vector<storage::BucketIndex>& excluded) const {
-  const auto& active = manager.active_buckets();
-  if (active.empty()) return std::nullopt;
+    const std::function<uint32_t(storage::BucketIndex)>& volume_of,
+    const std::vector<size_t>& want_per_volume) const {
+  // Mirrors the base reference loop exactly — per-volume wants capped by
+  // availability, coverage tested only at the geometric boundaries k0,
+  // 2*k0, ... of the widening schedule, exhaustion returning whatever was
+  // predicted — but selects incrementally over candidates priced ONCE.
+  // PeekNextBuckets is prefix-consistent (round j's selection never
+  // depends on how deep the peek will go), so extending the prediction in
+  // place yields the same sequence the base loop's from-scratch
+  // PeekNextBuckets(k) retries would.
+  std::vector<size_t> want = want_per_volume;
+  {
+    std::vector<size_t> available(want.size(), 0);
+    for (storage::BucketIndex b : manager.active_buckets()) {
+      ++available[volume_of(b)];
+    }
+    for (size_t v = 0; v < want.size(); ++v) {
+      want[v] = std::min(want[v], available[v]);
+    }
+  }
+  size_t k0 = 0;
+  for (size_t w : want) k0 += w;
+  if (k0 == 0) return {};
 
-  // Pass 1: per-bucket U_t and age (and their maxima for normalization).
-  struct Candidate {
-    storage::BucketIndex bucket;
-    double ut;
-    double age;
-  };
+  std::vector<Candidate> candidates = PriceCandidates(manager, now, cached);
+  std::vector<char> taken(candidates.size(), 0);
+  std::vector<storage::BucketIndex> predicted;
+  std::vector<size_t> have(want.size(), 0);
+  for (size_t boundary = k0;; boundary *= 2) {
+    while (predicted.size() < boundary) {
+      const size_t best = SelectBest(candidates, taken);
+      // Fewer candidates than the boundary asks for: every bucket with
+      // pending work is already predicted, so no wider peek can improve
+      // coverage.
+      if (best == candidates.size()) return predicted;
+      taken[best] = 1;
+      predicted.push_back(candidates[best].bucket);
+      ++have[volume_of(candidates[best].bucket)];
+    }
+    bool covered = true;
+    for (size_t v = 0; v < want.size(); ++v) {
+      if (have[v] < want[v]) {
+        covered = false;
+        break;
+      }
+    }
+    if (covered) return predicted;
+  }
+}
+
+std::vector<LifeRaftScheduler::Candidate> LifeRaftScheduler::PriceCandidates(
+    const query::WorkloadManager& manager, TimeMs now,
+    const CacheProbe& cached) const {
+  const auto& active = manager.active_buckets();
   std::vector<Candidate> candidates;
   candidates.reserve(active.size());
-  double ut_max = 0.0;
-  double age_max = 0.0;
   for (storage::BucketIndex b : active) {
-    if (std::find(excluded.begin(), excluded.end(), b) != excluded.end()) {
-      continue;
-    }
     const query::WorkloadQueue& queue = manager.queue(b);
     uint64_t bytes =
         store_->ModeledBucketBytes(b, config_.charge_encoded_bytes);
@@ -88,18 +138,32 @@ std::optional<storage::BucketIndex> LifeRaftScheduler::RankBest(
                                            queue.total_objects(), bytes,
                                            cached(b));
     double age = EffectiveAge(queue, manager, now);
-    ut_max = std::max(ut_max, ut);
-    age_max = std::max(age_max, age);
     candidates.push_back(Candidate{b, ut, age});
   }
+  return candidates;
+}
 
-  if (candidates.empty()) return std::nullopt;  // everything excluded
+size_t LifeRaftScheduler::SelectBest(const std::vector<Candidate>& candidates,
+                                     const std::vector<char>& taken) const {
+  // Pass 1: maxima for normalization over the surviving candidates.
+  double ut_max = 0.0;
+  double age_max = 0.0;
+  size_t first = candidates.size();
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (taken[i]) continue;
+    if (first == candidates.size()) first = i;
+    ut_max = std::max(ut_max, candidates[i].ut);
+    age_max = std::max(age_max, candidates[i].age);
+  }
+  if (first == candidates.size()) return candidates.size();
 
-  // Pass 2: rank by U_a. Ties break toward the lower bucket index so runs
-  // are deterministic.
-  storage::BucketIndex best = candidates.front().bucket;
+  // Pass 2: rank by U_a. Ties break toward the earlier (lower-index)
+  // candidate so runs are deterministic.
+  size_t best = first;
   double best_score = -1.0;
-  for (const Candidate& c : candidates) {
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (taken[i]) continue;
+    const Candidate& c = candidates[i];
     double score =
         config_.normalization == MetricNormalization::kRawPaper
             ? AgedThroughputRaw(c.ut, c.age, config_.alpha)
@@ -107,7 +171,7 @@ std::optional<storage::BucketIndex> LifeRaftScheduler::RankBest(
                                        config_.alpha);
     if (score > best_score) {
       best_score = score;
-      best = c.bucket;
+      best = i;
     }
   }
   return best;

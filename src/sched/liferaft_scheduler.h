@@ -7,8 +7,10 @@
 #ifndef LIFERAFT_SCHED_LIFERAFT_SCHEDULER_H_
 #define LIFERAFT_SCHED_LIFERAFT_SCHEDULER_H_
 
+#include <functional>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "sched/metric.h"
 #include "sched/qos.h"
@@ -64,6 +66,17 @@ class LifeRaftScheduler : public Scheduler {
       const query::WorkloadManager& manager, TimeMs now,
       const CacheProbe& cached, size_t k) const override;
 
+  /// Bit-identical to the base reference loop (same widening boundaries,
+  /// same coverage checks) but prices every candidate exactly once for
+  /// the whole call instead of once per PeekNextBuckets(k) retry — the
+  /// covering peek runs on every multi-volume pipeline step, where the
+  /// from-scratch widening was a measured CPU sink in real-I/O mode.
+  std::vector<storage::BucketIndex> PeekNextBucketsCovering(
+      const query::WorkloadManager& manager, TimeMs now,
+      const CacheProbe& cached,
+      const std::function<uint32_t(storage::BucketIndex)>& volume_of,
+      const std::vector<size_t>& want_per_volume) const override;
+
   /// Adjusts alpha at runtime (used by the adaptive controller).
   void set_alpha(double alpha) { config_.alpha = alpha; }
 
@@ -80,13 +93,27 @@ class LifeRaftScheduler : public Scheduler {
                       const query::WorkloadManager& manager,
                       TimeMs now) const;
 
-  /// The shared const ranking behind PickBucket and PeekNextBuckets:
-  /// the best-scoring active bucket not in `excluded` (ascending, may be
-  /// empty), with maxima normalized over the non-excluded candidates.
-  std::optional<storage::BucketIndex> RankBest(
-      const query::WorkloadManager& manager, TimeMs now,
-      const CacheProbe& cached,
-      const std::vector<storage::BucketIndex>& excluded) const;
+  /// One priced candidate: the per-bucket inputs to the aged-throughput
+  /// score. U_t and age depend only on the queues/clock/cache — not on
+  /// which earlier predictions were excluded — so a peek prices every
+  /// active bucket once and runs its selection rounds over this cache.
+  struct Candidate {
+    storage::BucketIndex bucket;
+    double ut;
+    double age;
+  };
+
+  /// Prices every active bucket, in active-bucket order.
+  std::vector<Candidate> PriceCandidates(const query::WorkloadManager& manager,
+                                         TimeMs now,
+                                         const CacheProbe& cached) const;
+
+  /// One selection round: the best-scoring candidate with `taken[i]`
+  /// false, maxima re-normalized over the survivors (exactly what ranking
+  /// from scratch with the taken buckets excluded would compute). Returns
+  /// candidates.size() when everything is taken.
+  size_t SelectBest(const std::vector<Candidate>& candidates,
+                    const std::vector<char>& taken) const;
 
   const storage::BucketStore* store_;
   storage::DiskModel model_;

@@ -94,7 +94,12 @@ class Scheduler {
   /// coverage holds or the policy runs out of candidates, so the result
   /// is always a prefix-consistent extension of the plain peek: with one
   /// volume wanting k this is exactly PeekNextBuckets(k).
-  std::vector<storage::BucketIndex> PeekNextBucketsCovering(
+  ///
+  /// Virtual so a policy whose per-prediction ranking is expensive can
+  /// supply an equivalent implementation (see LifeRaftScheduler, which
+  /// prices candidates once); an override must return the bit-identical
+  /// sequence this reference loop would.
+  virtual std::vector<storage::BucketIndex> PeekNextBucketsCovering(
       const query::WorkloadManager& manager, TimeMs now,
       const CacheProbe& cached,
       const std::function<uint32_t(storage::BucketIndex)>& volume_of,

@@ -21,6 +21,16 @@ const char* ExecutionModeName(ExecutionMode mode) {
   return "?";
 }
 
+const char* IoModeName(IoMode mode) {
+  switch (mode) {
+    case IoMode::kModeled:
+      return "modeled";
+    case IoMode::kReal:
+      return "real";
+  }
+  return "?";
+}
+
 SimEngine::SimEngine(storage::Catalog* catalog,
                      std::unique_ptr<sched::Scheduler> scheduler,
                      EngineConfig config)
@@ -50,11 +60,17 @@ Result<bool> SimEngine::SharedStep() {
   LIFERAFT_ASSIGN_OR_RETURN(std::optional<exec::StepOutcome> outcome,
                             pipeline_->Step(clock_));
   if (!outcome.has_value()) return false;
-  // Two additions, exactly as the pre-exec loop advanced the clock, so
-  // makespans stay bit-identical across the refactor (FP addition is not
-  // associative).
-  clock_ += outcome->fetch_residual_ms + outcome->cost_ms;
-  clock_ += outcome->restore_ms;
+  if (config_.io_mode == IoMode::kReal) {
+    // Measured execution: the clock IS elapsed wall time. (max: an idle
+    // jump to a future arrival may have pushed clock_ ahead of the wall.)
+    clock_ = std::max(clock_, wall_.NowMs() - wall_base_ms_);
+  } else {
+    // Two additions, exactly as the pre-exec loop advanced the clock, so
+    // makespans stay bit-identical across the refactor (FP addition is
+    // not associative).
+    clock_ += outcome->fetch_residual_ms + outcome->cost_ms;
+    clock_ += outcome->restore_ms;
+  }
   total_matches_ += outcome->counters.output_matches;
   if (config_.collect_matches) {
     for (const query::Match& m : outcome->matches) {
@@ -126,6 +142,17 @@ Status SimEngine::PrepareRun(size_t expected_queries) {
     return Status::FailedPrecondition("index-only mode requires an index");
   }
 
+  if (config_.io_mode == IoMode::kReal) {
+    if (config_.mode != ExecutionMode::kShared) {
+      return Status::InvalidArgument(
+          "real I/O mode requires shared execution");
+    }
+    if (!catalog_->store()->SupportsConcurrentReads()) {
+      return Status::InvalidArgument(
+          "real I/O mode requires a store with concurrent reads");
+    }
+  }
+
   // Reset run state.
   clock_ = 0.0;
   fifo_.clear();
@@ -138,6 +165,9 @@ Status SimEngine::PrepareRun(size_t expected_queries) {
   outcomes_.reserve(expected_queries);
   total_matches_ = 0;
   pipeline_.reset();
+  // After the pipeline that borrowed it, before the topology its workers
+  // route by.
+  async_reader_.reset();
   catalog_->store()->ResetStats();
   // The old cache (and any in-flight prefetch it still holds) is drained
   // here — while the pool it may reference is still alive, and before the
@@ -203,7 +233,12 @@ Status SimEngine::PrepareRun(size_t expected_queries) {
     pipeline_ = std::make_unique<exec::BatchPipeline>(
         scheduler_.get(), manager_.get(), evaluator_.get(), pipeline_config,
         topology_.get());
+    if (config_.io_mode == IoMode::kReal) {
+      async_reader_ = catalog_->store()->NewAsyncReader(topology_.get());
+      pipeline_->AttachRealIo(async_reader_.get());
+    }
   }
+  wall_base_ms_ = wall_.NowMs();
   return Status::OK();
 }
 
@@ -344,6 +379,10 @@ RunMetrics SimEngine::AssembleMetrics(size_t n) {
                                       : query::SpillStats{};
   metrics.prefetch_hidden_ms =
       pipeline_ != nullptr ? pipeline_->prefetch_hidden_ms() : 0.0;
+  if (async_reader_ != nullptr) {
+    metrics.real_io_enabled = true;
+    metrics.real_io = async_reader_->VolumeStats();
+  }
   if (pipeline_ != nullptr && pipeline_->controller() != nullptr) {
     metrics.prefetch_final_depth = pipeline_->controller()->depth();
     metrics.prefetch_stale_ewma = pipeline_->controller()->stale_ewma();
@@ -362,6 +401,11 @@ Result<RunMetrics> SimEngine::Serve(
   if (config_.mode != ExecutionMode::kShared) {
     return Status::InvalidArgument(
         "serving requires shared execution mode");
+  }
+  if (config_.io_mode == IoMode::kReal) {
+    // Admission control and QoS latency targets are defined on the
+    // virtual clock; a wall-clock serving loop is a different experiment.
+    return Status::InvalidArgument("serving requires modeled I/O");
   }
   if (queries.empty()) {
     return Status::InvalidArgument("empty trace");

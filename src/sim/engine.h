@@ -42,9 +42,28 @@ enum class ExecutionMode { kShared, kNoShare, kIndexOnly };
 
 const char* ExecutionModeName(ExecutionMode mode);
 
+/// How I/O time is charged.
+///  * kModeled — the virtual-clock oracle: every fetch costs DiskModel
+///    arithmetic, runs are deterministic and bit-reproducible. The
+///    default, and the only mode the golden/digest tests ever see.
+///  * kReal — measured execution: prefetch bets and foreground misses are
+///    dispatched to the store's per-volume submission queues
+///    (storage::AsyncReader) and the engine clock tracks ELAPSED WALL
+///    TIME, so multi-volume overlap is measured, not modeled. Requires
+///    kShared execution with a store that supports concurrent reads
+///    (FileStore, MemStore); Run only — Serve's admission control is
+///    defined on the virtual clock.
+enum class IoMode { kModeled, kReal };
+
+const char* IoModeName(IoMode mode);
+
 /// Engine configuration.
 struct EngineConfig {
   ExecutionMode mode = ExecutionMode::kShared;
+  /// Virtual-clock oracle vs measured wall-clock execution (see IoMode).
+  /// kModeled leaves every code path and result bit-identical to builds
+  /// that predate real I/O.
+  IoMode io_mode = IoMode::kModeled;
   /// Bucket cache capacity in buckets (paper: 20). Shared mode only.
   size_t cache_capacity = 20;
   /// Lock/LRU shards of the bucket cache (clamped to [1, cache_capacity]).
@@ -222,11 +241,20 @@ class SimEngine {
   std::unique_ptr<storage::BucketCache> cache_;
   std::unique_ptr<join::JoinEvaluator> evaluator_;
   std::unique_ptr<query::WorkloadManager> manager_;
+  /// Real-I/O submission queues (io_mode == kReal only). Declared before
+  /// pipeline_ — the pipeline borrows the reader, so the reader must be
+  /// destroyed (workers joined) after it; and after topology_/the store,
+  /// which the reader's workers reference.
+  std::unique_ptr<storage::AsyncReader> async_reader_;
   /// The unified pick→prefetch→claim→evaluate→account loop (shared mode).
   std::unique_ptr<exec::BatchPipeline> pipeline_;
   std::vector<AdmittedQuery> fifo_;  // per-query modes; front = next
   size_t fifo_head_ = 0;
   TimeMs clock_ = 0.0;
+  /// Real mode: the wall time PrepareRun finished at; the engine clock is
+  /// max(clock_, wall now - this) after every step.
+  WallClock wall_;
+  TimeMs wall_base_ms_ = 0.0;
 
   std::unordered_map<query::QueryId, QueryOutcome> pending_outcomes_;
   std::vector<QueryOutcome> outcomes_;

@@ -86,6 +86,28 @@ std::string RunMetricsJson(const RunMetrics& m) {
   }
   depths += "]";
   o.Field("arm_final_depths", depths);
+
+  // Appended only in real-I/O mode: every golden/digest comparison runs
+  // modeled, so the modeled serialization must not change shape.
+  if (m.real_io_enabled) {
+    std::string vols = "[";
+    for (size_t v = 0; v < m.real_io.size(); ++v) {
+      const storage::AsyncVolumeStats& s = m.real_io[v];
+      util::JsonObject r;
+      r.Int("reads", s.reads);
+      r.Int("bytes", s.bytes);
+      r.Int("failures", s.failures);
+      r.Int("checksum_failures", s.checksum_failures);
+      r.Int("max_queue_depth", s.max_queue_depth);
+      r.Num("total_latency_ms", s.total_latency_ms);
+      r.Num("p50_latency_ms", s.p50_latency_ms);
+      r.Num("p99_latency_ms", s.p99_latency_ms);
+      if (v > 0) vols += ", ";
+      vols += r.Done();
+    }
+    vols += "]";
+    o.Field("real_io", vols);
+  }
   return o.Done();
 }
 

@@ -10,6 +10,7 @@
 
 #include "join/evaluator.h"
 #include "query/workload.h"
+#include "storage/async_io.h"
 #include "storage/bucket_cache.h"
 #include "storage/bucket_store.h"
 #include "storage/topology.h"
@@ -90,6 +91,16 @@ struct RunMetrics {
   /// keeps reporting arm 0 for single-volume compatibility; this vector is
   /// the multi-arm view.
   std::vector<size_t> arm_final_depths;
+
+  /// Real-I/O mode (EngineConfig::io_mode == kReal): measured wall-clock
+  /// telemetry from the per-volume submission queues — read/byte counts,
+  /// peak queue depth, p50/p99 completion latency, and checksum failures
+  /// per volume. In real mode makespan_ms is MEASURED wall time, not
+  /// DiskModel arithmetic, so these numbers vary run to run and are never
+  /// part of a determinism digest. real_io_enabled gates serialization:
+  /// modeled-mode JSON is byte-identical to pre-real-I/O builds.
+  bool real_io_enabled = false;
+  std::vector<storage::AsyncVolumeStats> real_io;
 
   // ------------------------------------------------------- serving mode --
   // Filled by SimEngine::Serve; zero / empty for closed-workload Run.

@@ -31,7 +31,7 @@ std::string CellConfigJson(const ScenarioCell& cell) {
   o.Str("skew", workload::SkewLevelName(cell.skew));
   o.Num("p_small", cell.p_small);
   o.Str("arrival", cell.arrivals.kind == ArrivalSpec::Kind::kTrace
-                       ? "saturated"
+                       ? (cell.arrivals.trace.empty() ? "saturated" : "trace")
                        : ArrivalKindName(cell.arrivals.kind));
   o.Num("rate_qps", cell.arrivals.rate_qps);
   o.Int("arrival_seed", cell.arrivals.seed);
@@ -56,6 +56,7 @@ std::string CellConfigJson(const ScenarioCell& cell) {
   o.Bool("check_qos", cell.check_qos);
   o.Str("monotonic_group", cell.monotonic_group);
   o.Str("not_worse_than", cell.not_worse_than);
+  o.Str("strictly_beats", cell.strictly_beats);
   return o.Done();
 }
 
@@ -80,6 +81,10 @@ Status ScenarioCell::Validate() const {
   if (not_worse_than == name) {
     return Status::InvalidArgument("cell '" + name +
                                    "': not_worse_than must name another cell");
+  }
+  if (strictly_beats == name) {
+    return Status::InvalidArgument("cell '" + name +
+                                   "': strictly_beats must name another cell");
   }
   if (cache == 0) {
     return Status::InvalidArgument("cell '" + name + "': cache must be > 0");
@@ -177,29 +182,43 @@ Result<std::vector<ScenarioCell>> BuiltinScenarioGrid(
       cell.prefetch_depth = 2;
       cells.push_back(cell);
     }
-    {
-      // All-slow uniform twin of hetero-adaptive: both arms run at the
-      // hetero cell's SLOW rate. The hetero cell's fast arm is a strict
-      // hardware upgrade over this, so its makespan must not be worse —
-      // the not_worse_than invariant below pins that down. Both cells are
-      // saturated drains: under open-loop arrivals the makespan is
-      // arrival-bound and the comparison would be vacuous.
-      ScenarioCell cell = saturated("hetero-uniform-twin", 2);
-      cell.monotonic_group.clear();  // not part of the volume sweep
-      cell.transfer_scale = 0.5;
+    // The hetero pair: one cell with an upgraded fast arm vs its all-slow
+    // uniform twin. Both run the SAME multi-wave arrival trace rather
+    // than a single saturated drain: in one pass every bucket is read
+    // exactly once, so both makespans floor at the slow arm's total read
+    // time and the comparison can only ever tie. Waves re-touch buckets
+    // across cache evictions, so per-volume T_b pricing has slow-arm
+    // re-reads to save — which is what strictly_beats pins down.
+    auto hetero_wave = [&](const std::string& cell_name) {
+      ScenarioCell cell = base(cell_name);
+      cell.arrivals.kind = ArrivalSpec::Kind::kTrace;
+      cell.arrivals.trace.clear();
+      constexpr size_t kWaves = 4;
+      constexpr double kWaveGapMs = 1'500.0;
+      const size_t per_wave = (cell.queries + kWaves - 1) / kWaves;
+      for (size_t q = 0; q < cell.queries; ++q) {
+        cell.arrivals.trace.push_back(
+            static_cast<double>(q / per_wave) * kWaveGapMs);
+      }
+      cell.volumes = 2;
       cell.placement = storage::VolumePlacement::kHash;
+      cell.prefetch_depth = 2;
       cell.adaptive_prefetch = true;
       cell.adaptive_alpha = true;
+      cell.expect_no_shed = true;  // unbounded admission: nothing may shed
+      return cell;
+    };
+    {
+      // All-slow uniform twin of hetero-adaptive: both arms run at the
+      // hetero cell's SLOW rate.
+      ScenarioCell cell = hetero_wave("hetero-uniform-twin");
+      cell.transfer_scale = 0.5;
       cells.push_back(cell);
     }
     {
-      ScenarioCell cell = saturated("hetero-adaptive", 2);
-      cell.monotonic_group.clear();
+      ScenarioCell cell = hetero_wave("hetero-adaptive");
       cell.hetero = true;
-      cell.placement = storage::VolumePlacement::kHash;
-      cell.adaptive_prefetch = true;
-      cell.adaptive_alpha = true;
-      cell.not_worse_than = "hetero-uniform-twin";
+      cell.strictly_beats = "hetero-uniform-twin";
       cells.push_back(cell);
     }
     return cells;
@@ -460,6 +479,10 @@ Status ApplyKey(ScenarioCell* cell, const std::string& key,
     cell->not_worse_than = value;
     return Status::OK();
   }
+  if (key == "strictly_beats") {  // SCENARIO_KEY(strictly_beats)
+    cell->strictly_beats = value;
+    return Status::OK();
+  }
   return Status::InvalidArgument("unknown key '" + key + "'");
 }
 
@@ -610,27 +633,37 @@ void CheckCellInvariants(ScenarioResult* result) {
   }
 }
 
-// Pairwise cross-cell bound: a cell naming another via `not_worse_than`
-// claims its makespan does not exceed the named cell's (e.g. heterogeneous
-// hardware with one upgraded arm vs its all-slow uniform twin).
-void CheckNotWorse(std::vector<ScenarioResult>* results) {
+// Pairwise cross-cell bounds: a cell naming another via `not_worse_than`
+// claims its makespan does not exceed the named cell's; `strictly_beats`
+// makes the stronger claim that it is strictly below (parity fails). The
+// strict form is how the hetero cell pins down that per-volume T_b
+// pricing actually converts the fast arm into a measurable win over the
+// all-slow uniform twin, rather than merely doing no harm.
+void CheckPairwiseBounds(std::vector<ScenarioResult>* results) {
   std::map<std::string, const ScenarioResult*> by_name;
   for (const ScenarioResult& r : *results) by_name[r.cell.name] = &r;
-  for (ScenarioResult& r : *results) {
-    if (r.cell.not_worse_than.empty()) continue;
-    auto it = by_name.find(r.cell.not_worse_than);
+  auto check = [&](ScenarioResult* r, const std::string& ref_name,
+                   const char* claim, bool strict) {
+    if (ref_name.empty()) return;
+    auto it = by_name.find(ref_name);
     if (it == by_name.end()) {
-      r.failures.push_back("not_worse_than: no cell named '" +
-                           r.cell.not_worse_than + "' in this matrix");
-      continue;
+      r->failures.push_back(std::string(claim) + ": no cell named '" +
+                            ref_name + "' in this matrix");
+      return;
     }
     const RunMetrics& ref = it->second->metrics;
-    if (r.metrics.makespan_ms > ref.makespan_ms) {
-      r.failures.push_back(
-          "not_worse_than(" + r.cell.not_worse_than + "): makespan " +
-          Fmt(r.metrics.makespan_ms) + " ms worse than " +
-          Fmt(ref.makespan_ms) + " ms");
+    bool violated = strict ? r->metrics.makespan_ms >= ref.makespan_ms
+                           : r->metrics.makespan_ms > ref.makespan_ms;
+    if (violated) {
+      r->failures.push_back(std::string(claim) + "(" + ref_name +
+                            "): makespan " + Fmt(r->metrics.makespan_ms) +
+                            " ms " + (strict ? "not strictly below" : "worse than") +
+                            " " + Fmt(ref.makespan_ms) + " ms");
     }
+  };
+  for (ScenarioResult& r : *results) {
+    check(&r, r.cell.not_worse_than, "not_worse_than", false);
+    check(&r, r.cell.strictly_beats, "strictly_beats", true);
   }
 }
 
@@ -724,7 +757,7 @@ Result<std::vector<ScenarioResult>> RunScenarioMatrix(
     results.push_back(std::move(result));
   }
   CheckMonotonicGroups(&results);
-  CheckNotWorse(&results);
+  CheckPairwiseBounds(&results);
   return results;
 }
 

@@ -117,6 +117,11 @@ struct ScenarioCell {
   /// hardware with one upgraded arm vs its all-slow uniform twin). Empty
   /// = no claim; naming a cell absent from the matrix is a failure.
   std::string not_worse_than;
+  /// Names another cell this one's makespan must be STRICTLY below.
+  /// Stronger than `not_worse_than`: parity is a failure. Used where an
+  /// upgraded arm must yield a measurable win (per-volume T_b pricing
+  /// steering work off the slow arm), not just do no harm.
+  std::string strictly_beats;
 
   Status Validate() const;
 };

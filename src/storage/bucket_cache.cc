@@ -212,6 +212,17 @@ void BucketCache::InsertMru(Shard& shard, BucketIndex index,
   EvictOverCapacity(shard);
 }
 
+void BucketCache::Put(BucketIndex index, std::shared_ptr<const Bucket> bucket) {
+  Shard& shard = ShardFor(index);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(index);
+  if (it != shard.map.end()) {
+    Touch(shard, it->second);
+    return;
+  }
+  InsertMru(shard, index, std::move(bucket));
+}
+
 Result<std::shared_ptr<const Bucket>> BucketCache::Get(BucketIndex index) {
   Shard& shard = ShardFor(index);
   std::lock_guard<std::mutex> lock(shard.mu);

@@ -169,6 +169,14 @@ class BucketCache {
   /// same bucket is outstanding.
   BucketFuture PrefetchAsync(BucketIndex index);
 
+  /// Inserts an externally-read bucket as most-recently-used (or promotes
+  /// it if already resident). The real-I/O path reads pages through
+  /// per-volume submission queues (storage/async_io.h) instead of the
+  /// cache's own prefetch machinery and hands completed buckets over here;
+  /// eviction applies immediately, no hit/miss/prefetch counter moves, and
+  /// the just-inserted entry is never its own eviction victim.
+  void Put(BucketIndex index, std::shared_ptr<const Bucket> bucket);
+
   /// Drops an unclaimed prefetch: unpins a resident bucket, or waits out
   /// and discards an in-flight read (no read stats are recorded for it).
   /// Returns the physical bytes the dropped bet had fetched (0 for a

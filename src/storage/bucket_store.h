@@ -20,6 +20,9 @@ class Arena;  // util/arena.h; stores only pass the pointer through
 
 namespace liferaft::storage {
 
+class AsyncReader;      // storage/async_io.h
+class StorageTopology;  // storage/topology.h
+
 /// Read-side I/O counters, reset-able between experiment phases.
 struct StoreStats {
   uint64_t bucket_reads = 0;
@@ -34,8 +37,9 @@ struct StoreStats {
 /// BucketCache may invoke ReadBucket from whichever thread holds the
 /// bucket's shard lock, so an implementation MUST make ReadBucket safe to
 /// call concurrently with itself and with ReadBucketForPrefetch (MemStore
-/// serves immutable materialized buckets; FileStore serializes page I/O
-/// on an internal mutex). ReadBucketForPrefetch exists for the prefetch
+/// serves immutable materialized buckets; FileStore reads pages with
+/// positional pread(2) calls that share no mutable state).
+/// ReadBucketForPrefetch exists for the prefetch
 /// pipeline: a cache worker calls it concurrently with other reads, and
 /// it never touches the stats counters — the owner records the I/O at
 /// claim time via RecordPrefetchedRead, keeping accounting deterministic.
@@ -112,6 +116,16 @@ class BucketStore {
     (void)scratch;
     return ReadBucketForPrefetch(index);
   }
+
+  /// Opens an asynchronous read session: per-volume submission queues and
+  /// I/O worker threads delivering completions to the caller's Poll()/
+  /// Wait() (storage/async_io.h). The default is the queued reader over
+  /// ReadBucketForPrefetchScratch — it requires SupportsConcurrentReads().
+  /// Override to substitute a fault-injection or device-specific backend.
+  /// `topology` (nullable = one queue) and this store must outlive the
+  /// returned reader.
+  virtual std::unique_ptr<AsyncReader> NewAsyncReader(
+      const StorageTopology* topology);
 
   /// Deferred accounting for a bucket obtained via ReadBucketForPrefetch;
   /// call exactly once per prefetched read, on the owner thread.

@@ -1,9 +1,14 @@
 #include "storage/file_store.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 #include "geom/spherical.h"
+#include "storage/async_io.h"
 #include "storage/columnar.h"
 #include "util/arena.h"
 #include "util/coding.h"
@@ -18,6 +23,10 @@ constexpr size_t kRecordBytes = 8 + 8 + 8 + 8 + 4 + 4;
 constexpr size_t kBucketHeaderBytes = 8 + 8 + 4;
 constexpr size_t kFileHeaderBytes = 8 + 4 + 8;
 constexpr size_t kFooterBytes = 8 + 4 + 8;
+
+/// O_DIRECT alignment for offset, length, and buffer address. 4096 covers
+/// every mainstream logical block size.
+constexpr uint64_t kDirectAlign = 4096;
 
 void AppendRecord(std::string* out, const CatalogObject& o) {
   PutFixed64(out, o.object_id);
@@ -40,62 +49,156 @@ CatalogObject ParseRecord(const char* p) {
   return o;
 }
 
-Status ReadExact(std::FILE* f, uint64_t offset, void* buf, size_t len) {
-  if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0) {
-    return Status::IOError("seek failed: " + std::string(strerror(errno)));
-  }
-  if (std::fread(buf, 1, len, f) != len) {
-    return Status::IOError("short read");
+/// Positional read of exactly [offset, offset+len) — a pread(2) loop, so
+/// concurrent readers of one descriptor share no file position and no
+/// lock.
+Status PreadExact(int fd, uint64_t offset, void* buf, size_t len) {
+  char* dst = static_cast<char*>(buf);
+  size_t done = 0;
+  while (done < len) {
+    ssize_t n = ::pread(fd, dst + done, len - done,
+                        static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pread failed: " + std::string(strerror(errno)));
+    }
+    if (n == 0) return Status::IOError("short read");
+    done += static_cast<size_t>(n);
   }
   return Status::OK();
 }
 
+/// Frees posix_memalign memory (operator delete would be UB).
+struct FreeDeleter {
+  void operator()(void* p) const { std::free(p); }
+};
+
 }  // namespace
 
-FileStore::FileStore(std::FILE* file, std::string path, uint32_t version,
+FileStore::FileStore(int fd, bool direct_active, FileStoreOptions options,
+                     std::string path, uint32_t version,
                      std::vector<uint64_t> offsets,
                      std::vector<uint64_t> page_sizes,
                      std::vector<uint32_t> counts,
                      std::shared_ptr<const BucketMap> map)
     : path_(std::move(path)),
+      direct_io_active_(direct_active),
+      options_(options),
       version_(version),
       offsets_(std::move(offsets)),
       page_sizes_(std::move(page_sizes)),
       counts_(std::move(counts)),
       map_(std::move(map)) {
-  auto lane = std::make_unique<IoLane>();
-  lane->file = file;
-  lanes_.push_back(std::move(lane));
+  fds_.push_back(fd);
 }
 
 FileStore::~FileStore() {
-  for (auto& lane : lanes_) {
-    if (lane->file != nullptr) std::fclose(lane->file);
+  for (int fd : fds_) {
+    if (fd >= 0) ::close(fd);
   }
 }
 
-Status FileStore::AttachTopology(const StorageTopology* topology) {
-  // Keep lane 0 (the Open handle), drop any earlier topology's extras.
-  for (size_t i = 1; i < lanes_.size(); ++i) {
-    if (lanes_[i]->file != nullptr) std::fclose(lanes_[i]->file);
+Status FileStore::OpenReadFd(int* fd) const {
+  int flags = O_RDONLY;
+#ifdef O_CLOEXEC
+  flags |= O_CLOEXEC;
+#endif
+  *fd = -1;
+#ifdef O_DIRECT
+  if (options_.use_direct_io && direct_io_active_) {
+    *fd = ::open(path_.c_str(), flags | O_DIRECT);
   }
-  lanes_.resize(1);
+#endif
+  if (*fd < 0) {
+    *fd = ::open(path_.c_str(), flags);
+  }
+  if (*fd < 0) {
+    return Status::IOError("cannot open " + path_ + ": " + strerror(errno));
+  }
+#ifdef POSIX_FADV_RANDOM
+  if (options_.advise_random) {
+    // Advisory only: a failure (e.g. tmpfs) costs nothing.
+    (void)::posix_fadvise(*fd, 0, 0, POSIX_FADV_RANDOM);
+  }
+#endif
+  return Status::OK();
+}
+
+Status FileStore::ReadSpan(int fd, uint64_t offset, char* dst,
+                           size_t len) const {
+  if (!direct_io_active_) return PreadExact(fd, offset, dst, len);
+  // O_DIRECT: read the aligned window covering [offset, offset+len) into
+  // an aligned bounce buffer, then copy out the requested span. The
+  // window's tail may run past EOF (file sizes are not block-aligned), so
+  // accept a short read as long as it covers the span.
+  const uint64_t lo = offset & ~(kDirectAlign - 1);
+  const uint64_t hi =
+      (offset + len + kDirectAlign - 1) & ~(kDirectAlign - 1);
+  const size_t span = static_cast<size_t>(hi - lo);
+  // Per-thread grow-only scratch: each submission-queue worker (and the
+  // owner's foreground path) reuses one aligned bounce buffer instead of
+  // paying a multi-megabyte posix_memalign + page-fault churn on every
+  // read. Thread-local because ReadSpan runs concurrently from every
+  // volume's worker.
+  thread_local std::unique_ptr<void, FreeDeleter> bounce;
+  thread_local size_t bounce_cap = 0;
+  if (bounce_cap < span) {
+    void* raw = nullptr;
+    if (posix_memalign(&raw, kDirectAlign, span) != 0) {
+      return Status::IOError("posix_memalign failed for direct read");
+    }
+    bounce.reset(raw);
+    bounce_cap = span;
+  }
+  char* p = static_cast<char*>(bounce.get());
+  size_t done = 0;
+  const size_t need = static_cast<size_t>(offset - lo) + len;
+  while (done < need) {
+    ssize_t n =
+        ::pread(fd, p + done, span - done, static_cast<off_t>(lo + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pread(O_DIRECT) failed: " +
+                             std::string(strerror(errno)));
+    }
+    if (n == 0) return Status::IOError("short read");
+    done += static_cast<size_t>(n);
+  }
+  std::memcpy(dst, p + (offset - lo), len);
+  return Status::OK();
+}
+
+Status FileStore::AttachTopology(const StorageTopology* topology) {
+  // Keep fd 0 (the Open descriptor), drop any earlier topology's extras.
+  for (size_t i = 1; i < fds_.size(); ++i) {
+    if (fds_[i] >= 0) ::close(fds_[i]);
+  }
+  fds_.resize(1);
   topology_ = nullptr;
   if (topology == nullptr || topology->num_volumes() == 1) return Status::OK();
-  // One independent handle per additional volume: separate file positions
-  // and stdio buffers, so per-volume reads never share mutable state.
+  // One independent descriptor per additional volume: separate kernel file
+  // descriptions, so per-volume readahead/fadvise state never couples the
+  // arms. (pread needs no per-volume descriptor for correctness — this is
+  // about keeping each arm's kernel I/O state its own.)
   for (size_t v = 1; v < topology->num_volumes(); ++v) {
-    std::FILE* f = std::fopen(path_.c_str(), "rb");
-    if (f == nullptr) {
-      return Status::IOError("cannot reopen " + path_ + " for volume " +
-                             std::to_string(v) + ": " + strerror(errno));
+    int fd = -1;
+    Status st = OpenReadFd(&fd);
+    if (!st.ok()) {
+      return Status::IOError("volume " + std::to_string(v) + ": " +
+                             st.message());
     }
-    auto lane = std::make_unique<IoLane>();
-    lane->file = f;
-    lanes_.push_back(std::move(lane));
+    fds_.push_back(fd);
   }
   topology_ = topology;
   return Status::OK();
+}
+
+std::unique_ptr<AsyncReader> FileStore::NewAsyncReader(
+    const StorageTopology* topology) {
+  // Default to the attached topology so the submission queues line up
+  // with the descriptors AttachTopology opened.
+  return MakeQueuedAsyncReader(this,
+                               topology != nullptr ? topology : topology_);
 }
 
 Status FileStore::Create(const std::string& path,
@@ -108,7 +211,17 @@ Status FileStore::Create(const std::string& path,
   if (f == nullptr) {
     return Status::IOError("cannot create " + path + ": " + strerror(errno));
   }
+  // Stream in bounded chunks so a multi-GB catalog never buffers whole in
+  // RAM; `written` tracks flushed bytes so offsets stay absolute.
+  uint64_t written = 0;
   std::string out;
+  auto flush = [&]() -> bool {
+    if (out.empty()) return true;
+    if (std::fwrite(out.data(), 1, out.size(), f) != out.size()) return false;
+    written += out.size();
+    out.clear();
+    return true;
+  };
   out.append(kHeaderMagic, sizeof(kHeaderMagic));
   PutFixed32(&out, static_cast<uint32_t>(format));
   PutFixed64(&out, buckets.size());
@@ -116,7 +229,7 @@ Status FileStore::Create(const std::string& path,
   std::vector<uint64_t> offsets;
   offsets.reserve(buckets.size());
   for (const Bucket& b : buckets) {
-    offsets.push_back(out.size());
+    offsets.push_back(written + out.size());
     if (format == BucketFormat::kColumnarV2) {
       EncodeColumnarPage(b, &out);
     } else {
@@ -129,9 +242,13 @@ Status FileStore::Create(const std::string& path,
       out += payload;
       PutFixed32(&out, crc);
     }
+    if (out.size() >= (8u << 20) && !flush()) {
+      std::fclose(f);
+      return Status::IOError("write failed for " + path);
+    }
   }
 
-  uint64_t index_offset = out.size();
+  uint64_t index_offset = written + out.size();
   std::string index;
   for (uint64_t off : offsets) PutFixed64(&index, off);
   uint32_t index_crc = Crc32(index.data(), index.size());
@@ -140,28 +257,35 @@ Status FileStore::Create(const std::string& path,
   PutFixed32(&out, index_crc);
   out.append(kFooterMagic, sizeof(kFooterMagic));
 
-  size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  bool write_ok = flush();
   bool flush_ok = (std::fflush(f) == 0);
+  // fsync before close: Create's contract is a durable catalog, and
+  // leaving megabytes of dirty pages behind also makes a subsequent
+  // O_DIRECT reader pay the writeback synchronously, one read at a time.
+  bool sync_ok = (::fsync(::fileno(f)) == 0);
   std::fclose(f);
-  if (written != out.size() || !flush_ok) {
+  if (!write_ok || !flush_ok || !sync_ok) {
     return Status::IOError("write failed for " + path);
   }
   return Status::OK();
 }
 
-Result<std::unique_ptr<FileStore>> FileStore::Open(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) {
+Result<std::unique_ptr<FileStore>> FileStore::Open(
+    const std::string& path, const FileStoreOptions& options) {
+  // Metadata (header, footer, index, page headers) always reads through a
+  // buffered descriptor; only bucket-page descriptors honor O_DIRECT.
+  int meta_fd = ::open(path.c_str(), O_RDONLY);
+  if (meta_fd < 0) {
     return Status::IOError("cannot open " + path + ": " + strerror(errno));
   }
   auto fail = [&](Status s) -> Result<std::unique_ptr<FileStore>> {
-    std::fclose(f);
+    ::close(meta_fd);
     return s;
   };
 
   // Header.
   char header[kFileHeaderBytes];
-  Status st = ReadExact(f, 0, header, sizeof(header));
+  Status st = PreadExact(meta_fd, 0, header, sizeof(header));
   if (!st.ok()) return fail(st);
   if (std::memcmp(header, kHeaderMagic, 8) != 0) {
     return fail(Status::Corruption("bad header magic in " + path));
@@ -176,14 +300,14 @@ Result<std::unique_ptr<FileStore>> FileStore::Open(const std::string& path) {
   if (num_buckets == 0) return fail(Status::Corruption("zero buckets"));
 
   // Footer.
-  if (std::fseek(f, 0, SEEK_END) != 0) return fail(Status::IOError("seek"));
-  long file_size = std::ftell(f);
-  if (file_size < static_cast<long>(sizeof(header) + kFooterBytes)) {
+  off_t end = ::lseek(meta_fd, 0, SEEK_END);
+  if (end < 0) return fail(Status::IOError("seek"));
+  const uint64_t file_size = static_cast<uint64_t>(end);
+  if (file_size < sizeof(header) + kFooterBytes) {
     return fail(Status::Corruption("file too small"));
   }
   char footer[kFooterBytes];
-  st = ReadExact(f, static_cast<uint64_t>(file_size) - kFooterBytes, footer,
-                 kFooterBytes);
+  st = PreadExact(meta_fd, file_size - kFooterBytes, footer, kFooterBytes);
   if (!st.ok()) return fail(st);
   if (std::memcmp(footer + 12, kFooterMagic, 8) != 0) {
     return fail(Status::Corruption("bad footer magic in " + path));
@@ -193,7 +317,7 @@ Result<std::unique_ptr<FileStore>> FileStore::Open(const std::string& path) {
 
   // Offset index.
   std::string index(num_buckets * 8, '\0');
-  st = ReadExact(f, index_offset, index.data(), index.size());
+  st = PreadExact(meta_fd, index_offset, index.data(), index.size());
   if (!st.ok()) return fail(st);
   if (Crc32(index.data(), index.size()) != index_crc) {
     return fail(Status::Corruption("index checksum mismatch in " + path));
@@ -207,12 +331,12 @@ Result<std::unique_ptr<FileStore>> FileStore::Open(const std::string& path) {
   // violation means a corrupt index that happened to checksum clean.
   std::vector<uint64_t> page_sizes(num_buckets);
   for (uint64_t i = 0; i < num_buckets; ++i) {
-    uint64_t end = i + 1 < num_buckets ? offsets[i + 1] : index_offset;
-    if (offsets[i] < kFileHeaderBytes || end <= offsets[i] ||
-        end > static_cast<uint64_t>(file_size)) {
+    uint64_t page_end = i + 1 < num_buckets ? offsets[i + 1] : index_offset;
+    if (offsets[i] < kFileHeaderBytes || page_end <= offsets[i] ||
+        page_end > file_size) {
       return fail(Status::Corruption("non-monotone page offsets in " + path));
     }
-    page_sizes[i] = end - offsets[i];
+    page_sizes[i] = page_end - offsets[i];
   }
 
   // Reconstruct the bucket map and cardinality metadata from the page
@@ -228,7 +352,7 @@ Result<std::unique_ptr<FileStore>> FileStore::Open(const std::string& path) {
       return fail(Status::Corruption("bucket " + std::to_string(i) +
                                      " page smaller than its header"));
     }
-    st = ReadExact(f, offsets[i], page_header, page_header_bytes);
+    st = PreadExact(meta_fd, offsets[i], page_header, page_header_bytes);
     if (!st.ok()) return fail(st);
     if (columnar) {
       bounds[i] = GetFixed64(page_header + ColumnarPageLayout::kRangeLoOffset);
@@ -240,9 +364,33 @@ Result<std::unique_ptr<FileStore>> FileStore::Open(const std::string& path) {
   }
   auto map = std::make_shared<const BucketMap>(std::move(bounds));
 
-  return std::unique_ptr<FileStore>(new FileStore(
-      f, path, version, std::move(offsets), std::move(page_sizes),
-      std::move(counts), std::move(map)));
+  // Probe O_DIRECT support once: tmpfs (and some network filesystems)
+  // reject the flag, in which case reads silently fall back to buffered
+  // I/O and direct_io_active() reports false.
+  bool direct_active = false;
+#ifdef O_DIRECT
+  if (options.use_direct_io) {
+    int probe = ::open(path.c_str(), O_RDONLY | O_DIRECT);
+    if (probe >= 0) {
+      direct_active = true;
+      ::close(probe);
+    }
+  }
+#endif
+
+  auto store = std::unique_ptr<FileStore>(new FileStore(
+      meta_fd, direct_active, options, path, version, std::move(offsets),
+      std::move(page_sizes), std::move(counts), std::move(map)));
+  // Re-open descriptor 0 per the options (O_DIRECT / fadvise): meta_fd was
+  // deliberately plain-buffered for the metadata pass above.
+  if (direct_active || options.advise_random) {
+    int fd = -1;
+    Status open_st = store->OpenReadFd(&fd);
+    if (!open_st.ok()) return open_st;
+    ::close(store->fds_[0]);
+    store->fds_[0] = fd;
+  }
+  return store;
 }
 
 Result<std::shared_ptr<const Bucket>> FileStore::ReadBucket(
@@ -264,13 +412,13 @@ Result<std::shared_ptr<const Bucket>> FileStore::ReadBucketForPrefetchScratch(
 }
 
 Result<std::shared_ptr<const Bucket>> FileStore::ReadColumnarPage(
-    BucketIndex index, IoLane& lane) {
+    BucketIndex index, int fd) {
   const uint64_t page_size = page_sizes_[index];
   // operator new[] aligns to max_align_t, which is what makes the in-place
   // f64 column spans legal; the pad inside the page does the rest.
   std::unique_ptr<char[]> buf(new char[page_size]);
   LIFERAFT_RETURN_IF_ERROR(
-      ReadExact(lane.file, offsets_[index], buf.get(), page_size));
+      ReadSpan(fd, offsets_[index], buf.get(), page_size));
   auto page = ColumnarPage::Parse(std::move(buf), page_size);
   if (!page.ok()) {
     return Status::Corruption("bucket " + std::to_string(index) + ": " +
@@ -284,37 +432,41 @@ Result<std::shared_ptr<const Bucket>> FileStore::ReadBucketPage(
   if (index >= offsets_.size()) {
     return Status::OutOfRange("bucket index out of range");
   }
-  IoLane& lane = LaneFor(index);
-  std::lock_guard<std::mutex> lock(lane.mu);
+  const int fd = FdFor(index);
   if (version_ == static_cast<uint32_t>(BucketFormat::kColumnarV2)) {
-    return ReadColumnarPage(index, lane);
+    return ReadColumnarPage(index, fd);
   }
-  char page_header[kBucketHeaderBytes];
-  LIFERAFT_RETURN_IF_ERROR(
-      ReadExact(lane.file, offsets_[index], page_header, sizeof(page_header)));
-  htm::IdRange range{GetFixed64(page_header), GetFixed64(page_header + 8)};
-  uint32_t count = GetFixed32(page_header + 16);
-
+  // One positional read of the whole page: payload followed by its crc32.
+  const uint64_t page_size = page_sizes_[index];
+  if (page_size < kBucketHeaderBytes + 4) {
+    return Status::Corruption("bucket " + std::to_string(index) +
+                              " page smaller than its header");
+  }
   // The page buffer dies inside this call, so a caller-scoped bump arena
   // (per-query NoShare worker reads) can back it; deallocation is then a
   // no-op and the bytes are reclaimed wholesale at the caller's next
   // window boundary (~40 bytes/object held per read until then). Null
   // arena = plain heap, byte-identical decode either way.
-  util::ArenaVector<char> payload(kBucketHeaderBytes + count * kRecordBytes,
-                                  '\0', util::ArenaAllocator<char>(scratch));
-  LIFERAFT_RETURN_IF_ERROR(
-      ReadExact(lane.file, offsets_[index], payload.data(), payload.size()));
-  char crc_buf[4];
-  LIFERAFT_RETURN_IF_ERROR(ReadExact(
-      lane.file, offsets_[index] + payload.size(), crc_buf, sizeof(crc_buf)));
-  if (Crc32(payload.data(), payload.size()) != GetFixed32(crc_buf)) {
+  util::ArenaVector<char> page(page_size, '\0',
+                               util::ArenaAllocator<char>(scratch));
+  LIFERAFT_RETURN_IF_ERROR(ReadSpan(fd, offsets_[index], page.data(),
+                                    page.size()));
+  const size_t payload_size = page_size - 4;
+  htm::IdRange range{GetFixed64(page.data()), GetFixed64(page.data() + 8)};
+  uint32_t count = GetFixed32(page.data() + 16);
+  if (payload_size != kBucketHeaderBytes + count * kRecordBytes) {
+    return Status::Corruption("bucket " + std::to_string(index) +
+                              " page size does not match its record count");
+  }
+  if (Crc32(page.data(), payload_size) !=
+      GetFixed32(page.data() + payload_size)) {
     return Status::Corruption("bucket " + std::to_string(index) +
                               " checksum mismatch");
   }
 
   std::vector<CatalogObject> objects;
   objects.reserve(count);
-  const char* p = payload.data() + kBucketHeaderBytes;
+  const char* p = page.data() + kBucketHeaderBytes;
   for (uint32_t i = 0; i < count; ++i, p += kRecordBytes) {
     objects.push_back(ParseRecord(p));
   }

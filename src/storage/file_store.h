@@ -28,9 +28,7 @@
 #ifndef LIFERAFT_STORAGE_FILE_STORE_H_
 #define LIFERAFT_STORAGE_FILE_STORE_H_
 
-#include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -44,6 +42,20 @@ namespace liferaft::storage {
 enum class BucketFormat : uint32_t {
   kRowV1 = 1,
   kColumnarV2 = 2,
+};
+
+/// Read-side tuning knobs, fixed at Open time.
+struct FileStoreOptions {
+  /// Open read descriptors with O_DIRECT so page reads bypass the kernel
+  /// page cache and genuinely block in the device queue — the honest
+  /// setting for wall-clock I/O measurement. Falls back to buffered I/O
+  /// (observable via direct_io_active()) on filesystems that reject the
+  /// flag, e.g. tmpfs.
+  bool use_direct_io = false;
+  /// posix_fadvise(POSIX_FADV_RANDOM) on every read descriptor: bucket
+  /// page access under the scheduler is random, so kernel readahead only
+  /// pollutes the page cache.
+  bool advise_random = false;
 };
 
 /// Bucket store reading from the packed-file format above. Bucket pages are
@@ -65,19 +77,24 @@ class FileStore : public BucketStore {
 
   /// Opens an existing store, validating magic, version (1 or 2), and
   /// index checksum.
-  static Result<std::unique_ptr<FileStore>> Open(const std::string& path);
+  static Result<std::unique_ptr<FileStore>> Open(
+      const std::string& path, const FileStoreOptions& options = {});
 
   /// Routes page I/O per volume (the multi-arm topology): each volume gets
-  /// its own FILE handle and I/O mutex, so reads on different volumes
-  /// proceed concurrently — physically independent arms — while reads on
-  /// one volume still serialize, mirroring the one-arm-per-volume cost
-  /// model. Call during setup, before any concurrent reads; the topology
-  /// is borrowed and must outlive the store (pass null to restore the
-  /// single shared handle).
+  /// its own read descriptor, so per-volume kernel state (file description,
+  /// fadvise hints, O_DIRECT) stays independent — physically independent
+  /// arms. Every read is a positional pread(2), so reads never serialize,
+  /// neither across volumes nor within one; the one-arm-per-volume cost is
+  /// the async submission queue's job (storage/async_io.h), not a lock's.
+  /// Call during setup; the topology is borrowed and must outlive the
+  /// store (pass null to restore the single shared descriptor).
   Status AttachTopology(const StorageTopology* topology);
 
   /// The page format this store was written with.
   BucketFormat format() const { return static_cast<BucketFormat>(version_); }
+
+  /// True when O_DIRECT was requested AND the filesystem accepted it.
+  bool direct_io_active() const { return direct_io_active_; }
 
   size_t num_buckets() const override { return offsets_.size(); }
   const BucketMap& bucket_map() const override { return *map_; }
@@ -90,10 +107,10 @@ class FileStore : public BucketStore {
     return index < page_sizes_.size() ? page_sizes_[index] : 0;
   }
   Result<std::shared_ptr<const Bucket>> ReadBucket(BucketIndex index) override;
-  /// Page reads share one FILE handle per volume, so prefetch reads
-  /// serialize against owner reads of the same volume on that volume's
-  /// mutex (still overlapping with the owner's join compute, which is the
-  /// point of the pipeline) and run fully concurrently across volumes.
+  /// Every page read is one positional pread(2) on the bucket's volume
+  /// descriptor: no file-position state, no I/O mutex, so prefetch reads,
+  /// owner reads, and async-queue reads all proceed fully concurrently —
+  /// across volumes and within one.
   bool SupportsConcurrentReads() const override { return true; }
   Result<std::shared_ptr<const Bucket>> ReadBucketForPrefetch(
       BucketIndex index) override;
@@ -101,42 +118,52 @@ class FileStore : public BucketStore {
   Result<std::shared_ptr<const Bucket>> ReadBucketForPrefetchScratch(
       BucketIndex index, util::Arena* scratch) override;
 
- private:
-  /// One volume's I/O lane: a dedicated file handle plus the mutex its
-  /// page reads serialize on.
-  struct IoLane {
-    std::FILE* file = nullptr;
-    std::mutex mu;
-  };
+  /// Per-volume async submission queues over this store's descriptors
+  /// (storage/async_io.h). `topology` may be null (single queue).
+  std::unique_ptr<AsyncReader> NewAsyncReader(
+      const StorageTopology* topology) override;
 
-  FileStore(std::FILE* file, std::string path, uint32_t version,
-            std::vector<uint64_t> offsets, std::vector<uint64_t> page_sizes,
-            std::vector<uint32_t> counts,
+ private:
+  FileStore(int fd, bool direct_active, FileStoreOptions options,
+            std::string path, uint32_t version, std::vector<uint64_t> offsets,
+            std::vector<uint64_t> page_sizes, std::vector<uint32_t> counts,
             std::shared_ptr<const BucketMap> map);
 
-  /// The raw seek+read+checksum+decode of one bucket page, serialized on
-  /// its volume's lane mutex; records no stats. `scratch`, when non-null,
-  /// backs the transient v1 page buffer (v2 pages live on in the returned
-  /// bucket, so they always own their bytes on the heap).
+  /// Opens one read descriptor per this store's options (O_DIRECT with
+  /// buffered fallback, optional fadvise). On success `*fd` is owned by
+  /// the caller.
+  Status OpenReadFd(int* fd) const;
+
+  /// Positional read of [offset, offset+len) on `fd`, honoring
+  /// direct_io_active_ (aligned bounce-buffer window read under O_DIRECT,
+  /// plain pread loop otherwise).
+  Status ReadSpan(int fd, uint64_t offset, char* dst, size_t len) const;
+
+  /// The raw read+checksum+decode of one bucket page — one ReadSpan of the
+  /// whole page on the bucket's volume descriptor; records no stats.
+  /// `scratch`, when non-null, backs the transient v1 page buffer (v2
+  /// pages live on in the returned bucket, so they always own their bytes
+  /// on the heap).
   Result<std::shared_ptr<const Bucket>> ReadBucketPage(BucketIndex index,
                                                        util::Arena* scratch);
 
-  /// v2: one aligned whole-page read handed to ColumnarPage::Parse. Any
+  /// v2: one whole-page read handed to ColumnarPage::Parse. Any
   /// corruption — truncation, checksum, bad columns — comes back as a
   /// clean Status naming the bucket.
   Result<std::shared_ptr<const Bucket>> ReadColumnarPage(BucketIndex index,
-                                                         IoLane& lane);
+                                                         int fd);
 
-  IoLane& LaneFor(BucketIndex index) {
-    return *lanes_[topology_ != nullptr
-                       ? topology_->VolumeOf(index) % lanes_.size()
-                       : 0];
+  int FdFor(BucketIndex index) const {
+    return fds_[topology_ != nullptr ? topology_->VolumeOf(index) % fds_.size()
+                                     : 0];
   }
 
   std::string path_;
-  /// lanes_[0] holds the handle Open created; AttachTopology adds one lane
+  /// fds_[0] holds the descriptor Open created; AttachTopology adds one
   /// per additional volume.
-  std::vector<std::unique_ptr<IoLane>> lanes_;
+  std::vector<int> fds_;
+  bool direct_io_active_ = false;
+  FileStoreOptions options_;
   const StorageTopology* topology_ = nullptr;
   uint32_t version_ = 1;
   std::vector<uint64_t> offsets_;

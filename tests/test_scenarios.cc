@@ -55,6 +55,7 @@ monotonic_group = sweep
 
 [second]
 arrival = saturated
+strictly_beats = first
 )");
   ASSERT_TRUE(cells.ok()) << cells.status().ToString();
   ASSERT_EQ(cells->size(), 2u);
@@ -92,6 +93,7 @@ arrival = saturated
   const ScenarioCell& s = (*cells)[1];
   EXPECT_EQ(s.arrivals.kind, ArrivalSpec::Kind::kTrace);
   EXPECT_TRUE(s.arrivals.trace.empty());
+  EXPECT_EQ(s.strictly_beats, "first");
 }
 
 TEST(ScenarioSpecTest, RejectsMalformedSpecs) {
@@ -132,7 +134,8 @@ TEST(ScenarioGridTest, SmokeGridShape) {
   EXPECT_GE(cells->size(), 6u);
   // Every axis of the matrix appears somewhere in the smoke subset.
   bool has_multi_volume = false, has_qos = false, has_spill = false,
-       has_hetero = false, has_monotonic = false, has_no_shed = false;
+       has_hetero = false, has_monotonic = false, has_no_shed = false,
+       has_strict = false;
   for (const ScenarioCell& cell : *cells) {
     EXPECT_TRUE(cell.Validate().ok()) << cell.name;
     has_multi_volume |= cell.volumes > 1;
@@ -141,6 +144,7 @@ TEST(ScenarioGridTest, SmokeGridShape) {
     has_hetero |= cell.hetero;
     has_monotonic |= !cell.monotonic_group.empty();
     has_no_shed |= cell.expect_no_shed;
+    has_strict |= !cell.strictly_beats.empty();
   }
   EXPECT_TRUE(has_multi_volume);
   EXPECT_TRUE(has_qos);
@@ -148,6 +152,7 @@ TEST(ScenarioGridTest, SmokeGridShape) {
   EXPECT_TRUE(has_hetero);
   EXPECT_TRUE(has_monotonic);
   EXPECT_TRUE(has_no_shed);
+  EXPECT_TRUE(has_strict);
 }
 
 TEST(ScenarioGridTest, FullGridIsLargerAndValid) {

@@ -3,12 +3,14 @@
 //
 //   liferaft_tool gen-catalog  --objects N [--per-bucket K] [--seed S]
 //                              [--format row|columnar] --out F
-//   liferaft_tool inspect      --store F
+//   liferaft_tool inspect      --store F [--verify-checksums] [--volumes N]
 //   liferaft_tool verify       --store F
 //   liferaft_tool gen-trace    --queries N [--seed S] [--preset long] --out F
 //   liferaft_tool trace-stats  --trace F --store F
 //   liferaft_tool replay       --trace F --store F [--alpha A] [--rate R]
 //                              [--cache C] [--mode shared|noshare|indexonly]
+//                              [--io modeled|real] [--volumes N]
+//                              [--prefetch D] [--direct]
 //
 // All subcommands print human-readable reports to stdout and return a
 // non-zero exit code on failure.
@@ -23,9 +25,11 @@
 #include "sched/liferaft_scheduler.h"
 #include "sim/arrivals.h"
 #include "sim/engine.h"
+#include "storage/async_io.h"
 #include "storage/catalog.h"
 #include "storage/file_store.h"
 #include "storage/partitioner.h"
+#include "storage/topology.h"
 #include "util/random.h"
 #include "util/table.h"
 #include "workload/catalog_gen.h"
@@ -48,12 +52,13 @@ class Flags {
         return;
       }
       std::string key = arg.substr(2);
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "flag --%s needs a value\n", key.c_str());
-        ok_ = false;
-        return;
+      // A flag followed by another flag (or nothing) is boolean true:
+      // `inspect --store F --verify-checksums`.
+      if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
+        values_[key] = "1";
+      } else {
+        values_[key] = argv[++i];
       }
-      values_[key] = argv[++i];
     }
   }
 
@@ -70,6 +75,12 @@ class Flags {
     return it == values_.end() ? fallback
                                : std::strtoull(it->second.c_str(), nullptr,
                                                10);
+  }
+
+  bool GetBool(const std::string& key) const {
+    auto it = values_.find(key);
+    return it != values_.end() && it->second != "0" &&
+           it->second != "false";
   }
 
   double GetDouble(const std::string& key, double fallback) const {
@@ -177,6 +188,41 @@ int Inspect(const Flags& flags) {
               static_cast<unsigned long long>(first.lo),
               static_cast<unsigned long long>(first.hi),
               htm::IdToName(htm::AncestorAt(first.lo, 2)).c_str());
+  if (!flags.GetBool("verify-checksums")) return 0;
+
+  // Full checksum sweep through the per-volume submission queues (the same
+  // read path real-I/O execution uses), reporting corruption per volume.
+  storage::StorageTopologyConfig topo_config;
+  topo_config.num_volumes =
+      std::max<uint64_t>(1, flags.GetUint("volumes", 1));
+  auto topology = storage::StorageTopology::Create(
+      (*store)->num_buckets(), topo_config, storage::DiskModelParams{});
+  if (!topology.ok()) return Fail(topology.status());
+  auto reader = (*store)->NewAsyncReader(&*topology);
+  size_t corrupt = 0;
+  for (storage::BucketIndex i = 0; i < (*store)->num_buckets(); ++i) {
+    reader->SubmitRead(i, [&](const storage::AsyncReadCompletion& c) {
+      if (c.status.ok()) return;
+      ++corrupt;
+      std::printf("bucket %u (volume %u): %s\n", c.index, c.volume,
+                  c.status.ToString().c_str());
+    });
+  }
+  reader->Drain();
+  std::printf("checksums:    %zu buckets over %zu volume(s)\n",
+              (*store)->num_buckets(), topology->num_volumes());
+  std::vector<storage::AsyncVolumeStats> stats = reader->VolumeStats();
+  for (size_t v = 0; v < stats.size(); ++v) {
+    std::printf("  volume %zu:   %llu reads, %llu failed (%llu checksum)\n",
+                v, static_cast<unsigned long long>(stats[v].reads),
+                static_cast<unsigned long long>(stats[v].failures),
+                static_cast<unsigned long long>(stats[v].checksum_failures));
+  }
+  if (corrupt != 0) {
+    std::printf("FAILED: %zu corrupt buckets\n", corrupt);
+    return 1;
+  }
+  std::printf("OK: all checksums verified\n");
   return 0;
 }
 
@@ -243,9 +289,36 @@ int Replay(const Flags& flags) {
   if (!flags.Require({"trace", "store"})) return 2;
   auto trace = workload::LoadTrace(flags.GetString("trace"));
   if (!trace.ok()) return Fail(trace.status());
-  auto catalog = LoadCatalog(flags.GetString("store"),
-                             flags.GetUint("per-bucket", 0));
-  if (!catalog.ok()) return Fail(catalog.status());
+
+  const std::string io = flags.GetString("io", "modeled");
+  if (io != "modeled" && io != "real") {
+    std::fprintf(stderr, "unknown --io %s (modeled|real)\n", io.c_str());
+    return 2;
+  }
+  const bool real_io = io == "real";
+
+  std::unique_ptr<storage::Catalog> catalog;
+  bool direct_active = false;
+  if (real_io) {
+    // Real mode must execute against the file itself: LoadCatalog's
+    // read-everything-into-memory path would turn every "read" into a
+    // memcpy and the wall-clock telemetry into fiction.
+    storage::FileStoreOptions options;
+    options.use_direct_io = flags.GetBool("direct");
+    options.advise_random = true;
+    auto store =
+        storage::FileStore::Open(flags.GetString("store"), options);
+    if (!store.ok()) return Fail(store.status());
+    direct_active = (*store)->direct_io_active();
+    auto wrapped = storage::Catalog::FromStore(std::move(*store));
+    if (!wrapped.ok()) return Fail(wrapped.status());
+    catalog = std::move(*wrapped);
+  } else {
+    auto loaded = LoadCatalog(flags.GetString("store"),
+                              flags.GetUint("per-bucket", 0));
+    if (!loaded.ok()) return Fail(loaded.status());
+    catalog = std::move(*loaded);
+  }
 
   double rate = flags.GetDouble("rate", 0.5);
   Rng rng(flags.GetUint("seed", 1));
@@ -253,13 +326,20 @@ int Replay(const Flags& flags) {
 
   sim::EngineConfig config;
   config.cache_capacity = flags.GetUint("cache", 20);
+  config.io_mode = real_io ? sim::IoMode::kReal : sim::IoMode::kModeled;
+  config.topology.num_volumes = flags.GetUint("volumes", 1);
+  size_t prefetch = flags.GetUint("prefetch", 0);
+  if (prefetch > 0) {
+    config.enable_prefetch = true;
+    config.prefetch_depth = prefetch;
+  }
   std::string mode = flags.GetString("mode", "shared");
   std::unique_ptr<sched::Scheduler> scheduler;
   if (mode == "shared") {
     sched::LifeRaftConfig sched_config;
     sched_config.alpha = flags.GetDouble("alpha", 0.25);
     scheduler = std::make_unique<sched::LifeRaftScheduler>(
-        (*catalog)->store(), storage::DiskModel(config.disk), sched_config);
+        catalog->store(), storage::DiskModel(config.disk), sched_config);
   } else if (mode == "noshare") {
     config.mode = sim::ExecutionMode::kNoShare;
   } else if (mode == "indexonly") {
@@ -269,7 +349,7 @@ int Replay(const Flags& flags) {
     return 2;
   }
 
-  sim::SimEngine engine(catalog->get(), std::move(scheduler), config);
+  sim::SimEngine engine(catalog.get(), std::move(scheduler), config);
   auto metrics = engine.Run(*trace, arrivals);
   if (!metrics.ok()) return Fail(metrics.status());
   std::printf("%s\n", metrics->Summary().c_str());
@@ -280,6 +360,20 @@ int Replay(const Flags& flags) {
               static_cast<unsigned long long>(metrics->evaluator.scan_batches),
               static_cast<unsigned long long>(
                   metrics->evaluator.indexed_batches));
+  if (metrics->real_io_enabled) {
+    std::printf("real I/O (%s):\n",
+                direct_active ? "O_DIRECT" : "buffered");
+    for (size_t v = 0; v < metrics->real_io.size(); ++v) {
+      const storage::AsyncVolumeStats& s = metrics->real_io[v];
+      std::printf(
+          "  volume %zu: %llu reads, %.1f MB, p50 %.2f ms, p99 %.2f ms, "
+          "%llu failed (%llu checksum)\n",
+          v, static_cast<unsigned long long>(s.reads),
+          static_cast<double>(s.bytes) / (1024.0 * 1024.0), s.p50_latency_ms,
+          s.p99_latency_ms, static_cast<unsigned long long>(s.failures),
+          static_cast<unsigned long long>(s.checksum_failures));
+    }
+  }
   return 0;
 }
 
@@ -289,12 +383,14 @@ int Usage() {
       "usage: liferaft_tool <command> [flags]\n"
       "  gen-catalog  --objects N [--per-bucket K] [--seed S]\n"
       "               [--format row|columnar] --out F\n"
-      "  inspect      --store F\n"
+      "  inspect      --store F [--verify-checksums] [--volumes N]\n"
       "  verify       --store F\n"
       "  gen-trace    --queries N [--seed S] [--preset long] --out F\n"
       "  trace-stats  --trace F --store F\n"
       "  replay       --trace F --store F [--alpha A] [--rate R]\n"
-      "               [--cache C] [--mode shared|noshare|indexonly]\n");
+      "               [--cache C] [--mode shared|noshare|indexonly]\n"
+      "               [--io modeled|real] [--volumes N] [--prefetch D]\n"
+      "               [--direct]\n");
   return 2;
 }
 
